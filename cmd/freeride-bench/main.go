@@ -1,0 +1,117 @@
+// Command freeride-bench regenerates the paper's evaluation figures
+// (Figures 9-13) and this repository's ablation studies as printed tables.
+//
+// Usage:
+//
+//	freeride-bench -list
+//	freeride-bench -exp fig9                 # one experiment, default scale
+//	freeride-bench -exp fig9 -scale 1        # paper-sized dataset
+//	freeride-bench -exp all -threads 1,2,4,8
+//
+// Scale 1 reproduces the paper's dataset sizes (12 MB / 1.2 GB k-means
+// inputs, 1000×10,000 / 1000×100,000 PCA matrices); the per-experiment
+// defaults keep a full sweep around a minute while preserving the workload
+// shape. Absolute times differ from the paper's 2007-era Xeon; the shape —
+// version ordering, optimization factors, scaling trends — is what the
+// tables' notes check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"chapelfreeride/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "all", "experiment id (see -list), or 'all' / 'figures' / 'ablations'")
+		scaleFlag   = flag.Float64("scale", 0, "dataset scale relative to the paper's size (0 = per-experiment default)")
+		threadsFlag = flag.String("threads", "", "comma-separated thread sweep (default 1,2,4,8 capped at GOMAXPROCS)")
+		seedFlag    = flag.Int64("seed", 42, "dataset generation seed")
+		repsFlag    = flag.Int("reps", 1, "repetitions per measurement (fastest kept)")
+		formatFlag  = flag.String("format", "table", "output format: table | csv")
+		listFlag    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			src := e.Paper
+			if src == "" {
+				src = "ablation"
+			}
+			fmt.Printf("  %-13s %-10s %s (default scale %g)\n", e.ID, src, e.Title, e.DefaultScale)
+		}
+		return
+	}
+
+	threads, err := parseThreads(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freeride-bench:", err)
+		os.Exit(2)
+	}
+
+	var selected []bench.Experiment
+	switch *expFlag {
+	case "all":
+		selected = bench.Experiments()
+	case "figures":
+		for _, e := range bench.Experiments() {
+			if e.Paper != "" {
+				selected = append(selected, e)
+			}
+		}
+	case "ablations":
+		for _, e := range bench.Experiments() {
+			if e.Paper == "" {
+				selected = append(selected, e)
+			}
+		}
+	default:
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := bench.Get(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "freeride-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		p := bench.Params{Threads: threads, Scale: *scaleFlag, Seed: *seedFlag, Reps: *repsFlag}.WithDefaults(e.DefaultScale)
+		tbl, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "freeride-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *formatFlag == "csv" {
+			if err := tbl.FprintCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "freeride-bench:", err)
+				os.Exit(1)
+			}
+		} else {
+			tbl.Fprint(os.Stdout)
+		}
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

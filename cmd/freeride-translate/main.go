@@ -1,0 +1,146 @@
+// Command freeride-translate shows the translator's work for the built-in
+// reduction classes: the dataset's linearization metadata (the paper's
+// Fig. 6 information) and the C-like reduction function the modified Chapel
+// compiler would generate at each optimization level (compare Fig. 5 and
+// Fig. 8 of the paper).
+//
+// Usage:
+//
+//	freeride-translate -class kmeans -k 100 -dim 10
+//	freeride-translate -class pca-cov -dim 64
+//	freeride-translate -class kmeans -opt opt-2
+//
+// It can also start from Chapel source text (the subset chapel.ParseDecls
+// accepts), showing the mapping metadata for an access path through the
+// declared structure — the paper's Fig. 6 worked end to end:
+//
+//	freeride-translate -decl fig6.chpl -var data -path b1,a1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chapelfreeride/internal/apps"
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/core"
+	"chapelfreeride/internal/dataset"
+)
+
+func main() {
+	var (
+		className = flag.String("class", "kmeans", "reduction class: kmeans | pca-mean | pca-cov")
+		k         = flag.Int("k", 8, "k-means cluster count")
+		dim       = flag.Int("dim", 4, "feature dimensionality")
+		optName   = flag.String("opt", "", "single level (generated | opt-1 | opt-2); all when empty")
+		declFile  = flag.String("decl", "", "Chapel declaration file; with -var/-path, show its mapping metadata")
+		varName   = flag.String("var", "", "declared variable to analyze (with -decl)")
+		pathFlag  = flag.String("path", "", "comma-separated field path through the variable (with -decl)")
+	)
+	flag.Parse()
+
+	if *declFile != "" {
+		if err := analyzeDecl(*declFile, *varName, *pathFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "freeride-translate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var (
+		cls    *core.ReductionClass
+		dataTy *chapel.Type
+	)
+	switch *className {
+	case "kmeans":
+		cents := apps.BoxPoints(zeroMatrix(*k, *dim))
+		cls = apps.KMeansClass(*k, *dim, cents)
+		dataTy = chapel.ArrayType(chapel.RecordType("Point",
+			chapel.Field{Name: "coords", Type: chapel.ArrayType(chapel.RealType(), 1, *dim)}), 1, 1000)
+	case "pca-mean":
+		cls = apps.PCAMeanClass(*dim)
+		dataTy = chapel.ArrayType(chapel.ArrayType(chapel.RealType(), 1, *dim), 1, 1000)
+	case "pca-cov":
+		cls = apps.PCACovClass(*dim, chapel.RealArray(make([]float64, *dim)...))
+		dataTy = chapel.ArrayType(chapel.ArrayType(chapel.RealType(), 1, *dim), 1, 1000)
+	default:
+		fmt.Fprintf(os.Stderr, "freeride-translate: unknown class %q\n", *className)
+		os.Exit(2)
+	}
+
+	meta, err := core.MetaFor(dataTy, cls.Path...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freeride-translate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("=== information collected during linearization (Fig. 6) ===")
+	fmt.Println(meta)
+	fmt.Println()
+
+	levels := core.OptLevels()
+	if *optName != "" {
+		levels = nil
+		for _, l := range core.OptLevels() {
+			if l.String() == *optName {
+				levels = []core.OptLevel{l}
+			}
+		}
+		if levels == nil {
+			fmt.Fprintf(os.Stderr, "freeride-translate: unknown opt level %q\n", *optName)
+			os.Exit(2)
+		}
+	}
+	for _, opt := range levels {
+		src, err := core.EmitC(cls, dataTy, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeride-translate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n%s\n", opt, src)
+	}
+}
+
+func zeroMatrix(rows, cols int) *dataset.Matrix {
+	return dataset.NewMatrix(rows, cols)
+}
+
+// analyzeDecl parses a Chapel declaration file and prints the Fig. 6
+// linearization metadata for the named variable and access path.
+func analyzeDecl(path, varName, fieldPath string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	decls, err := chapel.ParseDecls(string(src))
+	if err != nil {
+		return err
+	}
+	if varName == "" {
+		if len(decls.VarOrder) == 0 {
+			return fmt.Errorf("no variables declared in %s", path)
+		}
+		varName = decls.VarOrder[0]
+	}
+	ty, err := decls.Var(varName)
+	if err != nil {
+		return err
+	}
+	var fields []string
+	if fieldPath != "" {
+		fields = strings.Split(fieldPath, ",")
+		for i := range fields {
+			fields[i] = strings.TrimSpace(fields[i])
+		}
+	}
+	fmt.Printf("var %s: %s\n", varName, ty)
+	fmt.Printf("linearized size: %d bytes\n\n", core.SizeOf(ty))
+	meta, err := core.MetaFor(ty, fields...)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== information collected during linearization (Fig. 6) ===")
+	fmt.Println(meta)
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command kmeans clusters a point dataset with any implementation version
+// from the paper's evaluation.
+//
+// Usage:
+//
+//	kmeans -n 100000 -dim 10 -k 100 -iters 10 -threads 8 -version opt-2
+//	kmeans -input data.frds -k 10 -version "manual FR"
+//
+// Without -input, a Gaussian-mixture dataset is generated (-n/-dim/-seed).
+// Versions: sequential, chapel-native, generated, opt-1, opt-2,
+// "manual FR", map-reduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chapelfreeride/internal/apps"
+	"chapelfreeride/internal/cluster"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "dataset file (FRDS binary, or .csv with header); generated when empty")
+		n       = flag.Int("n", 100000, "generated points")
+		dim     = flag.Int("dim", 10, "generated dimensionality")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		k       = flag.Int("k", 10, "clusters")
+		iters   = flag.Int("iters", 10, "iterations")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		version = flag.String("version", "opt-2", "implementation version")
+		nodes   = flag.Int("nodes", 0, "simulated cluster nodes (>1 runs 'manual FR' distributed over TCP)")
+		verbose = flag.Bool("v", false, "print final centroids")
+	)
+	flag.Parse()
+
+	points, err := loadOrGenerate(*input, *n, *dim, *k, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmeans:", err)
+		os.Exit(1)
+	}
+	v, err := parseVersion(*version)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmeans:", err)
+		os.Exit(2)
+	}
+	if points.Rows < *k {
+		fmt.Fprintf(os.Stderr, "kmeans: %d points cannot seed %d centroids\n", points.Rows, *k)
+		os.Exit(2)
+	}
+	init := dataset.NewMatrix(*k, points.Cols)
+	copy(init.Data, points.Data[:*k*points.Cols])
+
+	cfg := apps.KMeansConfig{
+		K: *k, Iterations: *iters,
+		Engine: freeride.Config{Threads: *threads},
+	}
+	if *nodes > 1 {
+		cres, err := apps.KMeansCluster(points, init, apps.KMeansClusterConfig{
+			K: *k, Iterations: *iters, Nodes: *nodes,
+			PerNode:   freeride.Config{Threads: *threads},
+			Transport: cluster.TCP,
+			Combine:   cluster.Tree,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kmeans:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cluster run: nodes=%d points=%d k=%d iters=%d\n", *nodes, points.Rows, *k, *iters)
+		fmt.Printf("total=%.3fs, global combination moved %d bytes over TCP\n",
+			cres.Timing.Total().Seconds(), cres.BytesMoved)
+		return
+	}
+	res, err := apps.KMeans(v, points, init, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kmeans:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("version=%s points=%d dim=%d k=%d iters=%d threads=%d\n",
+		v, points.Rows, points.Cols, *k, *iters, cfg.Engine.Threads)
+	fmt.Printf("total=%.3fs (linearize=%.3fs hotvar=%.3fs reduce=%.3fs update=%.3fs)\n",
+		res.Timing.Total().Seconds(), res.Timing.Linearize.Seconds(),
+		res.Timing.HotVar.Seconds(), res.Timing.Reduce.Seconds(), res.Timing.Update.Seconds())
+	var assigned float64
+	for _, c := range res.Counts {
+		assigned += c
+	}
+	fmt.Printf("points assigned in final iteration: %.0f\n", assigned)
+	if *verbose {
+		for c := 0; c < *k; c++ {
+			fmt.Printf("centroid %3d (%6.0f pts):", c, res.Counts[c])
+			for j := 0; j < points.Cols; j++ {
+				fmt.Printf(" %8.3f", res.Centroids.At(c, j))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func loadOrGenerate(path string, n, dim, k int, seed int64) (*dataset.Matrix, error) {
+	if path != "" {
+		return loadDataset(path)
+	}
+	points, _ := dataset.GaussianMixture(n, dim, k, seed)
+	return points, nil
+}
+
+// loadDataset reads FRDS binary or, for .csv paths, header-first CSV.
+func loadDataset(path string) (*dataset.Matrix, error) {
+	if strings.HasSuffix(path, ".csv") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.ReadCSV(f, true)
+	}
+	return dataset.ReadFile(path)
+}
+
+func parseVersion(s string) (apps.Version, error) {
+	for _, v := range []apps.Version{apps.Seq, apps.ChapelNative, apps.Generated,
+		apps.Opt1, apps.Opt2, apps.ManualFR, apps.MapReduce} {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown version %q", s)
+}

@@ -1,0 +1,95 @@
+// Command pca computes the mean vector and covariance matrix of a dataset —
+// the paper's second evaluation application — with any available version.
+//
+// Usage:
+//
+//	pca -elems 10000 -dims 100 -threads 8 -version opt-2
+//	pca -input data.frds -version "manual FR"
+//
+// The paper's datasets are 1000 dims × 10,000 or 100,000 elements
+// (-dims 1000 -elems 100000 reproduces the large one).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chapelfreeride/internal/apps"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "dataset file (FRDS binary, or .csv with header); generated when empty")
+		elems   = flag.Int("elems", 10000, "generated data elements (matrix rows)")
+		dims    = flag.Int("dims", 100, "generated dimensionality (matrix columns)")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		version = flag.String("version", "opt-2", "implementation version (sequential, generated, opt-1, opt-2, \"manual FR\")")
+		verbose = flag.Bool("v", false, "print the mean vector and covariance diagonal")
+	)
+	flag.Parse()
+
+	var data *dataset.Matrix
+	var err error
+	switch {
+	case *input != "" && strings.HasSuffix(*input, ".csv"):
+		var f *os.File
+		if f, err = os.Open(*input); err == nil {
+			data, err = dataset.ReadCSV(f, true)
+			f.Close()
+		}
+	case *input != "":
+		data, err = dataset.ReadFile(*input)
+	default:
+		data = dataset.UniformMatrix(*elems, *dims, *seed, -5, 5)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pca:", err)
+		os.Exit(1)
+	}
+	v, err := parseVersion(*version)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pca:", err)
+		os.Exit(2)
+	}
+	res, err := apps.PCA(v, data, apps.PCAConfig{Engine: freeride.Config{Threads: *threads}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pca:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("version=%s elements=%d dims=%d\n", v, data.Rows, data.Cols)
+	fmt.Printf("total=%.3fs (linearize=%.3fs reduce=%.3fs)\n",
+		res.Timing.Total().Seconds(), res.Timing.Linearize.Seconds(), res.Timing.Reduce.Seconds())
+	if *verbose {
+		fmt.Print("mean:")
+		for j := 0; j < min(data.Cols, 12); j++ {
+			fmt.Printf(" %7.3f", res.Mean[j])
+		}
+		fmt.Println()
+		fmt.Print("var: ")
+		for j := 0; j < min(data.Cols, 12); j++ {
+			fmt.Printf(" %7.3f", res.Cov.At(j, j))
+		}
+		fmt.Println()
+	}
+}
+
+func parseVersion(s string) (apps.Version, error) {
+	for _, v := range []apps.Version{apps.Seq, apps.Generated, apps.Opt1, apps.Opt2, apps.ManualFR} {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown version %q", s)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module chapelfreeride
+
+go 1.22

@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+)
+
+// fixedTransactions builds a tiny database with known supports:
+//
+//	{0,1,2} {0,1} {0,2} {0} {1,2}
+//
+// supports: 0→4, 1→3, 2→3, (0,1)→2, (0,2)→2, (1,2)→2.
+func fixedTransactions() *dataset.Matrix {
+	m := dataset.NewMatrix(5, 3)
+	rows := [][]float64{
+		{0, 1, 2},
+		{0, 1, -1},
+		{0, 2, -1},
+		{0, -1, -1},
+		{1, 2, -1},
+	}
+	for i, r := range rows {
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+func TestAprioriKnownSupports(t *testing.T) {
+	cfg := AprioriConfig{NumItems: 3, MinSupport: 2, Engine: freeride.Config{Threads: 2, SplitRows: 2}}
+	res, err := AprioriSeq(fixedTransactions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Itemset{
+		{Items: []int{0}, Support: 4},
+		{Items: []int{1}, Support: 3},
+		{Items: []int{2}, Support: 3},
+		{Items: []int{0, 1}, Support: 2},
+		{Items: []int{0, 2}, Support: 2},
+		{Items: []int{1, 2}, Support: 2},
+	}
+	if !reflect.DeepEqual(res.Frequent, want) {
+		t.Fatalf("frequent = %+v, want %+v", res.Frequent, want)
+	}
+	// Higher threshold prunes the pairs.
+	cfg.MinSupport = 3
+	res, err = AprioriSeq(fixedTransactions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequent) != 3 {
+		t.Fatalf("minSupport=3: %+v", res.Frequent)
+	}
+}
+
+func TestAprioriAllVersionsAgree(t *testing.T) {
+	tx := GenerateTransactions(2000, 8, 40, 9)
+	cfg := AprioriConfig{NumItems: 40, MinSupport: 120, Engine: freeride.Config{Threads: 4, SplitRows: 128}}
+	ref, err := AprioriSeq(tx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Frequent) == 0 {
+		t.Fatal("workload produced no frequent itemsets; adjust generator")
+	}
+	for _, v := range []Version{ManualFR, MapReduce} {
+		got, err := Apriori(v, tx, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !reflect.DeepEqual(got.Frequent, ref.Frequent) {
+			t.Fatalf("%v diverges:\n got %+v\nwant %+v", v, got.Frequent, ref.Frequent)
+		}
+	}
+}
+
+func TestAprioriDuplicateItemsCountOnce(t *testing.T) {
+	// A transaction listing an item twice supports it once.
+	m := dataset.NewMatrix(2, 3)
+	copy(m.Row(0), []float64{1, 1, 1})
+	copy(m.Row(1), []float64{1, 2, -1})
+	cfg := AprioriConfig{NumItems: 3, MinSupport: 2, Engine: freeride.Config{Threads: 1}}
+	res, err := AprioriManualFR(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequent) != 1 || res.Frequent[0].Support != 2 || res.Frequent[0].Items[0] != 1 {
+		t.Fatalf("frequent = %+v", res.Frequent)
+	}
+}
+
+func TestAprioriOutOfRangeIDsIgnored(t *testing.T) {
+	m := dataset.NewMatrix(1, 3)
+	copy(m.Row(0), []float64{0, 99, -5})
+	cfg := AprioriConfig{NumItems: 3, MinSupport: 1, Engine: freeride.Config{Threads: 1}}
+	res, err := AprioriSeq(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequent) != 1 || res.Frequent[0].Items[0] != 0 {
+		t.Fatalf("frequent = %+v", res.Frequent)
+	}
+}
+
+func TestAprioriNoPairCandidates(t *testing.T) {
+	// Only one frequent item → no pair pass.
+	m := dataset.NewMatrix(3, 1)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	cfg := AprioriConfig{NumItems: 4, MinSupport: 2, Engine: freeride.Config{Threads: 2}}
+	for _, v := range []Version{Seq, ManualFR, MapReduce} {
+		res, err := Apriori(v, m, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if len(res.Frequent) != 1 || len(res.Frequent[0].Items) != 1 {
+			t.Fatalf("%v: frequent = %+v", v, res.Frequent)
+		}
+	}
+}
+
+func TestAprioriValidation(t *testing.T) {
+	m := fixedTransactions()
+	if _, err := AprioriSeq(m, AprioriConfig{NumItems: 0, MinSupport: 1}); err == nil {
+		t.Fatal("NumItems=0: want error")
+	}
+	if _, err := AprioriSeq(m, AprioriConfig{NumItems: 3, MinSupport: 0}); err == nil {
+		t.Fatal("MinSupport=0: want error")
+	}
+	if _, err := Apriori(Opt2, m, AprioriConfig{NumItems: 3, MinSupport: 1}); err == nil {
+		t.Fatal("unsupported version: want error")
+	}
+}
+
+func TestGenerateTransactionsShape(t *testing.T) {
+	tx := GenerateTransactions(100, 6, 20, 3)
+	if tx.Rows != 100 || tx.Cols != 6 {
+		t.Fatal("shape")
+	}
+	if !tx.Equal(GenerateTransactions(100, 6, 20, 3)) {
+		t.Fatal("not deterministic")
+	}
+	for i := 0; i < tx.Rows; i++ {
+		row := tx.Row(i)
+		if int(row[0]) < 0 {
+			t.Fatalf("row %d has no items", i)
+		}
+		for _, v := range row {
+			if int(v) >= 20 {
+				t.Fatalf("item id %v out of range", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+)
+
+func histCfg(bins int) HistogramConfig {
+	return HistogramConfig{Bins: bins, Lo: 0, Hi: 10, Engine: freeride.Config{Threads: 4, SplitRows: 32}}
+}
+
+func TestHistogramAllVersionsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := dataset.NewMatrix(1000, 1)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64() * 10
+	}
+	ref, err := HistogramSeq(m, histCfg(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, c := range ref.Counts {
+		total += c
+	}
+	if total != 1000 {
+		t.Fatalf("reference counts sum to %v", total)
+	}
+	for _, v := range []Version{ChapelNative, Generated, Opt1, Opt2, ManualFR, MapReduce} {
+		got, err := Histogram(v, m, histCfg(16))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		for b := range ref.Counts {
+			if got.Counts[b] != ref.Counts[b] {
+				t.Fatalf("%v: bin %d = %v, want %v", v, b, got.Counts[b], ref.Counts[b])
+			}
+		}
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	m := dataset.NewMatrix(4, 1)
+	copy(m.Data, []float64{-5, 0, 9.999, 50})
+	res, err := HistogramSeq(m, histCfg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0] != 2 || res.Counts[9] != 2 {
+		t.Fatalf("counts = %v", res.Counts)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	m := dataset.NewMatrix(4, 1)
+	if _, err := HistogramSeq(m, HistogramConfig{Bins: 0, Lo: 0, Hi: 1}); err == nil {
+		t.Fatal("Bins=0: want error")
+	}
+	if _, err := HistogramSeq(m, HistogramConfig{Bins: 4, Lo: 1, Hi: 1}); err == nil {
+		t.Fatal("Hi==Lo: want error")
+	}
+}
+
+// trainSet builds clustered training data with the label in the last
+// column: points near (0,0) labelled 0, near (10,10) labelled 1.
+func trainSet(n int, seed int64) *dataset.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := dataset.NewMatrix(n, 3)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		base := float64(label) * 10
+		m.Set(i, 0, base+rng.NormFloat64())
+		m.Set(i, 1, base+rng.NormFloat64())
+		m.Set(i, 2, float64(label))
+	}
+	return m
+}
+
+func TestKNNSeqAndFRAgree(t *testing.T) {
+	train := trainSet(400, 2)
+	queries := dataset.NewMatrix(4, 2)
+	copy(queries.Data, []float64{0, 0, 10, 10, 1, 1, 9, 9})
+	cfg := KNNConfig{K: 7, Engine: freeride.Config{Threads: 4, SplitRows: 32}}
+	seq, err := KNNSeq(train, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if seq.Labels[i] != want[i] {
+			t.Fatalf("seq labels = %v", seq.Labels)
+		}
+	}
+	fr, err := KNNManualFR(train, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Labels {
+		if fr.Labels[i] != seq.Labels[i] {
+			t.Fatalf("FR labels %v != seq %v", fr.Labels, seq.Labels)
+		}
+	}
+}
+
+func TestKNNTieBreaking(t *testing.T) {
+	// Two training points equidistant from the query with different
+	// labels; K=1 must pick the lower row index deterministically.
+	train := dataset.NewMatrix(2, 2)
+	copy(train.Data, []float64{1, 7, -1, 3}) // x=1 label 7, x=-1 label 3
+	queries := dataset.NewMatrix(1, 1)
+	cfg := KNNConfig{K: 1, Engine: freeride.Config{Threads: 2}}
+	for _, threads := range []int{1, 2, 4} {
+		cfg.Engine.Threads = threads
+		res, err := KNNManualFR(train, queries, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Labels[0] != 7 {
+			t.Fatalf("threads=%d: tie broke to %d, want 7 (row 0)", threads, res.Labels[0])
+		}
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	train := trainSet(10, 1)
+	queries := dataset.NewMatrix(1, 2)
+	if _, err := KNNSeq(train, queries, KNNConfig{K: 0}); err == nil {
+		t.Fatal("K=0: want error")
+	}
+	if _, err := KNNSeq(dataset.NewMatrix(0, 3), queries, KNNConfig{K: 1}); err == nil {
+		t.Fatal("empty train: want error")
+	}
+	badQ := dataset.NewMatrix(1, 3)
+	if _, err := KNNSeq(train, badQ, KNNConfig{K: 1}); err == nil {
+		t.Fatal("dim mismatch: want error")
+	}
+	if _, err := KNN(MapReduce, train, queries, KNNConfig{K: 1}); err == nil {
+		t.Fatal("unsupported version: want error")
+	}
+}
+
+// Property: k-NN under FREERIDE matches sequential for random data,
+// arbitrary K and thread counts (deterministic tie-breaking makes this
+// exact).
+func TestPropertyKNNMatchesSeq(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw, thrRaw uint8) bool {
+		n := int(nRaw%100) + 5
+		k := int(kRaw)%n + 1
+		threads := int(thrRaw%4) + 1
+		train := trainSet(n, seed)
+		rng := rand.New(rand.NewSource(seed + 1))
+		queries := dataset.NewMatrix(3, 2)
+		for i := range queries.Data {
+			queries.Data[i] = rng.Float64() * 10
+		}
+		cfg := KNNConfig{K: k, Engine: freeride.Config{Threads: threads, SplitRows: 8}}
+		seq, err := KNNSeq(train, queries, cfg)
+		if err != nil {
+			return false
+		}
+		fr, err := KNNManualFR(train, queries, cfg)
+		if err != nil {
+			return false
+		}
+		for i := range seq.Labels {
+			if seq.Labels[i] != fr.Labels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(71))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegressionRecoversLine(t *testing.T) {
+	// y = 3x - 2, exactly.
+	m := dataset.NewMatrix(100, 2)
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		m.Set(i, 0, x)
+		m.Set(i, 1, 3*x-2)
+	}
+	for name, run := range map[string]func() (*RegressionResult, error){
+		"seq": func() (*RegressionResult, error) { return RegressionSeq(m) },
+		"fr": func() (*RegressionResult, error) {
+			return RegressionManualFR(m, freeride.Config{Threads: 4, SplitRows: 16})
+		},
+		"chapel": func() (*RegressionResult, error) { return RegressionChapelNative(m, 4) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(res.Slope-3) > 1e-9 || math.Abs(res.Intercept+2) > 1e-9 {
+			t.Fatalf("%s: y = %vx + %v", name, res.Slope, res.Intercept)
+		}
+		if res.N != 100 {
+			t.Fatalf("%s: N = %d", name, res.N)
+		}
+	}
+}
+
+func TestRegressionValidation(t *testing.T) {
+	if _, err := RegressionSeq(dataset.NewMatrix(5, 3)); err == nil {
+		t.Fatal("3 columns: want error")
+	}
+	if _, err := RegressionSeq(dataset.NewMatrix(1, 2)); err == nil {
+		t.Fatal("1 row: want error")
+	}
+	// Degenerate: all x equal.
+	m := dataset.NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		m.Set(i, 0, 5)
+		m.Set(i, 1, float64(i))
+	}
+	if _, err := RegressionSeq(m); err == nil {
+		t.Fatal("degenerate x: want error")
+	}
+	if _, err := RegressionManualFR(m, freeride.Config{Threads: 2}); err == nil {
+		t.Fatal("degenerate x via FR: want error")
+	}
+}

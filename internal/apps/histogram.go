@@ -1,0 +1,247 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/core"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/mapreduce"
+	"chapelfreeride/internal/robj"
+)
+
+// Histogram bins the first column of the dataset into Bins equal-width
+// buckets over [Lo, Hi); values outside the range clamp to the edge
+// buckets. It is the simplest generalized reduction — the quickstart
+// application — and exists in every version: Seq, ChapelNative, the three
+// translated levels, ManualFR, and MapReduce.
+
+// HistogramConfig parameterizes a histogram run.
+type HistogramConfig struct {
+	// Bins is the bucket count.
+	Bins int
+	// Lo, Hi bound the value range; width (Hi-Lo)/Bins.
+	Lo, Hi float64
+	// Engine configures the FREERIDE engine (and sizes the MapReduce and
+	// Chapel runtimes).
+	Engine freeride.Config
+}
+
+func (c HistogramConfig) validate() error {
+	if c.Bins < 1 {
+		return fmt.Errorf("apps: histogram needs Bins >= 1, got %d", c.Bins)
+	}
+	if !(c.Hi > c.Lo) {
+		return fmt.Errorf("apps: histogram needs Hi > Lo, got [%v, %v)", c.Lo, c.Hi)
+	}
+	return nil
+}
+
+// bucket maps a value to its bin, clamping out-of-range values.
+func (c HistogramConfig) bucket(v float64) int {
+	b := int(math.Floor((v - c.Lo) / (c.Hi - c.Lo) * float64(c.Bins)))
+	if b < 0 {
+		return 0
+	}
+	if b >= c.Bins {
+		return c.Bins - 1
+	}
+	return b
+}
+
+// HistogramResult holds the bin counts and timing.
+type HistogramResult struct {
+	Counts []float64
+	Timing Timing
+}
+
+// HistogramSeq is the sequential reference.
+func HistogramSeq(data *dataset.Matrix, cfg HistogramConfig) (*HistogramResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	counts := make([]float64, cfg.Bins)
+	for i := 0; i < data.Rows; i++ {
+		counts[cfg.bucket(data.At(i, 0))]++
+	}
+	return &HistogramResult{Counts: counts, Timing: Timing{Reduce: time.Since(t0)}}, nil
+}
+
+// HistogramManualFR is the hand-written FREERIDE version.
+func HistogramManualFR(data *dataset.Matrix, cfg HistogramConfig) (*HistogramResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	eng := freeride.New(cfg.Engine)
+	spec := freeride.Spec{
+		Object: freeride.ObjectSpec{Groups: cfg.Bins, Elems: 1, Op: robj.OpAdd},
+		Reduction: func(args *freeride.ReductionArgs) error {
+			for i := 0; i < args.NumRows; i++ {
+				args.Accumulate(cfg.bucket(args.Row(i)[0]), 0, 1)
+			}
+			return nil
+		},
+	}
+	t0 := time.Now()
+	res, err := eng.Run(spec, dataset.NewMemorySource(data))
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, cfg.Bins)
+	copy(counts, res.Object.Snapshot())
+	return &HistogramResult{Counts: counts, Timing: Timing{Reduce: time.Since(t0)}}, nil
+}
+
+// histogramOp is the Chapel-native reduction class for the histogram.
+type histogramOp struct {
+	cfg    HistogramConfig
+	counts []float64
+}
+
+// Clone implements chapel.ReduceScanOp.
+func (o *histogramOp) Clone() chapel.ReduceScanOp {
+	return &histogramOp{cfg: o.cfg, counts: make([]float64, o.cfg.Bins)}
+}
+
+// Accumulate implements chapel.ReduceScanOp.
+func (o *histogramOp) Accumulate(x chapel.Value) {
+	o.counts[o.cfg.bucket(chapel.AsReal(x))]++
+}
+
+// Combine implements chapel.ReduceScanOp.
+func (o *histogramOp) Combine(other chapel.ReduceScanOp) {
+	for i, v := range other.(*histogramOp).counts {
+		o.counts[i] += v
+	}
+}
+
+// Generate implements chapel.ReduceScanOp.
+func (o *histogramOp) Generate() chapel.Value { return chapel.RealArray(o.counts...) }
+
+// HistogramChapelNative runs the histogram as a user-defined Chapel
+// reduction over the boxed first column.
+func HistogramChapelNative(data *dataset.Matrix, cfg HistogramConfig) (*HistogramResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	col := make([]float64, data.Rows)
+	for i := range col {
+		col[i] = data.At(i, 0)
+	}
+	boxed := chapel.RealArray(col...)
+	tasks := cfg.Engine.Threads
+	t0 := time.Now()
+	op := &histogramOp{cfg: cfg, counts: make([]float64, cfg.Bins)}
+	out := chapel.Reduce(op, chapel.Over(boxed), tasks).(*chapel.Array)
+	counts := make([]float64, cfg.Bins)
+	for i := range counts {
+		counts[i] = out.At(i + 1).(*chapel.Real).Val
+	}
+	return &HistogramResult{Counts: counts, Timing: Timing{Reduce: time.Since(t0)}}, nil
+}
+
+// HistogramClass is the translator input for the histogram: a flat
+// [1..n] real dataset (each value one element) and no hot variables.
+func HistogramClass(cfg HistogramConfig) *core.ReductionClass {
+	return &core.ReductionClass{
+		Name:   "histogram",
+		Object: freeride.ObjectSpec{Groups: cfg.Bins, Elems: 1, Op: robj.OpAdd},
+		Kernel: func(elem *core.Vec, _ []*core.StateVec, args *freeride.ReductionArgs) {
+			args.Accumulate(cfg.bucket(elem.At(0)), 0, 1)
+		},
+	}
+}
+
+// HistogramTranslated runs the histogram through the Chapel→FREERIDE
+// translation at the given optimization level, boxing the first column as
+// a Chapel [1..n] real array.
+func HistogramTranslated(data *dataset.Matrix, opt core.OptLevel, cfg HistogramConfig) (*HistogramResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	col := make([]float64, data.Rows)
+	for i := range col {
+		col[i] = data.At(i, 0)
+	}
+	boxed := chapel.RealArray(col...)
+	tr, err := core.Translate(HistogramClass(cfg), boxed, opt)
+	if err != nil {
+		return nil, err
+	}
+	eng := freeride.New(cfg.Engine)
+	t0 := time.Now()
+	res, err := eng.Run(tr.Spec(), tr.Source())
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, cfg.Bins)
+	copy(counts, res.Object.Snapshot())
+	return &HistogramResult{
+		Counts: counts,
+		Timing: Timing{Linearize: tr.LinearizeTime, Reduce: time.Since(t0)},
+	}, nil
+}
+
+// HistogramMapReduce is the Map-Reduce baseline with a combiner.
+func HistogramMapReduce(data *dataset.Matrix, cfg HistogramConfig) (*HistogramResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	eng := mapreduce.New[int, float64](mapreduce.Config{
+		Workers:   cfg.Engine.Threads,
+		SplitRows: cfg.Engine.SplitRows,
+	})
+	sum := func(_ int, vals []float64) float64 {
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	}
+	spec := mapreduce.Spec[int, float64]{
+		Map: func(a *mapreduce.MapArgs, emit func(int, float64)) error {
+			for i := 0; i < a.NumRows; i++ {
+				emit(cfg.bucket(a.Row(i)[0]), 1)
+			}
+			return nil
+		},
+		Reduce:  sum,
+		Combine: sum,
+	}
+	t0 := time.Now()
+	out, _, err := eng.Run(spec, dataset.NewMemorySource(data))
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, cfg.Bins)
+	for b, v := range out {
+		counts[b] = v
+	}
+	return &HistogramResult{Counts: counts, Timing: Timing{Reduce: time.Since(t0)}}, nil
+}
+
+// Histogram dispatches to the named version.
+func Histogram(v Version, data *dataset.Matrix, cfg HistogramConfig) (*HistogramResult, error) {
+	switch v {
+	case Seq:
+		return HistogramSeq(data, cfg)
+	case ChapelNative:
+		return HistogramChapelNative(data, cfg)
+	case Generated:
+		return HistogramTranslated(data, core.OptNone, cfg)
+	case Opt1:
+		return HistogramTranslated(data, core.Opt1, cfg)
+	case Opt2:
+		return HistogramTranslated(data, core.Opt2, cfg)
+	case ManualFR:
+		return HistogramManualFR(data, cfg)
+	case MapReduce:
+		return HistogramMapReduce(data, cfg)
+	default:
+		return nil, fmt.Errorf("apps: unsupported histogram version %v", v)
+	}
+}

@@ -1,0 +1,437 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/core"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/mapreduce"
+	"chapelfreeride/internal/robj"
+)
+
+// KMeansConfig parameterizes a k-means run: k centroids, i iterations —
+// the two "key factors that impact the computations" (§V-A).
+type KMeansConfig struct {
+	// K is the number of clusters.
+	K int
+	// Iterations is the number of scan-and-update passes.
+	Iterations int
+	// Engine configures the FREERIDE engine (threads, strategy, ...).
+	Engine freeride.Config
+	// Tasks is the task count for the ChapelNative version (defaults to
+	// Engine.Threads).
+	Tasks int
+	// LinearizeWorkers > 1 enables the parallel-linearization extension
+	// for the translated versions.
+	LinearizeWorkers int
+	// UseCombiner enables the Map-Reduce combiner for the MapReduce
+	// version.
+	UseCombiner bool
+}
+
+func (c KMeansConfig) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("apps: k-means needs K >= 1, got %d", c.K)
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("apps: k-means needs Iterations >= 1, got %d", c.Iterations)
+	}
+	return nil
+}
+
+// KMeansResult is the output of one k-means run.
+type KMeansResult struct {
+	// Centroids is the final K×dim centroid matrix.
+	Centroids *dataset.Matrix
+	// Counts is the number of points assigned to each cluster in the last
+	// iteration.
+	Counts []float64
+	// Timing is the phase breakdown.
+	Timing Timing
+}
+
+// nearest returns the index of the centroid closest to point (squared
+// Euclidean distance; ties resolve to the lowest index). cents is flat
+// k×dim. Every version funnels its distance logic through the same
+// tie-breaking rule so results are comparable bit for bit.
+func nearest(point []float64, cents []float64, k, dim int) int {
+	best, bestDist := 0, math.Inf(1)
+	for c := 0; c < k; c++ {
+		var d float64
+		cc := cents[c*dim : (c+1)*dim]
+		for j := 0; j < dim; j++ {
+			diff := point[j] - cc[j]
+			d += diff * diff
+		}
+		if d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// updateCentroids derives the next centroid matrix from per-cluster
+// coordinate sums and counts (robj layout: k groups × dim+1 elems, the last
+// element the count). Empty clusters keep their previous centroid, and the
+// per-cluster counts are returned.
+func updateCentroids(snapshot []float64, prev *dataset.Matrix, k, dim int) (*dataset.Matrix, []float64) {
+	next := dataset.NewMatrix(k, dim)
+	counts := make([]float64, k)
+	for c := 0; c < k; c++ {
+		cells := snapshot[c*(dim+1) : (c+1)*(dim+1)]
+		counts[c] = cells[dim]
+		if counts[c] == 0 {
+			copy(next.Row(c), prev.Row(c))
+			continue
+		}
+		for j := 0; j < dim; j++ {
+			next.Set(c, j, cells[j]/counts[c])
+		}
+	}
+	return next, counts
+}
+
+// KMeansSeq is the sequential reference implementation.
+func KMeansSeq(points, init *dataset.Matrix, cfg KMeansConfig) (*KMeansResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k, dim := cfg.K, points.Cols
+	cents := init.Clone()
+	var counts []float64
+	var timing Timing
+	for it := 0; it < cfg.Iterations; it++ {
+		t0 := time.Now()
+		sums := make([]float64, k*(dim+1))
+		for i := 0; i < points.Rows; i++ {
+			row := points.Row(i)
+			c := nearest(row, cents.Data, k, dim)
+			for j := 0; j < dim; j++ {
+				sums[c*(dim+1)+j] += row[j]
+			}
+			sums[c*(dim+1)+dim]++
+		}
+		timing.Reduce += time.Since(t0)
+		t0 = time.Now()
+		cents, counts = updateCentroids(sums, cents, k, dim)
+		timing.Update += time.Since(t0)
+	}
+	return &KMeansResult{Centroids: cents, Counts: counts, Timing: timing}, nil
+}
+
+// kmeansOp is the paper's Fig. 3 reduction class on the pure Chapel
+// runtime: RO holds per-cluster sums and counts, accumulate assigns one
+// point to its nearest centroid, combine merges two partial objects.
+type kmeansOp struct {
+	k, dim    int
+	centroids *chapel.Array // boxed [1..k] Point — read-only during a pass
+	ro        []float64     // k × (dim+1)
+}
+
+func newKMeansOp(k, dim int, centroids *chapel.Array) *kmeansOp {
+	return &kmeansOp{k: k, dim: dim, centroids: centroids, ro: make([]float64, k*(dim+1))}
+}
+
+// Clone implements chapel.ReduceScanOp.
+func (o *kmeansOp) Clone() chapel.ReduceScanOp { return newKMeansOp(o.k, o.dim, o.centroids) }
+
+// Accumulate implements chapel.ReduceScanOp over one boxed Point.
+func (o *kmeansOp) Accumulate(x chapel.Value) {
+	coords := x.(*chapel.Record).Field("coords").(*chapel.Array)
+	best, bestDist := 0, math.Inf(1)
+	for c := 1; c <= o.k; c++ {
+		cc := o.centroids.At(c).(*chapel.Record).Field("coords").(*chapel.Array)
+		var d float64
+		for j := 1; j <= o.dim; j++ {
+			diff := coords.At(j).(*chapel.Real).Val - cc.At(j).(*chapel.Real).Val
+			d += diff * diff
+		}
+		if d < bestDist {
+			best, bestDist = c-1, d
+		}
+	}
+	for j := 1; j <= o.dim; j++ {
+		o.ro[best*(o.dim+1)+j-1] += coords.At(j).(*chapel.Real).Val
+	}
+	o.ro[best*(o.dim+1)+o.dim]++
+}
+
+// Combine implements chapel.ReduceScanOp.
+func (o *kmeansOp) Combine(other chapel.ReduceScanOp) {
+	x := other.(*kmeansOp)
+	for i := range o.ro {
+		o.ro[i] += x.ro[i]
+	}
+}
+
+// Generate implements chapel.ReduceScanOp, returning the reduction object
+// as a boxed [1..k*(dim+1)] real array.
+func (o *kmeansOp) Generate() chapel.Value { return chapel.RealArray(o.ro...) }
+
+// KMeansChapelNative runs k-means entirely on the Chapel runtime analog —
+// boxed data, boxed centroids, global-view Reduce — demonstrating that
+// Chapel's reduction support expresses the algorithm (the paper's question
+// I) without any FREERIDE involvement.
+func KMeansChapelNative(boxedPoints *chapel.Array, init *dataset.Matrix, cfg KMeansConfig) (*KMeansResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k, dim := cfg.K, init.Cols
+	tasks := cfg.Tasks
+	if tasks < 1 {
+		tasks = cfg.Engine.Threads
+	}
+	cents := init.Clone()
+	boxedCents := BoxPoints(cents)
+	var counts []float64
+	var timing Timing
+	expr := chapel.Over(boxedPoints)
+	for it := 0; it < cfg.Iterations; it++ {
+		t0 := time.Now()
+		out := chapel.Reduce(newKMeansOp(k, dim, boxedCents), expr, tasks).(*chapel.Array)
+		timing.Reduce += time.Since(t0)
+		t0 = time.Now()
+		sums := make([]float64, k*(dim+1))
+		for i := range sums {
+			sums[i] = out.At(i + 1).(*chapel.Real).Val
+		}
+		cents, counts = updateCentroids(sums, cents, k, dim)
+		boxedCents = BoxPoints(cents)
+		timing.Update += time.Since(t0)
+	}
+	return &KMeansResult{Centroids: cents, Counts: counts, Timing: timing}, nil
+}
+
+// KMeansClass builds the translator input for k-means — the declarative
+// form of Fig. 3's reduction class, shared by the three translated
+// versions. centroids is the boxed hot variable the kernel reads for every
+// point (the structure opt-2 linearizes).
+func KMeansClass(k, dim int, centroids *chapel.Array) *core.ReductionClass {
+	return &core.ReductionClass{
+		Name:   "kmeans",
+		Object: freeride.ObjectSpec{Groups: k, Elems: dim + 1, Op: robj.OpAdd},
+		Path:   []string{"coords"},
+		HotVars: []core.HotVar{
+			{Value: centroids, Path: []string{"coords"}},
+		},
+		Kernel: func(elem *core.Vec, hot []*core.StateVec, args *freeride.ReductionArgs) {
+			cents := hot[0]
+			pt := elem.Row(args.Scratch(0, dim))
+			best, bestDist := 0, math.Inf(1)
+			for c := 1; c <= k; c++ {
+				cc := cents.Row(c, args.Scratch(1, dim))
+				var d float64
+				for j := 0; j < dim; j++ {
+					diff := pt[j] - cc[j]
+					d += diff * diff
+				}
+				if d < bestDist {
+					best, bestDist = c-1, d
+				}
+			}
+			for j := 0; j < dim; j++ {
+				args.Accumulate(best, j, pt[j])
+			}
+			args.Accumulate(best, dim, 1)
+		},
+	}
+}
+
+// KMeansTranslated runs k-means through the Chapel→FREERIDE translation at
+// the given optimization level. boxedPoints is the Chapel-side dataset
+// (BoxPoints); its linearization cost is reported in Timing.Linearize.
+func KMeansTranslated(boxedPoints *chapel.Array, init *dataset.Matrix, opt core.OptLevel, cfg KMeansConfig) (*KMeansResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k, dim := cfg.K, init.Cols
+	cents := init.Clone()
+	boxedCents := BoxPoints(cents)
+
+	tr, err := core.TranslateWith(KMeansClass(k, dim, boxedCents), boxedPoints, opt,
+		core.TranslateOptions{LinearizeWorkers: cfg.LinearizeWorkers})
+	if err != nil {
+		return nil, err
+	}
+	eng := freeride.New(cfg.Engine)
+	src := tr.Source()
+
+	var counts []float64
+	var timing Timing
+	timing.Threads = eng.Config().Threads
+	timing.Linearize = tr.LinearizeTime
+	var reuse *robj.Object // reduction object reused across iterations
+	for it := 0; it < cfg.Iterations; it++ {
+		t0 := time.Now()
+		var res *freeride.Result
+		var err error
+		if reuse == nil {
+			res, err = eng.Run(tr.Spec(), src)
+		} else {
+			res, err = eng.RunInto(tr.Spec(), src, reuse)
+		}
+		if err != nil {
+			return nil, err
+		}
+		reuse = res.Object
+		timing.Reduce += time.Since(t0)
+		timing.addReduceStats(res.Stats.CPUTotal(), res.Stats.CPUMax())
+		t0 = time.Now()
+		cents, counts = updateCentroids(res.Object.Snapshot(), cents, k, dim)
+		// Write the new centroids back into the boxed hot variable and
+		// re-linearize it for opt-2.
+		for c := 0; c < k; c++ {
+			coords := boxedCents.At(c + 1).(*chapel.Record).Field("coords").(*chapel.Array)
+			for j := 0; j < dim; j++ {
+				coords.SetAt(j+1, &chapel.Real{Val: cents.At(c, j)})
+			}
+		}
+		timing.Update += time.Since(t0)
+		hotBefore := tr.HotLinearizeTime
+		tr.RefreshHotVars()
+		timing.HotVar += tr.HotLinearizeTime - hotBefore
+	}
+	return &KMeansResult{Centroids: cents, Counts: counts, Timing: timing}, nil
+}
+
+// KMeansManualFR is the paper's "manual FR" version: k-means written by
+// hand against the FREERIDE API, with flat float data throughout — no
+// Chapel structures and no translation layer.
+func KMeansManualFR(points, init *dataset.Matrix, cfg KMeansConfig) (*KMeansResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k, dim := cfg.K, points.Cols
+	cents := init.Clone()
+	eng := freeride.New(cfg.Engine)
+	src := dataset.NewMemorySource(points)
+
+	var counts []float64
+	var timing Timing
+	timing.Threads = eng.Config().Threads
+	var reuse *robj.Object // reduction object reused across iterations
+	for it := 0; it < cfg.Iterations; it++ {
+		flat := cents.Data
+		spec := freeride.Spec{
+			Object: freeride.ObjectSpec{Groups: k, Elems: dim + 1, Op: robj.OpAdd},
+			Reduction: func(args *freeride.ReductionArgs) error {
+				for i := 0; i < args.NumRows; i++ {
+					row := args.Row(i)
+					c := nearest(row, flat, k, dim)
+					for j := 0; j < dim; j++ {
+						args.Accumulate(c, j, row[j])
+					}
+					args.Accumulate(c, dim, 1)
+				}
+				return nil
+			},
+		}
+		t0 := time.Now()
+		var res *freeride.Result
+		var err error
+		if reuse == nil {
+			res, err = eng.Run(spec, src)
+		} else {
+			res, err = eng.RunInto(spec, src, reuse)
+		}
+		if err != nil {
+			return nil, err
+		}
+		reuse = res.Object
+		timing.Reduce += time.Since(t0)
+		timing.addReduceStats(res.Stats.CPUTotal(), res.Stats.CPUMax())
+		t0 = time.Now()
+		cents, counts = updateCentroids(res.Object.Snapshot(), cents, k, dim)
+		timing.Update += time.Since(t0)
+	}
+	return &KMeansResult{Centroids: cents, Counts: counts, Timing: timing}, nil
+}
+
+// KMeansMapReduce is the Map-Reduce baseline (Fig. 4, right): map emits one
+// (cluster, partial-vector) pair per point, pairs are sorted and grouped,
+// and reduce folds each cluster's vectors. With cfg.UseCombiner the
+// per-worker combiner pre-folds pairs, shrinking the intermediate state the
+// FREERIDE design avoids entirely.
+func KMeansMapReduce(points, init *dataset.Matrix, cfg KMeansConfig) (*KMeansResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k, dim := cfg.K, points.Cols
+	cents := init.Clone()
+	eng := mapreduce.New[int, []float64](mapreduce.Config{
+		Workers:   cfg.Engine.Threads,
+		SplitRows: cfg.Engine.SplitRows,
+	})
+	sumVecs := func(_ int, vals [][]float64) []float64 {
+		out := make([]float64, dim+1)
+		for _, v := range vals {
+			for j := range out {
+				out[j] += v[j]
+			}
+		}
+		return out
+	}
+	var counts []float64
+	var timing Timing
+	for it := 0; it < cfg.Iterations; it++ {
+		flat := cents.Data
+		spec := mapreduce.Spec[int, []float64]{
+			Map: func(a *mapreduce.MapArgs, emit func(int, []float64)) error {
+				for i := 0; i < a.NumRows; i++ {
+					row := a.Row(i)
+					c := nearest(row, flat, k, dim)
+					v := make([]float64, dim+1)
+					copy(v, row)
+					v[dim] = 1
+					emit(c, v)
+				}
+				return nil
+			},
+			Reduce: sumVecs,
+		}
+		if cfg.UseCombiner {
+			spec.Combine = sumVecs
+		}
+		t0 := time.Now()
+		out, _, err := eng.Run(spec, dataset.NewMemorySource(points))
+		if err != nil {
+			return nil, err
+		}
+		timing.Reduce += time.Since(t0)
+		t0 = time.Now()
+		sums := make([]float64, k*(dim+1))
+		for c, v := range out {
+			copy(sums[c*(dim+1):(c+1)*(dim+1)], v)
+		}
+		cents, counts = updateCentroids(sums, cents, k, dim)
+		timing.Update += time.Since(t0)
+	}
+	return &KMeansResult{Centroids: cents, Counts: counts, Timing: timing}, nil
+}
+
+// KMeans dispatches to the named version. For the translated and
+// Chapel-native versions the boxed dataset is built on demand from points.
+func KMeans(v Version, points, init *dataset.Matrix, cfg KMeansConfig) (*KMeansResult, error) {
+	switch v {
+	case Seq:
+		return KMeansSeq(points, init, cfg)
+	case ChapelNative:
+		return KMeansChapelNative(BoxPoints(points), init, cfg)
+	case Generated:
+		return KMeansTranslated(BoxPoints(points), init, core.OptNone, cfg)
+	case Opt1:
+		return KMeansTranslated(BoxPoints(points), init, core.Opt1, cfg)
+	case Opt2:
+		return KMeansTranslated(BoxPoints(points), init, core.Opt2, cfg)
+	case ManualFR:
+		return KMeansManualFR(points, init, cfg)
+	case MapReduce:
+		return KMeansMapReduce(points, init, cfg)
+	default:
+		return nil, fmt.Errorf("apps: unknown k-means version %v", v)
+	}
+}

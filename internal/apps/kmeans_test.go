@@ -1,0 +1,259 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/cluster"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+)
+
+// intPoints builds an n×dim matrix of small integer-valued floats so that
+// all-version comparisons are exact (float addition on small integers is
+// associative in effect).
+func intPoints(n, dim int, seed int64) *dataset.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := dataset.NewMatrix(n, dim)
+	for i := range m.Data {
+		m.Data[i] = float64(rng.Intn(1000))
+	}
+	return m
+}
+
+// initCentroids picks the first k points, the usual deterministic seeding.
+func initCentroids(points *dataset.Matrix, k int) *dataset.Matrix {
+	c := dataset.NewMatrix(k, points.Cols)
+	copy(c.Data, points.Data[:k*points.Cols])
+	return c
+}
+
+func allKMeansVersions() []Version {
+	return []Version{Seq, ChapelNative, Generated, Opt1, Opt2, ManualFR, MapReduce}
+}
+
+func TestKMeansAllVersionsAgree(t *testing.T) {
+	const n, k, dim, iters = 400, 5, 3, 4
+	points := intPoints(n, dim, 1)
+	init := initCentroids(points, k)
+	cfg := KMeansConfig{K: k, Iterations: iters, Engine: freeride.Config{Threads: 4, SplitRows: 64}}
+	ref, err := KMeansSeq(points, init, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range allKMeansVersions() {
+		got, err := KMeans(v, points, init, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !got.Centroids.Equal(ref.Centroids) {
+			t.Fatalf("%v: centroids diverge from sequential", v)
+		}
+		for c := range ref.Counts {
+			if got.Counts[c] != ref.Counts[c] {
+				t.Fatalf("%v: counts diverge: %v vs %v", v, got.Counts, ref.Counts)
+			}
+		}
+	}
+}
+
+func TestKMeansMapReduceCombinerEquivalent(t *testing.T) {
+	points := intPoints(300, 2, 2)
+	init := initCentroids(points, 3)
+	base := KMeansConfig{K: 3, Iterations: 3, Engine: freeride.Config{Threads: 4, SplitRows: 32}}
+	withoutC, err := KMeansMapReduce(points, init, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCfg := base
+	withCfg.UseCombiner = true
+	withC, err := KMeansMapReduce(points, init, withCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !withC.Centroids.Equal(withoutC.Centroids) {
+		t.Fatal("combiner changed the k-means result")
+	}
+}
+
+func TestKMeansThreadInvariance(t *testing.T) {
+	points := intPoints(500, 4, 3)
+	init := initCentroids(points, 4)
+	var ref *dataset.Matrix
+	for _, threads := range []int{1, 2, 4, 8} {
+		cfg := KMeansConfig{K: 4, Iterations: 3, Engine: freeride.Config{Threads: threads, SplitRows: 50}}
+		res, err := KMeansTranslated(BoxPoints(points), init, 2, cfg) // Opt2
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res.Centroids
+			continue
+		}
+		if !res.Centroids.Equal(ref) {
+			t.Fatalf("threads=%d: result depends on thread count", threads)
+		}
+	}
+}
+
+func TestKMeansEmptyClusterKeepsCentroid(t *testing.T) {
+	// Two coincident far points and a centroid no point will choose.
+	points := dataset.NewMatrix(2, 1)
+	points.Set(0, 0, 100)
+	points.Set(1, 0, 100)
+	init := dataset.NewMatrix(2, 1)
+	init.Set(0, 0, 100) // wins every point
+	init.Set(1, 0, -100)
+	cfg := KMeansConfig{K: 2, Iterations: 2, Engine: freeride.Config{Threads: 2}}
+	res, err := KMeansSeq(points, init, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids.At(1, 0) != -100 {
+		t.Fatalf("empty cluster centroid moved: %v", res.Centroids.At(1, 0))
+	}
+	if res.Counts[0] != 2 || res.Counts[1] != 0 {
+		t.Fatalf("counts = %v", res.Counts)
+	}
+	// Parallel versions preserve the same behaviour.
+	fr, err := KMeansManualFR(points, init, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Centroids.Equal(res.Centroids) {
+		t.Fatal("manual FR diverges on empty cluster")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	points := intPoints(10, 2, 4)
+	init := initCentroids(points, 2)
+	if _, err := KMeansSeq(points, init, KMeansConfig{K: 0, Iterations: 1}); err == nil {
+		t.Fatal("K=0: want error")
+	}
+	if _, err := KMeansSeq(points, init, KMeansConfig{K: 2, Iterations: 0}); err == nil {
+		t.Fatal("Iterations=0: want error")
+	}
+	if _, err := KMeans(Version(99), points, init, KMeansConfig{K: 2, Iterations: 1}); err == nil {
+		t.Fatal("unknown version: want error")
+	}
+}
+
+func TestVersionStrings(t *testing.T) {
+	want := map[Version]string{
+		Seq: "sequential", ChapelNative: "chapel-native", Generated: "generated",
+		Opt1: "opt-1", Opt2: "opt-2", ManualFR: "manual FR", MapReduce: "map-reduce",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("version %d = %q, want %q", int(v), v.String(), s)
+		}
+	}
+	if Version(42).String() != "version(42)" {
+		t.Error("unknown version string")
+	}
+}
+
+func TestTimingTotal(t *testing.T) {
+	tm := Timing{Linearize: 1, HotVar: 2, Reduce: 3, Update: 4}
+	if tm.Total() != 10 {
+		t.Fatalf("Total = %v", tm.Total())
+	}
+}
+
+func TestKMeansTimingPopulated(t *testing.T) {
+	points := intPoints(200, 3, 5)
+	init := initCentroids(points, 3)
+	cfg := KMeansConfig{K: 3, Iterations: 2, Engine: freeride.Config{Threads: 2, SplitRows: 32}}
+	res, err := KMeansTranslated(BoxPoints(points), init, 2, cfg) // Opt2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timing.Linearize <= 0 {
+		t.Fatal("translated version must report linearization time")
+	}
+	if res.Timing.Reduce <= 0 {
+		t.Fatal("reduce time missing")
+	}
+	if res.Timing.Total() < res.Timing.Reduce {
+		t.Fatal("total must include all phases")
+	}
+}
+
+func TestBoxUnboxRoundTrip(t *testing.T) {
+	m := intPoints(7, 3, 6)
+	if got := UnboxMatrix(BoxPoints(m), "coords"); !got.Equal(m) {
+		t.Fatal("BoxPoints/UnboxMatrix round trip")
+	}
+	if got := UnboxMatrix(BoxMatrix(m), ""); !got.Equal(m) {
+		t.Fatal("BoxMatrix/UnboxMatrix round trip")
+	}
+	empty := UnboxMatrix(BoxMatrix(dataset.NewMatrix(0, 3)), "")
+	if empty.Rows != 0 {
+		t.Fatal("empty unbox")
+	}
+	v := BoxVector([]float64{1, 2, 3})
+	if v.Len() != 3 || v.At(2).(*chapel.Real).Val != 2 {
+		t.Fatal("BoxVector")
+	}
+}
+
+// Property: every version matches the sequential reference for random
+// integer inputs across random thread counts.
+func TestPropertyKMeansVersionsMatchSeq(t *testing.T) {
+	versions := []Version{ChapelNative, Generated, Opt1, Opt2, ManualFR, MapReduce}
+	f := func(seed int64, nRaw, kRaw, thrRaw uint8) bool {
+		n := int(nRaw%150) + 20
+		k := int(kRaw%4) + 1
+		threads := int(thrRaw%4) + 1
+		points := intPoints(n, 2, seed)
+		init := initCentroids(points, k)
+		cfg := KMeansConfig{K: k, Iterations: 2, Engine: freeride.Config{Threads: threads, SplitRows: 16}}
+		ref, err := KMeansSeq(points, init, cfg)
+		if err != nil {
+			return false
+		}
+		v := versions[int(uint64(seed)%uint64(len(versions)))]
+		got, err := KMeans(v, points, init, cfg)
+		if err != nil {
+			return false
+		}
+		return got.Centroids.Equal(ref.Centroids)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(51))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMeansClusterMatchesSingleNode(t *testing.T) {
+	points := intPoints(600, 3, 8)
+	init := initCentroids(points, 4)
+	ref, err := KMeansSeq(points, init, KMeansConfig{K: 4, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, transport := range []cluster.Transport{cluster.InProcess, cluster.TCP} {
+		for _, nodes := range []int{1, 2, 5} {
+			res, err := KMeansCluster(points, init, KMeansClusterConfig{
+				K: 4, Iterations: 3, Nodes: nodes,
+				PerNode:   freeride.Config{Threads: 2, SplitRows: 32},
+				Transport: transport,
+				Combine:   cluster.Tree,
+			})
+			if err != nil {
+				t.Fatalf("%v/nodes=%d: %v", transport, nodes, err)
+			}
+			if !res.Centroids.Equal(ref.Centroids) {
+				t.Fatalf("%v/nodes=%d: centroids diverge", transport, nodes)
+			}
+			if transport == cluster.TCP && nodes > 1 && res.BytesMoved == 0 {
+				t.Fatal("TCP moved no bytes")
+			}
+		}
+	}
+	if _, err := KMeansCluster(points, init, KMeansClusterConfig{K: 0, Iterations: 1}); err == nil {
+		t.Fatal("K=0: want error")
+	}
+}

@@ -1,0 +1,195 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+)
+
+// KNN classifies query points by majority vote among their K nearest
+// training points (squared Euclidean distance). k-nearest-neighbour search
+// was one of the original FREERIDE applications; its reduction object — a
+// bounded list of the best candidates so far — is not a grid of combinable
+// floats, so the ManualFR version exercises the engine's user-managed
+// reduction object (Spec.LocalInit/LocalCombine).
+//
+// The training matrix holds one point per row with the label in the last
+// column; queries use all columns.
+
+// KNNConfig parameterizes a classification run.
+type KNNConfig struct {
+	// K is the neighbour count.
+	K int
+	// Engine configures the FREERIDE engine.
+	Engine freeride.Config
+}
+
+// KNNResult holds the predicted label per query and timing.
+type KNNResult struct {
+	Labels []int
+	Timing Timing
+}
+
+// neighbour is one training-point candidate.
+type neighbour struct {
+	dist  float64
+	index int // global row, the deterministic tie-breaker
+	label int
+}
+
+// better orders candidates by distance, then by training-row index so that
+// results are independent of processing order.
+func (a neighbour) better(b neighbour) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.index < b.index
+}
+
+// knnState is the per-query bounded candidate list (ascending order).
+type knnState struct {
+	best []neighbour // len <= k
+}
+
+// insert adds a candidate, keeping the k best in order.
+func (s *knnState) insert(k int, n neighbour) {
+	pos := len(s.best)
+	for pos > 0 && n.better(s.best[pos-1]) {
+		pos--
+	}
+	if pos == k {
+		return
+	}
+	if len(s.best) < k {
+		s.best = append(s.best, neighbour{})
+	}
+	copy(s.best[pos+1:], s.best[pos:])
+	s.best[pos] = n
+}
+
+// vote returns the majority label among the candidates; ties resolve to
+// the smallest label.
+func (s *knnState) vote() int {
+	votes := map[int]int{}
+	for _, n := range s.best {
+		votes[n.label]++
+	}
+	best, bestCount := 0, -1
+	for label, count := range votes {
+		if count > bestCount || (count == bestCount && label < best) {
+			best, bestCount = label, count
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	var d float64
+	for j := range a {
+		diff := a[j] - b[j]
+		d += diff * diff
+	}
+	return d
+}
+
+// KNNSeq is the sequential reference.
+func KNNSeq(train, queries *dataset.Matrix, cfg KNNConfig) (*KNNResult, error) {
+	if err := validateKNN(train, queries, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	dim := queries.Cols
+	labels := make([]int, queries.Rows)
+	for q := 0; q < queries.Rows; q++ {
+		var st knnState
+		query := queries.Row(q)
+		for i := 0; i < train.Rows; i++ {
+			row := train.Row(i)
+			st.insert(cfg.K, neighbour{
+				dist:  sqDist(query, row[:dim]),
+				index: i,
+				label: int(row[dim]),
+			})
+		}
+		labels[q] = st.vote()
+	}
+	return &KNNResult{Labels: labels, Timing: Timing{Reduce: time.Since(t0)}}, nil
+}
+
+// KNNManualFR scans the training set once under FREERIDE, maintaining one
+// bounded candidate list per query in the user-managed reduction object.
+func KNNManualFR(train, queries *dataset.Matrix, cfg KNNConfig) (*KNNResult, error) {
+	if err := validateKNN(train, queries, cfg); err != nil {
+		return nil, err
+	}
+	dim := queries.Cols
+	eng := freeride.New(cfg.Engine)
+	spec := freeride.Spec{
+		LocalInit: func() any { return make([]knnState, queries.Rows) },
+		Reduction: func(args *freeride.ReductionArgs) error {
+			states := args.Local.([]knnState)
+			for i := 0; i < args.NumRows; i++ {
+				row := args.Row(i)
+				global := args.Begin + i
+				label := int(row[dim])
+				for q := 0; q < queries.Rows; q++ {
+					states[q].insert(cfg.K, neighbour{
+						dist:  sqDist(queries.Row(q), row[:dim]),
+						index: global,
+						label: label,
+					})
+				}
+			}
+			return nil
+		},
+		LocalCombine: func(dst, src any) any {
+			d := dst.([]knnState)
+			s := src.([]knnState)
+			for q := range d {
+				for _, n := range s[q].best {
+					d[q].insert(cfg.K, n)
+				}
+			}
+			return d
+		},
+	}
+	t0 := time.Now()
+	res, err := eng.Run(spec, dataset.NewMemorySource(train))
+	if err != nil {
+		return nil, err
+	}
+	states := res.Local.([]knnState)
+	labels := make([]int, queries.Rows)
+	for q := range states {
+		labels[q] = states[q].vote()
+	}
+	return &KNNResult{Labels: labels, Timing: Timing{Reduce: time.Since(t0)}}, nil
+}
+
+func validateKNN(train, queries *dataset.Matrix, cfg KNNConfig) error {
+	if cfg.K < 1 {
+		return fmt.Errorf("apps: k-NN needs K >= 1, got %d", cfg.K)
+	}
+	if train.Rows == 0 || queries.Rows == 0 {
+		return fmt.Errorf("apps: k-NN needs non-empty train and query sets")
+	}
+	if train.Cols != queries.Cols+1 {
+		return fmt.Errorf("apps: train must have queries.Cols+1 columns (label last): %d vs %d",
+			train.Cols, queries.Cols)
+	}
+	return nil
+}
+
+// KNN dispatches to the named version.
+func KNN(v Version, train, queries *dataset.Matrix, cfg KNNConfig) (*KNNResult, error) {
+	switch v {
+	case Seq:
+		return KNNSeq(train, queries, cfg)
+	case ManualFR:
+		return KNNManualFR(train, queries, cfg)
+	default:
+		return nil, fmt.Errorf("apps: unsupported k-NN version %v", v)
+	}
+}

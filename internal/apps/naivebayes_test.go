@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+)
+
+// nbData builds a labelled dataset: class 0 clusters near 2, class 1 near 8
+// (both features), labels in the last column.
+func nbData(n int, seed int64) *dataset.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := dataset.NewMatrix(n, 3)
+	for i := 0; i < n; i++ {
+		class := i % 2
+		base := 2.0 + float64(class)*6
+		m.Set(i, 0, base+rng.NormFloat64())
+		m.Set(i, 1, base+rng.NormFloat64())
+		m.Set(i, 2, float64(class))
+	}
+	return m
+}
+
+func nbCfg() NaiveBayesConfig {
+	return NaiveBayesConfig{
+		Classes: 2, Bins: 10, Lo: 0, Hi: 10,
+		Engine: freeride.Config{Threads: 4, SplitRows: 64},
+	}
+}
+
+func TestNaiveBayesSeqAndFRAgree(t *testing.T) {
+	train := nbData(2000, 1)
+	seq, err := NaiveBayesTrainSeq(train, nbCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NaiveBayesTrainFR(train, nbCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count tables are integer sums — must match exactly.
+	for c := 0; c < 2; c++ {
+		if seq.classCounts[c] != fr.classCounts[c] {
+			t.Fatalf("class %d count: %v vs %v", c, seq.classCounts[c], fr.classCounts[c])
+		}
+		for i := range seq.featureCounts[c] {
+			if seq.featureCounts[c][i] != fr.featureCounts[c][i] {
+				t.Fatalf("class %d cell %d differs", c, i)
+			}
+		}
+	}
+}
+
+func TestNaiveBayesLearnsSeparableClasses(t *testing.T) {
+	train := nbData(4000, 2)
+	test := nbData(1000, 3)
+	model, err := NaiveBayesTrainFR(train, nbCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := NaiveBayesAccuracy(model, test); acc < 0.95 {
+		t.Fatalf("accuracy %.3f on well-separated classes, want ≥ 0.95", acc)
+	}
+	// Obvious points classify correctly.
+	if model.Predict([]float64{2, 2}) != 0 || model.Predict([]float64{8, 8}) != 1 {
+		t.Fatal("predictions on cluster centers wrong")
+	}
+	if model.Timing.Reduce <= 0 {
+		t.Fatal("training time missing")
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	train := nbData(10, 4)
+	bad := nbCfg()
+	bad.Classes = 1
+	if _, err := NaiveBayesTrainSeq(train, bad); err == nil {
+		t.Fatal("Classes=1: want error")
+	}
+	bad = nbCfg()
+	bad.Bins = 0
+	if _, err := NaiveBayesTrainSeq(train, bad); err == nil {
+		t.Fatal("Bins=0: want error")
+	}
+	bad = nbCfg()
+	bad.Hi = bad.Lo
+	if _, err := NaiveBayesTrainFR(train, bad); err == nil {
+		t.Fatal("Hi==Lo: want error")
+	}
+	// Label out of range is reported from both trainers.
+	train.Set(3, 2, 9)
+	if _, err := NaiveBayesTrainSeq(train, nbCfg()); err == nil {
+		t.Fatal("bad label: want error (seq)")
+	}
+	if _, err := NaiveBayesTrainFR(train, nbCfg()); err == nil {
+		t.Fatal("bad label: want error (FR)")
+	}
+	// Need at least one feature column.
+	labelsOnly := dataset.NewMatrix(5, 1)
+	if _, err := NaiveBayesTrainSeq(labelsOnly, nbCfg()); err == nil {
+		t.Fatal("no features: want error")
+	}
+	if _, err := NaiveBayesTrainFR(labelsOnly, nbCfg()); err == nil {
+		t.Fatal("no features: want error (FR)")
+	}
+}
+
+func TestNaiveBayesSmoothingHandlesUnseenBins(t *testing.T) {
+	// Tiny training set; a query in a bin never seen during training must
+	// not produce -Inf scores or panic.
+	train := dataset.NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		train.Set(i, 0, 2+float64(i%2)*6)
+		train.Set(i, 1, float64(i%2))
+	}
+	cfg := NaiveBayesConfig{Classes: 2, Bins: 10, Lo: 0, Hi: 10, Engine: freeride.Config{Threads: 1}}
+	model, err := NaiveBayesTrainSeq(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := model.Predict([]float64{9.9})
+	if got != 0 && got != 1 {
+		t.Fatalf("prediction %d out of range", got)
+	}
+	if NaiveBayesAccuracy(model, dataset.NewMatrix(0, 2)) != 0 {
+		t.Fatal("empty test set accuracy should be 0")
+	}
+}

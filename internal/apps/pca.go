@@ -1,0 +1,296 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/core"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+)
+
+// PCA computes the two reduction phases of Principal Component Analysis as
+// the paper describes (§V): "calculating the mean vector and computing the
+// covariance matrix". The dataset is a matrix whose rows are data elements
+// and whose columns are features; the paper stores it transposed ("the
+// number of rows denotes the dimensionality, the number of columns the
+// number of data elements"), which only renames the axes.
+//
+// PCA "is a compute-intensive application and does not use complex or
+// nested data structures in Chapel" — the boxed form is a plain
+// [1..n][1..dim] real array-of-arrays — so the paper compares only opt-2
+// and manual FR; this package additionally provides the generated and
+// opt-1 forms, which confirm the paper's claim that their benefit is small
+// here.
+
+// PCAConfig parameterizes a PCA run.
+type PCAConfig struct {
+	// Engine configures the FREERIDE engine.
+	Engine freeride.Config
+	// LinearizeWorkers > 1 enables the parallel-linearization extension.
+	LinearizeWorkers int
+}
+
+// PCAResult holds the two reduction outputs.
+type PCAResult struct {
+	// Mean is the length-dim mean vector (phase 1).
+	Mean []float64
+	// Cov is the dim×dim covariance matrix (phase 2), normalized by n-1.
+	Cov *dataset.Matrix
+	// Timing is the phase breakdown.
+	Timing Timing
+}
+
+// covNormalize converts accumulated outer-product sums into the sample
+// covariance (divide by n-1; degenerate n<=1 leaves sums untouched).
+func covNormalize(cov *dataset.Matrix, n int) {
+	if n <= 1 {
+		return
+	}
+	inv := 1 / float64(n-1)
+	for i := range cov.Data {
+		cov.Data[i] *= inv
+	}
+}
+
+// PCASeq is the sequential reference implementation.
+func PCASeq(data *dataset.Matrix) (*PCAResult, error) {
+	n, dim := data.Rows, data.Cols
+	if n == 0 || dim == 0 {
+		return nil, fmt.Errorf("apps: PCA needs a non-empty matrix, got %dx%d", n, dim)
+	}
+	var timing Timing
+	t0 := time.Now()
+	mean := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		for j := 0; j < dim; j++ {
+			mean[j] += row[j]
+		}
+	}
+	for j := 0; j < dim; j++ {
+		mean[j] /= float64(n)
+	}
+	cov := dataset.NewMatrix(dim, dim)
+	centered := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		for j := 0; j < dim; j++ {
+			centered[j] = row[j] - mean[j]
+		}
+		for a := 0; a < dim; a++ {
+			ca := centered[a]
+			out := cov.Row(a)
+			for b := 0; b < dim; b++ {
+				out[b] += ca * centered[b]
+			}
+		}
+	}
+	covNormalize(cov, n)
+	timing.Reduce = time.Since(t0)
+	return &PCAResult{Mean: mean, Cov: cov, Timing: timing}, nil
+}
+
+// PCAMeanClass is the translator input for phase 1: sum every feature of
+// every element into a 1×dim reduction object.
+func PCAMeanClass(dim int) *core.ReductionClass {
+	return &core.ReductionClass{
+		Name:   "pca-mean",
+		Object: freeride.ObjectSpec{Groups: 1, Elems: dim, Op: robj.OpAdd},
+		Kernel: func(elem *core.Vec, _ []*core.StateVec, args *freeride.ReductionArgs) {
+			row := elem.Row(args.Scratch(0, dim))
+			for j := 0; j < dim; j++ {
+				args.Accumulate(0, j, row[j])
+			}
+		},
+	}
+}
+
+// PCACovClass is the translator input for phase 2: accumulate the centered
+// outer product of every element into a dim×dim reduction object. The mean
+// vector is the phase's frequently-accessed hot variable.
+func PCACovClass(dim int, mean *chapel.Array) *core.ReductionClass {
+	return &core.ReductionClass{
+		Name:   "pca-cov",
+		Object: freeride.ObjectSpec{Groups: dim, Elems: dim, Op: robj.OpAdd},
+		HotVars: []core.HotVar{
+			{Value: mean},
+		},
+		Kernel: func(elem *core.Vec, hot []*core.StateVec, args *freeride.ReductionArgs) {
+			// The mean vector is a 1×dim hot variable; one Row call per
+			// element materializes it (zero-copy in opt-2).
+			row := elem.Row(args.Scratch(0, dim))
+			mv := hot[0].Row(1, args.Scratch(1, dim))
+			for a := 0; a < dim; a++ {
+				ca := row[a] - mv[a]
+				for b := 0; b < dim; b++ {
+					args.Accumulate(a, b, ca*(row[b]-mv[b]))
+				}
+			}
+		},
+	}
+}
+
+// PCATranslated runs both PCA reduction phases through the
+// Chapel→FREERIDE translation at the given optimization level. boxedData
+// is the Chapel-side [1..n][1..dim] real dataset (BoxMatrix).
+func PCATranslated(boxedData *chapel.Array, opt core.OptLevel, cfg PCAConfig) (*PCAResult, error) {
+	n := boxedData.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("apps: PCA needs a non-empty dataset")
+	}
+	dim := boxedData.At(boxedData.Ty.Lo).(*chapel.Array).Len()
+	eng := freeride.New(cfg.Engine)
+	var timing Timing
+	timing.Threads = eng.Config().Threads
+
+	// Phase 1: mean vector.
+	tr1, err := core.TranslateWith(PCAMeanClass(dim), boxedData, opt,
+		core.TranslateOptions{LinearizeWorkers: cfg.LinearizeWorkers})
+	if err != nil {
+		return nil, err
+	}
+	timing.Linearize += tr1.LinearizeTime
+	t0 := time.Now()
+	res1, err := eng.Run(tr1.Spec(), tr1.Source())
+	if err != nil {
+		return nil, err
+	}
+	timing.Reduce += time.Since(t0)
+	timing.addReduceStats(res1.Stats.CPUTotal(), res1.Stats.CPUMax())
+	t0 = time.Now()
+	mean := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		mean[j] = res1.Object.Get(0, j) / float64(n)
+	}
+	timing.Update += time.Since(t0)
+
+	// Phase 2: covariance matrix, with the mean vector as hot variable.
+	// The phase reuses phase 1's linearized words (same dataset), so no
+	// second input linearization is charged.
+	boxedMean := BoxVector(mean)
+	cls2 := PCACovClass(dim, boxedMean)
+	var hot []*core.StateVec
+	var hotTime time.Duration
+	t0 = time.Now()
+	switch opt {
+	case core.Opt2:
+		sv, err := core.NewWordStateVec(boxedMean, nil)
+		if err != nil {
+			return nil, err
+		}
+		hot = []*core.StateVec{sv}
+	default:
+		sv, err := core.NewBoxedStateVec(boxedMean, nil)
+		if err != nil {
+			return nil, err
+		}
+		hot = []*core.StateVec{sv}
+	}
+	hotTime = time.Since(t0)
+	timing.HotVar += hotTime
+	spec := core.SpecFromWords(cls2, tr1.Words(), tr1.Meta(), hot, opt)
+	t0 = time.Now()
+	res2, err := eng.Run(spec, tr1.Source())
+	if err != nil {
+		return nil, err
+	}
+	timing.Reduce += time.Since(t0)
+	timing.addReduceStats(res2.Stats.CPUTotal(), res2.Stats.CPUMax())
+	t0 = time.Now()
+	cov := dataset.NewMatrix(dim, dim)
+	copy(cov.Data, res2.Object.Snapshot())
+	covNormalize(cov, n)
+	timing.Update += time.Since(t0)
+	return &PCAResult{Mean: mean, Cov: cov, Timing: timing}, nil
+}
+
+// PCAManualFR is the hand-written FREERIDE version: both phases on flat
+// float rows.
+func PCAManualFR(data *dataset.Matrix, cfg PCAConfig) (*PCAResult, error) {
+	n, dim := data.Rows, data.Cols
+	if n == 0 || dim == 0 {
+		return nil, fmt.Errorf("apps: PCA needs a non-empty matrix, got %dx%d", n, dim)
+	}
+	eng := freeride.New(cfg.Engine)
+	src := dataset.NewMemorySource(data)
+	var timing Timing
+	timing.Threads = eng.Config().Threads
+
+	// Phase 1: mean vector.
+	spec1 := freeride.Spec{
+		Object: freeride.ObjectSpec{Groups: 1, Elems: dim, Op: robj.OpAdd},
+		Reduction: func(args *freeride.ReductionArgs) error {
+			for i := 0; i < args.NumRows; i++ {
+				row := args.Row(i)
+				for j := 0; j < dim; j++ {
+					args.Accumulate(0, j, row[j])
+				}
+			}
+			return nil
+		},
+	}
+	t0 := time.Now()
+	res1, err := eng.Run(spec1, src)
+	if err != nil {
+		return nil, err
+	}
+	timing.Reduce += time.Since(t0)
+	timing.addReduceStats(res1.Stats.CPUTotal(), res1.Stats.CPUMax())
+	mean := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		mean[j] = res1.Object.Get(0, j) / float64(n)
+	}
+
+	// Phase 2: covariance matrix.
+	spec2 := freeride.Spec{
+		Object: freeride.ObjectSpec{Groups: dim, Elems: dim, Op: robj.OpAdd},
+		Reduction: func(args *freeride.ReductionArgs) error {
+			for i := 0; i < args.NumRows; i++ {
+				row := args.Row(i)
+				for a := 0; a < dim; a++ {
+					ca := row[a] - mean[a]
+					for b := 0; b < dim; b++ {
+						args.Accumulate(a, b, ca*(row[b]-mean[b]))
+					}
+				}
+			}
+			return nil
+		},
+	}
+	t0 = time.Now()
+	res2, err := eng.Run(spec2, src)
+	if err != nil {
+		return nil, err
+	}
+	timing.Reduce += time.Since(t0)
+	timing.addReduceStats(res2.Stats.CPUTotal(), res2.Stats.CPUMax())
+	t0 = time.Now()
+	cov := dataset.NewMatrix(dim, dim)
+	copy(cov.Data, res2.Object.Snapshot())
+	covNormalize(cov, n)
+	timing.Update += time.Since(t0)
+	return &PCAResult{Mean: mean, Cov: cov, Timing: timing}, nil
+}
+
+// PCA dispatches to the named version. MapReduce and ChapelNative are not
+// provided for PCA (the paper evaluates opt-2 and manual FR only; Seq,
+// Generated, and Opt1 are included as references).
+func PCA(v Version, data *dataset.Matrix, cfg PCAConfig) (*PCAResult, error) {
+	switch v {
+	case Seq:
+		return PCASeq(data)
+	case Generated:
+		return PCATranslated(BoxMatrix(data), core.OptNone, cfg)
+	case Opt1:
+		return PCATranslated(BoxMatrix(data), core.Opt1, cfg)
+	case Opt2:
+		return PCATranslated(BoxMatrix(data), core.Opt2, cfg)
+	case ManualFR:
+		return PCAManualFR(data, cfg)
+	default:
+		return nil, fmt.Errorf("apps: unsupported PCA version %v", v)
+	}
+}

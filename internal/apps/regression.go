@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+)
+
+// Regression fits y = intercept + slope·x by ordinary least squares over a
+// two-column (x, y) dataset. The sufficient statistics (n, Σx, Σy, Σxy,
+// Σx²) form a 5-cell reduction object — a minimal end-to-end generalized
+// reduction used by the examples and tests.
+
+// RegressionResult holds the fitted line and timing.
+type RegressionResult struct {
+	Slope     float64
+	Intercept float64
+	N         int
+	Timing    Timing
+}
+
+// regressionFromSums solves the normal equations from the sufficient
+// statistics.
+func regressionFromSums(n, sx, sy, sxy, sxx float64) (*RegressionResult, error) {
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return nil, fmt.Errorf("apps: regression is degenerate (all x equal)")
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return &RegressionResult{
+		Slope:     slope,
+		Intercept: (sy - slope*sx) / n,
+		N:         int(n),
+	}, nil
+}
+
+// RegressionSeq is the sequential reference.
+func RegressionSeq(data *dataset.Matrix) (*RegressionResult, error) {
+	if err := validateRegression(data); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	var n, sx, sy, sxy, sxx float64
+	for i := 0; i < data.Rows; i++ {
+		x, y := data.At(i, 0), data.At(i, 1)
+		n++
+		sx += x
+		sy += y
+		sxy += x * y
+		sxx += x * x
+	}
+	res, err := regressionFromSums(n, sx, sy, sxy, sxx)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Reduce = time.Since(t0)
+	return res, nil
+}
+
+// RegressionManualFR accumulates the sufficient statistics under FREERIDE.
+func RegressionManualFR(data *dataset.Matrix, cfg freeride.Config) (*RegressionResult, error) {
+	if err := validateRegression(data); err != nil {
+		return nil, err
+	}
+	eng := freeride.New(cfg)
+	spec := freeride.Spec{
+		Object: freeride.ObjectSpec{Groups: 1, Elems: 5, Op: robj.OpAdd},
+		Reduction: func(args *freeride.ReductionArgs) error {
+			var n, sx, sy, sxy, sxx float64
+			for i := 0; i < args.NumRows; i++ {
+				row := args.Row(i)
+				x, y := row[0], row[1]
+				n++
+				sx += x
+				sy += y
+				sxy += x * y
+				sxx += x * x
+			}
+			args.Accumulate(0, 0, n)
+			args.Accumulate(0, 1, sx)
+			args.Accumulate(0, 2, sy)
+			args.Accumulate(0, 3, sxy)
+			args.Accumulate(0, 4, sxx)
+			return nil
+		},
+	}
+	t0 := time.Now()
+	out, err := eng.Run(spec, dataset.NewMemorySource(data))
+	if err != nil {
+		return nil, err
+	}
+	s := out.Object.Snapshot()
+	res, err := regressionFromSums(s[0], s[1], s[2], s[3], s[4])
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Reduce = time.Since(t0)
+	return res, nil
+}
+
+// regressionOp is the Chapel-native reduction class: its reduction object
+// is a record of the five sufficient statistics.
+type regressionOp struct {
+	n, sx, sy, sxy, sxx float64
+}
+
+// Clone implements chapel.ReduceScanOp.
+func (o *regressionOp) Clone() chapel.ReduceScanOp { return &regressionOp{} }
+
+// Accumulate implements chapel.ReduceScanOp over a boxed (x, y) record.
+func (o *regressionOp) Accumulate(v chapel.Value) {
+	r := v.(*chapel.Record)
+	x := r.Field("x").(*chapel.Real).Val
+	y := r.Field("y").(*chapel.Real).Val
+	o.n++
+	o.sx += x
+	o.sy += y
+	o.sxy += x * y
+	o.sxx += x * x
+}
+
+// Combine implements chapel.ReduceScanOp.
+func (o *regressionOp) Combine(other chapel.ReduceScanOp) {
+	x := other.(*regressionOp)
+	o.n += x.n
+	o.sx += x.sx
+	o.sy += x.sy
+	o.sxy += x.sxy
+	o.sxx += x.sxx
+}
+
+// Generate implements chapel.ReduceScanOp.
+func (o *regressionOp) Generate() chapel.Value {
+	return chapel.RealArray(o.n, o.sx, o.sy, o.sxy, o.sxx)
+}
+
+// RegressionChapelNative runs the fit as a user-defined Chapel reduction
+// over boxed (x, y) records.
+func RegressionChapelNative(data *dataset.Matrix, tasks int) (*RegressionResult, error) {
+	if err := validateRegression(data); err != nil {
+		return nil, err
+	}
+	ptTy := chapel.RecordType("xy",
+		chapel.Field{Name: "x", Type: chapel.RealType()},
+		chapel.Field{Name: "y", Type: chapel.RealType()})
+	boxed := chapel.NewArray(chapel.ArrayType(ptTy, 1, data.Rows))
+	for i := 0; i < data.Rows; i++ {
+		r := boxed.At(i + 1).(*chapel.Record)
+		r.SetField("x", &chapel.Real{Val: data.At(i, 0)})
+		r.SetField("y", &chapel.Real{Val: data.At(i, 1)})
+	}
+	t0 := time.Now()
+	out := chapel.Reduce(&regressionOp{}, chapel.Over(boxed), tasks).(*chapel.Array)
+	res, err := regressionFromSums(
+		out.At(1).(*chapel.Real).Val,
+		out.At(2).(*chapel.Real).Val,
+		out.At(3).(*chapel.Real).Val,
+		out.At(4).(*chapel.Real).Val,
+		out.At(5).(*chapel.Real).Val,
+	)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Reduce = time.Since(t0)
+	return res, nil
+}
+
+func validateRegression(data *dataset.Matrix) error {
+	if data.Cols != 2 {
+		return fmt.Errorf("apps: regression needs a 2-column (x, y) matrix, got %d columns", data.Cols)
+	}
+	if data.Rows < 2 {
+		return fmt.Errorf("apps: regression needs at least 2 rows, got %d", data.Rows)
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/apps"
+	"chapelfreeride/internal/core"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/mapreduce"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/sched"
+)
+
+// ablation workload: k-means at moderate size, where the reduction-object
+// and scheduling behaviour is visible without long runs.
+const (
+	ablK     = 32
+	ablIters = 5
+)
+
+func ablRObj(p Params) (*Table, error) {
+	points := kmeansData(64<<20, p.Scale, p.Seed, ablK+1)
+	init := firstK(points, ablK)
+	tbl := &Table{
+		ID:      "abl-robj",
+		Title:   fmt.Sprintf("reduction-object sharing strategies — k-means %d points, k=%d, i=%d", points.Rows, ablK, ablIters),
+		Columns: []string{"threads", "strategy", "total(s)", "vs replication"},
+	}
+	base := map[int]time.Duration{}
+	for _, threads := range p.Threads {
+		for _, st := range robj.Strategies() {
+			cfg := apps.KMeansConfig{
+				K: ablK, Iterations: ablIters,
+				Engine: freeride.Config{Threads: threads, Strategy: st},
+			}
+			res, err := apps.KMeansManualFR(points, init, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if st == robj.FullReplication {
+				base[threads] = res.Timing.Total()
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				fmt.Sprint(threads), st.String(),
+				secs(res.Timing.Total()), ratio(res.Timing.Total(), base[threads]),
+			})
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"replication avoids per-update synchronization; locking variants pay per-element lock cost")
+	return tbl, nil
+}
+
+func ablSched(p Params) (*Table, error) {
+	points := kmeansData(64<<20, p.Scale, p.Seed, ablK+1)
+	init := firstK(points, ablK)
+	tbl := &Table{
+		ID:      "abl-sched",
+		Title:   fmt.Sprintf("split scheduling policies — k-means %d points, k=%d, i=%d", points.Rows, ablK, ablIters),
+		Columns: []string{"threads", "policy", "total(s)"},
+	}
+	for _, threads := range p.Threads {
+		for _, pol := range sched.Policies() {
+			cfg := apps.KMeansConfig{
+				K: ablK, Iterations: ablIters,
+				Engine: freeride.Config{Threads: threads, Scheduler: pol},
+			}
+			res, err := apps.KMeansManualFR(points, init, cfg)
+			if err != nil {
+				return nil, err
+			}
+			tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(threads), pol.String(), secs(res.Timing.Total())})
+		}
+	}
+	return tbl, nil
+}
+
+func ablPipe(p Params) (*Table, error) {
+	points := kmeansData(256<<20, p.Scale, p.Seed, ablK+1)
+	boxed := apps.BoxPoints(points)
+	tbl := &Table{
+		ID:      "abl-pipe",
+		Title:   fmt.Sprintf("sequential vs parallel linearization (paper's future work) — %d points", points.Rows),
+		Columns: []string{"workers", "linearize(s)", "speedup"},
+	}
+	var seq time.Duration
+	for _, workers := range p.Threads {
+		// Time only the linearization, averaged over a few runs.
+		const reps = 3
+		var total time.Duration
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if _, err := core.LinearizeToWordsParallel(boxed, workers); err != nil {
+				return nil, err
+			}
+			total += time.Since(t0)
+		}
+		avg := total / reps
+		if workers == p.Threads[0] {
+			seq = avg
+		}
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(workers), secs(avg), ratio(seq, avg)})
+	}
+	tbl.Notes = append(tbl.Notes,
+		"the paper linearizes sequentially, which makes opt-2's gap to manual grow with threads; "+
+			"parallel linearization is the proposed remedy (§V)")
+	return tbl, nil
+}
+
+func ablMR(p Params) (*Table, error) {
+	points := kmeansData(64<<20, p.Scale, p.Seed, ablK+1)
+	init := firstK(points, ablK)
+	tbl := &Table{
+		ID:      "abl-mr",
+		Title:   fmt.Sprintf("FREERIDE vs Map-Reduce (Fig. 4 structures) — k-means %d points, k=%d, i=%d", points.Rows, ablK, ablIters),
+		Columns: []string{"threads", "runtime", "total(s)", "vs freeride"},
+	}
+	type variant struct {
+		name     string
+		combiner bool
+		fr       bool
+	}
+	variants := []variant{
+		{name: "freeride (manual)", fr: true},
+		{name: "map-reduce", combiner: false},
+		{name: "map-reduce+combiner", combiner: true},
+	}
+	base := map[int]time.Duration{}
+	for _, threads := range p.Threads {
+		for _, v := range variants {
+			cfg := apps.KMeansConfig{
+				K: ablK, Iterations: ablIters,
+				Engine:      freeride.Config{Threads: threads},
+				UseCombiner: v.combiner,
+			}
+			var res *apps.KMeansResult
+			var err error
+			if v.fr {
+				res, err = apps.KMeansManualFR(points, init, cfg)
+			} else {
+				res, err = apps.KMeansMapReduce(points, init, cfg)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if v.fr {
+				base[threads] = res.Timing.Total()
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				fmt.Sprint(threads), v.name, secs(res.Timing.Total()),
+				ratio(res.Timing.Total(), base[threads]),
+			})
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"map-reduce materializes one (cluster, vector) pair per point and sorts them; "+
+			"FREERIDE reduces each element in place (ref [14]'s comparison)")
+	return tbl, nil
+}
+
+func ablChunk(p Params) (*Table, error) {
+	points := kmeansData(64<<20, p.Scale, p.Seed, ablK+1)
+	init := firstK(points, ablK)
+	threads := p.Threads[len(p.Threads)-1]
+	tbl := &Table{
+		ID:      "abl-chunk",
+		Title:   fmt.Sprintf("split size sensitivity — k-means %d points, k=%d, i=%d, %d threads", points.Rows, ablK, ablIters, threads),
+		Columns: []string{"splitRows", "splits", "total(s)"},
+	}
+	for _, splitRows := range []int{64, 256, 1024, 4096, 16384, 65536} {
+		if splitRows > points.Rows {
+			continue
+		}
+		cfg := apps.KMeansConfig{
+			K: ablK, Iterations: ablIters,
+			Engine: freeride.Config{Threads: threads, SplitRows: splitRows},
+		}
+		res, err := apps.KMeansManualFR(points, init, cfg)
+		if err != nil {
+			return nil, err
+		}
+		splits := (points.Rows + splitRows - 1) / splitRows
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprint(splitRows), fmt.Sprint(splits), secs(res.Timing.Total())})
+	}
+	return tbl, nil
+}
+
+// ablMRStats reports the intermediate-pair volume Map-Reduce materializes —
+// the storage overhead FREERIDE's fused design avoids (§III-A).
+func ablMRStats(p Params) (*Table, error) {
+	points := kmeansData(16<<20, p.Scale, p.Seed, ablK+1)
+	init := firstK(points, ablK)
+	tbl := &Table{
+		ID:      "abl-mr-stats",
+		Title:   fmt.Sprintf("map-reduce intermediate state — k-means %d points, k=%d, 1 iteration", points.Rows, ablK),
+		Columns: []string{"variant", "emitted pairs", "pairs after combine", "sort(s)"},
+	}
+	for _, combiner := range []bool{false, true} {
+		eng := mapreduce.New[int, []float64](mapreduce.Config{Workers: p.Threads[len(p.Threads)-1]})
+		dim := points.Cols
+		flat := init.Data
+		sum := func(_ int, vals [][]float64) []float64 {
+			out := make([]float64, dim+1)
+			for _, v := range vals {
+				for j := range out {
+					out[j] += v[j]
+				}
+			}
+			return out
+		}
+		spec := mapreduce.Spec[int, []float64]{
+			Map: func(a *mapreduce.MapArgs, emit func(int, []float64)) error {
+				for i := 0; i < a.NumRows; i++ {
+					row := a.Row(i)
+					c := 0
+					bestDist := -1.0
+					for cand := 0; cand < ablK; cand++ {
+						var d float64
+						cc := flat[cand*dim : (cand+1)*dim]
+						for j := 0; j < dim; j++ {
+							diff := row[j] - cc[j]
+							d += diff * diff
+						}
+						if bestDist < 0 || d < bestDist {
+							c, bestDist = cand, d
+						}
+					}
+					v := make([]float64, dim+1)
+					copy(v, row)
+					v[dim] = 1
+					emit(c, v)
+				}
+				return nil
+			},
+			Reduce: sum,
+		}
+		name := "map-reduce"
+		if combiner {
+			spec.Combine = sum
+			name += "+combiner"
+		}
+		_, stats, err := eng.Run(spec, dataset.NewMemorySource(points))
+		if err != nil {
+			return nil, err
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			name, fmt.Sprint(stats.EmittedPairs), fmt.Sprint(stats.IntermediatePairs), secs(stats.SortTime),
+		})
+	}
+	tbl.Notes = append(tbl.Notes, "freeride materializes zero intermediate pairs by construction")
+	return tbl, nil
+}
+
+func init() {
+	register(Experiment{ID: "abl-robj", Title: "reduction-object sharing strategies", DefaultScale: 0.01, Run: ablRObj})
+	register(Experiment{ID: "abl-sched", Title: "split scheduling policies", DefaultScale: 0.01, Run: ablSched})
+	register(Experiment{ID: "abl-pipe", Title: "sequential vs parallel linearization", DefaultScale: 0.01, Run: ablPipe})
+	register(Experiment{ID: "abl-mr", Title: "FREERIDE vs Map-Reduce runtimes", DefaultScale: 0.01, Run: ablMR})
+	register(Experiment{ID: "abl-mr-stats", Title: "Map-Reduce intermediate state volume", DefaultScale: 0.01, Run: ablMRStats})
+	register(Experiment{ID: "abl-chunk", Title: "split size sensitivity", DefaultScale: 0.01, Run: ablChunk})
+}

@@ -1,0 +1,160 @@
+// Package bench is the experiment harness: it regenerates every evaluation
+// figure of the paper (Figures 9-13) as printed time series, plus the
+// ablation studies DESIGN.md lists (reduction-object strategies, schedulers,
+// pipelined linearization, FREERIDE vs Map-Reduce, split size).
+//
+// Experiments are registered by ID; cmd/freeride-bench runs and prints
+// them. Each experiment takes Params (thread sweep, dataset scale, seed)
+// and returns a Table. Scale = 1 reproduces the paper's dataset sizes
+// (12 MB / 1.2 GB k-means inputs, 1000×10,000 and 1000×100,000 PCA
+// matrices); the default scales keep a full run in the order of a minute on
+// a laptop while preserving the workload shape (points ≫ centroids, the
+// same k and iteration counts).
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Params control an experiment run.
+type Params struct {
+	// Threads is the sweep of worker counts (the paper sweeps 1-8).
+	Threads []int
+	// Scale multiplies the paper's dataset size; 1.0 is full size.
+	Scale float64
+	// Seed makes the synthetic datasets reproducible.
+	Seed int64
+	// Reps repeats each (version, threads) measurement and keeps the
+	// fastest, suppressing scheduling noise. Default 1.
+	Reps int
+}
+
+// WithDefaults fills unset fields: threads 1,2,4,8 (the paper's sweep —
+// deliberately not capped at the machine's core count, because the harness
+// reports CPU-accounting-based scaling estimates that remain meaningful
+// beyond it), scale as given per experiment, seed 42.
+func (p Params) WithDefaults(defaultScale float64) Params {
+	if len(p.Threads) == 0 {
+		p.Threads = []int{1, 2, 4, 8}
+	}
+	if p.Scale <= 0 {
+		p.Scale = defaultScale
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Reps < 1 {
+		p.Reps = 1
+	}
+	return p
+}
+
+// Table is an experiment's printable result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "fig9").
+	ID string
+	// Title describes the workload, mirroring the paper's caption.
+	Title string
+	// Columns are the header cells; Rows the data cells.
+	Columns []string
+	Rows    [][]string
+	// Notes carry derived observations (ratios, shape checks).
+	Notes []string
+}
+
+// FprintCSV renders the table as CSV (id and title as a comment line, then
+// header and rows) for plotting pipelines.
+func (t *Table) FprintCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one registered benchmark.
+type Experiment struct {
+	// ID is the lookup key (e.g. "fig9", "abl-robj").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Paper cites what the experiment reproduces ("" for ablations).
+	Paper string
+	// DefaultScale is the Params.Scale used when none is given.
+	DefaultScale float64
+	// Run executes the experiment.
+	Run func(p Params) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment; duplicate IDs are programming errors.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Experiments lists all registered experiments sorted by ID, figures first.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := strings.HasPrefix(out[i].ID, "fig"), strings.HasPrefix(out[j].ID, "fig")
+		if fi != fj {
+			return fi
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Get looks up an experiment by ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// secs formats a duration in seconds with millisecond precision.
+func secs(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+// ratio formats a/b, guarding division by zero.
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", float64(a)/float64(b))
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyParams() Params {
+	return Params{Threads: []int{1, 2}, Scale: 0.0005, Seed: 7}
+}
+
+func TestRegistryContents(t *testing.T) {
+	exps := Experiments()
+	ids := map[string]bool{}
+	for _, e := range exps {
+		ids[e.ID] = true
+		if e.Run == nil || e.Title == "" || e.DefaultScale <= 0 {
+			t.Fatalf("experiment %q incompletely registered", e.ID)
+		}
+	}
+	for _, want := range []string{"fig9", "fig10", "fig11", "fig12", "fig13",
+		"abl-cluster", "abl-stream",
+		"abl-robj", "abl-sched", "abl-pipe", "abl-mr", "abl-mr-stats", "abl-chunk"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %q", want)
+		}
+	}
+	// Figures sort before ablations.
+	if !strings.HasPrefix(exps[0].ID, "fig") {
+		t.Fatalf("figures should sort first, got %q", exps[0].ID)
+	}
+	if _, ok := Get("fig9"); !ok {
+		t.Fatal("Get(fig9) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("Get(nope) should fail")
+	}
+}
+
+func TestParamsWithDefaults(t *testing.T) {
+	p := Params{}.WithDefaults(0.5)
+	if len(p.Threads) == 0 || p.Threads[0] != 1 {
+		t.Fatalf("threads = %v", p.Threads)
+	}
+	if p.Scale != 0.5 || p.Seed != 42 {
+		t.Fatalf("params = %+v", p)
+	}
+	// Existing values are preserved.
+	q := Params{Threads: []int{3}, Scale: 2, Seed: 9}.WithDefaults(0.5)
+	if len(q.Threads) != 1 || q.Threads[0] != 3 || q.Scale != 2 || q.Seed != 9 {
+		t.Fatalf("params overridden: %+v", q)
+	}
+}
+
+// TestAllExperimentsRunTiny executes every registered experiment at a tiny
+// scale — an integration test across apps, core, freeride, mapreduce.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(tinyParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.ID != e.ID {
+				t.Fatalf("table id %q != experiment id %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 || len(tbl.Columns) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, r := range tbl.Rows {
+				if len(r) != len(tbl.Columns) {
+					t.Fatalf("row width %d != %d columns: %v", len(r), len(tbl.Columns), r)
+				}
+			}
+			var sb strings.Builder
+			tbl.Fprint(&sb)
+			out := sb.String()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, tbl.Columns[0]) {
+				t.Fatalf("printed table missing header:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if secs(1500000000) != "1.500" {
+		t.Fatalf("secs = %q", secs(1500000000))
+	}
+	if ratio(2, 0) != "n/a" {
+		t.Fatal("ratio division by zero")
+	}
+	if ratio(3, 2) != "1.50" {
+		t.Fatalf("ratio = %q", ratio(3, 2))
+	}
+	if pct(1, 0) != "n/a" || pct(1, 4) != "25%" {
+		t.Fatal("pct")
+	}
+	if maxInt(2, 3) != 3 || maxInt(5, 1) != 5 {
+		t.Fatal("maxInt")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	register(Experiment{ID: "fig9"})
+}
+
+func TestTableFprintCSV(t *testing.T) {
+	tbl := &Table{
+		ID: "x", Title: "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	var sb strings.Builder
+	if err := tbl.FprintCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# x: demo\na,b\n1,2\n3,4\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/cluster"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+)
+
+// ablCluster measures the simulated-cluster global combination phase
+// (§III-A): node-count sweep across transports and combination algorithms,
+// reporting the serialized volume the all-to-one exchange moves. The
+// reduction object is deliberately large (the paper's trigger for the
+// parallel-merge path).
+func ablCluster(p Params) (*Table, error) {
+	const groups, elems = 512, 64 // 32k cells ≈ 256 KB per node object
+	rows := maxInt(1024, int(float64(1<<20)*p.Scale))
+	m := dataset.NewMatrix(rows, 1)
+	for i := range m.Data {
+		m.Data[i] = float64(i % groups)
+	}
+	spec := freeride.Spec{
+		Object: freeride.ObjectSpec{Groups: groups, Elems: elems, Op: robj.OpAdd},
+		Reduction: func(a *freeride.ReductionArgs) error {
+			for i := 0; i < a.NumRows; i++ {
+				a.Accumulate(int(a.Row(i)[0]), (a.Begin+i)%elems, 1)
+			}
+			return nil
+		},
+	}
+	tbl := &Table{
+		ID: "abl-cluster",
+		Title: fmt.Sprintf("global combination across simulated nodes — %d rows, %dx%d reduction object",
+			rows, groups, elems),
+		Columns: []string{"nodes", "transport", "algo", "total(s)", "bytes moved", "rounds"},
+	}
+	for _, nodes := range []int{1, 2, 4, 8} {
+		for _, tr := range []cluster.Transport{cluster.InProcess, cluster.TCP} {
+			for _, algo := range []cluster.CombineAlgo{cluster.AllToOne, cluster.Tree} {
+				c := cluster.New(cluster.Config{
+					Nodes:     nodes,
+					PerNode:   freeride.Config{Threads: 1, SplitRows: 1024},
+					Transport: tr,
+					Combine:   algo,
+				})
+				t0 := time.Now()
+				res, err := c.Run(spec, dataset.NewMemorySource(m))
+				if err != nil {
+					return nil, err
+				}
+				elapsed := time.Since(t0)
+				tbl.Rows = append(tbl.Rows, []string{
+					fmt.Sprint(nodes), tr.String(), algo.String(),
+					secs(elapsed), fmt.Sprint(res.Stats.BytesMoved), fmt.Sprint(res.Stats.Rounds),
+				})
+			}
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"the TCP rows serialize (nodes-1) reduction objects over loopback — the communication "+
+			"the paper's middleware handles 'internally and transparently'")
+	return tbl, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:           "abl-cluster",
+		Title:        "global combination across simulated cluster nodes",
+		DefaultScale: 0.25,
+		Run:          ablCluster,
+	})
+}

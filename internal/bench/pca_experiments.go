@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"chapelfreeride/internal/apps"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+)
+
+// pcaFigure runs one of the paper's PCA figures. The paper's matrices are
+// stated as rows×columns where rows is the dimensionality and columns the
+// number of data elements; our generator produces elements×dims, the same
+// workload transposed. Scale shrinks both axes by its cube root so the
+// total work (elements × dims²) scales linearly with Scale.
+func pcaFigure(id, title string, dims, elems int) func(Params) (*Table, error) {
+	return func(p Params) (*Table, error) {
+		if p.Reps < 1 {
+			p.Reps = 1
+		}
+		f := math.Cbrt(p.Scale)
+		d := maxInt(4, int(float64(dims)*f))
+		n := maxInt(8, int(float64(elems)*f))
+		data := dataset.UniformMatrix(n, d, p.Seed, -5, 5)
+		boxed := apps.BoxMatrix(data)
+
+		tbl := &Table{
+			ID:      id,
+			Title:   fmt.Sprintf("%s — %d elements × %d dims", title, n, d),
+			Columns: []string{"threads", "version", "total(s)", "reduce(s)", "est-total(s)", "balance", "vs manual"},
+		}
+		totals := map[string]time.Duration{}
+		results := map[string]*apps.PCAResult{}
+		versions := []apps.Version{apps.Opt2, apps.ManualFR}
+		for _, threads := range p.Threads {
+			cfg := apps.PCAConfig{Engine: freeride.Config{
+				Threads: threads, SplitRows: splitRowsFor(n, threads),
+			}}
+			for _, v := range versions {
+				var best *apps.PCAResult
+				for rep := 0; rep < p.Reps; rep++ {
+					var res *apps.PCAResult
+					var err error
+					if v == apps.ManualFR {
+						res, err = apps.PCAManualFR(data, cfg)
+					} else {
+						res, err = apps.PCATranslated(boxed, optOf(v), cfg)
+					}
+					if err != nil {
+						return nil, fmt.Errorf("%s %v threads=%d: %w", id, v, threads, err)
+					}
+					if best == nil || res.Timing.Total() < best.Timing.Total() {
+						best = res
+					}
+				}
+				totals[key(threads, v)] = best.Timing.Total()
+				results[key(threads, v)] = best
+			}
+		}
+		ests := map[string]time.Duration{}
+		for _, threads := range p.Threads {
+			for _, v := range versions {
+				ests[key(threads, v)] = results[key(threads, v)].Timing.EstTotal()
+			}
+			man := ests[key(threads, apps.ManualFR)]
+			for _, v := range versions {
+				res := results[key(threads, v)]
+				tbl.Rows = append(tbl.Rows, []string{
+					fmt.Sprint(threads), v.String(),
+					secs(res.Timing.Total()), secs(res.Timing.Reduce),
+					secs(res.Timing.EstTotal()), fmt.Sprintf("%.2f", res.Timing.Balance()),
+					ratio(res.Timing.EstTotal(), man),
+				})
+			}
+		}
+		t1 := p.Threads[0]
+		tbl.Notes = append(tbl.Notes,
+			fmt.Sprintf("1-thread: opt-2 / manual = %s (paper: within ~1.2x)",
+				ratio(totals[key(t1, apps.Opt2)], totals[key(t1, apps.ManualFR)])))
+		if len(p.Threads) > 1 {
+			last := p.Threads[len(p.Threads)-1]
+			tbl.Notes = append(tbl.Notes,
+				fmt.Sprintf("est scaling 1→%d threads (manual): %sx (paper: good scalability to 4 threads, limited at 8 by load balance)",
+					last, ratio(ests[key(t1, apps.ManualFR)], ests[key(last, apps.ManualFR)])))
+		}
+		return tbl, nil
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func init() {
+	register(Experiment{
+		ID:           "fig12",
+		Title:        "PCA, 1000 dims × 10,000 elements — opt-2 vs manual FR",
+		Paper:        "Figure 12",
+		DefaultScale: 0.001,
+		Run:          pcaFigure("fig12", "PCA small", 1000, 10000),
+	})
+	register(Experiment{
+		ID:           "fig13",
+		Title:        "PCA, 1000 dims × 100,000 elements — opt-2 vs manual FR",
+		Paper:        "Figure 13",
+		DefaultScale: 0.001,
+		Run:          pcaFigure("fig13", "PCA large", 1000, 100000),
+	})
+}

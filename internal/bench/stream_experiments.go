@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/apps"
+	"chapelfreeride/internal/core"
+	"chapelfreeride/internal/freeride"
+)
+
+// ablStream compares the eager translation (sequential linearization, the
+// paper's implementation) with TranslateStreaming (the paper's proposed
+// pipelining) on the Fig. 11 shape — k-means, single iteration — where
+// linearization is proportionally largest. The estimated columns model one
+// core per worker: eager pays linearize + reduce-CPU/threads; pipelined
+// pays max(linearize, reduce-CPU/threads) because the two overlap.
+func ablStream(p Params) (*Table, error) {
+	const k = 64
+	points := kmeansData(128<<20, p.Scale, p.Seed, k+1)
+	init := firstK(points, k)
+	boxed := apps.BoxPoints(points)
+	dim := points.Cols
+
+	tbl := &Table{
+		ID: "abl-stream",
+		Title: fmt.Sprintf("eager vs pipelined linearization — k-means %d points, k=%d, single pass",
+			points.Rows, k),
+		Columns: []string{"threads", "mode", "wall(s)", "linearize(s)", "est-total(s)", "stalls"},
+	}
+	for _, threads := range p.Threads {
+		engCfg := freeride.Config{Threads: threads, SplitRows: splitRowsFor(points.Rows, threads)}
+		boxedCents := apps.BoxPoints(init)
+		cls := apps.KMeansClass(k, dim, boxedCents)
+
+		// Eager: linearize fully, then reduce.
+		t0 := time.Now()
+		tr, err := core.Translate(cls, boxed, core.Opt2)
+		if err != nil {
+			return nil, err
+		}
+		eng := freeride.New(engCfg)
+		res, err := eng.Run(tr.Spec(), tr.Source())
+		if err != nil {
+			return nil, err
+		}
+		eagerWall := time.Since(t0)
+		eagerEst := tr.LinearizeTime + res.Stats.CPUTotal()/time.Duration(threads)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(threads), "eager", secs(eagerWall), secs(tr.LinearizeTime), secs(eagerEst), "-",
+		})
+
+		// Pipelined: reduce while the background linearizer fills the
+		// buffer.
+		t0 = time.Now()
+		str, st, err := core.TranslateStreaming(cls, boxed, core.Opt2, engCfg.SplitRows)
+		if err != nil {
+			return nil, err
+		}
+		resS, err := eng.Run(str.Spec(), str.Source())
+		if err != nil {
+			return nil, err
+		}
+		streamWall := time.Since(t0)
+		linDur := st.Wait()
+		reduceShare := resS.Stats.CPUTotal() / time.Duration(threads)
+		streamEst := linDur
+		if reduceShare > streamEst {
+			streamEst = reduceShare
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(threads), "pipelined", secs(streamWall), secs(linDur), secs(streamEst),
+			fmt.Sprint(st.Waits()),
+		})
+	}
+	tbl.Notes = append(tbl.Notes,
+		"pipelined est-total = max(linearize, reduce/threads): the overlap the paper proposes (§V) "+
+			"hides whichever phase is shorter; wall times on a host with fewer cores than threads "+
+			"cannot show the overlap (linearizer and workers share the cores)")
+	return tbl, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:           "abl-stream",
+		Title:        "eager vs pipelined (overlapped) linearization",
+		DefaultScale: 0.01,
+		Run:          ablStream,
+	})
+}

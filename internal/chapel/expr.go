@@ -1,0 +1,163 @@
+package chapel
+
+import "fmt"
+
+// Expr is an iterable expression a reduction can range over. Chapel permits
+// reductions over "standard arrays of some primitive types, expressions over
+// arrays, loop expressions, records of some mixed types and so on" (§IV-B);
+// Expr models that family: arrays, element-wise operator expressions such as
+// A+B (so `min reduce A+B` works), and integer ranges.
+//
+// Iteration order is the 0-based position; ElemType is the static type of
+// every produced element.
+type Expr interface {
+	// ElemType returns the static element type.
+	ElemType() *Type
+	// Len returns the number of elements the expression yields.
+	Len() int
+	// Index returns element i (0-based iteration position).
+	Index(i int) Value
+}
+
+// ArrayExpr adapts a boxed array to Expr.
+type ArrayExpr struct{ A *Array }
+
+// Over wraps an array as an iterable expression.
+func Over(a *Array) ArrayExpr { return ArrayExpr{A: a} }
+
+// ElemType implements Expr.
+func (e ArrayExpr) ElemType() *Type { return e.A.Ty.Elem }
+
+// Len implements Expr.
+func (e ArrayExpr) Len() int { return e.A.Len() }
+
+// Index implements Expr.
+func (e ArrayExpr) Index(i int) Value { return e.A.Elems[i] }
+
+// BinOp is an element-wise arithmetic operator for expression zips.
+type BinOp int
+
+const (
+	// OpPlus is element-wise addition (A+B).
+	OpPlus BinOp = iota
+	// OpMinus is element-wise subtraction (A-B).
+	OpMinus
+	// OpTimes is element-wise multiplication (A*B).
+	OpTimes
+)
+
+// String returns the operator's symbol.
+func (o BinOp) String() string {
+	switch o {
+	case OpPlus:
+		return "+"
+	case OpMinus:
+		return "-"
+	case OpTimes:
+		return "*"
+	default:
+		return fmt.Sprintf("binop(%d)", int(o))
+	}
+}
+
+// ZipExpr is the element-wise combination of two equal-length numeric
+// expressions, such as the A+B in `min reduce A+B`.
+type ZipExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Zip builds the element-wise expression L op R. Both operands must have
+// the same length and numeric element types; the result element type is
+// real if either side is real, else int.
+func Zip(op BinOp, l, r Expr) ZipExpr {
+	if l.Len() != r.Len() {
+		panic(fmt.Sprintf("chapel: zip length mismatch %d vs %d", l.Len(), r.Len()))
+	}
+	for _, e := range []Expr{l, r} {
+		k := e.ElemType().Kind
+		if k != KindInt && k != KindReal {
+			panic("chapel: zip over non-numeric expression " + e.ElemType().String())
+		}
+	}
+	return ZipExpr{Op: op, L: l, R: r}
+}
+
+// ElemType implements Expr.
+func (e ZipExpr) ElemType() *Type {
+	if e.L.ElemType().Kind == KindReal || e.R.ElemType().Kind == KindReal {
+		return RealType()
+	}
+	return IntType()
+}
+
+// Len implements Expr.
+func (e ZipExpr) Len() int { return e.L.Len() }
+
+// Index implements Expr.
+func (e ZipExpr) Index(i int) Value {
+	l, r := e.L.Index(i), e.R.Index(i)
+	if e.ElemType().Kind == KindReal {
+		a, b := AsReal(l), AsReal(r)
+		switch e.Op {
+		case OpMinus:
+			return &Real{Val: a - b}
+		case OpTimes:
+			return &Real{Val: a * b}
+		default:
+			return &Real{Val: a + b}
+		}
+	}
+	a, b := AsInt(l), AsInt(r)
+	switch e.Op {
+	case OpMinus:
+		return &Int{Val: a - b}
+	case OpTimes:
+		return &Int{Val: a * b}
+	default:
+		return &Int{Val: a + b}
+	}
+}
+
+// RangeExpr iterates the integers of the inclusive range [Lo..Hi], Chapel's
+// `lo..hi` range value.
+type RangeExpr struct{ Lo, Hi int }
+
+// ElemType implements Expr.
+func (RangeExpr) ElemType() *Type { return IntType() }
+
+// Len implements Expr.
+func (e RangeExpr) Len() int {
+	if e.Hi < e.Lo {
+		return 0
+	}
+	return e.Hi - e.Lo + 1
+}
+
+// Index implements Expr.
+func (e RangeExpr) Index(i int) Value { return &Int{Val: int64(e.Lo + i)} }
+
+// MapExpr applies a per-element function to an underlying expression — the
+// analog of a Chapel loop expression `[i in D] f(i)`.
+type MapExpr struct {
+	Src Expr
+	Ty  *Type
+	F   func(Value) Value
+}
+
+// MapOver builds a loop expression producing ty-typed elements.
+func MapOver(src Expr, ty *Type, f func(Value) Value) MapExpr {
+	if ty == nil || f == nil {
+		panic("chapel: MapOver needs a type and a function")
+	}
+	return MapExpr{Src: src, Ty: ty, F: f}
+}
+
+// ElemType implements Expr.
+func (e MapExpr) ElemType() *Type { return e.Ty }
+
+// Len implements Expr.
+func (e MapExpr) Len() int { return e.Src.Len() }
+
+// Index implements Expr.
+func (e MapExpr) Index(i int) Value { return e.F(e.Src.Index(i)) }

@@ -1,0 +1,181 @@
+package chapel
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig6Source is the paper's Fig. 6 data structure, written as Chapel.
+const fig6Source = `
+/* the paper's Fig. 6 nested structure */
+record A {
+    a1: [1..5] real;  // inner vector
+    a2: int;
+}
+record B {
+    b1: [1..4] A;
+    b2: int;
+}
+var data: [1..3] B;
+`
+
+func TestParseFig6(t *testing.T) {
+	d, err := ParseDecls(fig6Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fig6Type(3, 4, 5)
+	got, err := d.Var("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("parsed type %s\nwant %s", got, want)
+	}
+	if len(d.VarOrder) != 1 || d.VarOrder[0] != "data" {
+		t.Fatalf("var order = %v", d.VarOrder)
+	}
+	if _, err := d.Var("missing"); err == nil {
+		t.Fatal("missing var should error")
+	}
+}
+
+func TestParsePrimitivesAndEnums(t *testing.T) {
+	d, err := ParseDecls(`
+enum color { red, green, blue };
+record tagged {
+    label: string(16);
+    hue: color;
+    ok: bool;
+    weight: real;
+    count: int;
+}
+var items: [0..9] tagged;
+const threshold: real;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := d.Var("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items.Kind != KindArray || items.Lo != 0 || items.Hi != 9 {
+		t.Fatalf("items = %s", items)
+	}
+	rec := items.Elem
+	if rec.FieldIndex("label") != 0 || rec.Fields[0].Type.MaxLen != 16 {
+		t.Fatalf("label field: %s", rec)
+	}
+	if rec.Fields[1].Type.Kind != KindEnum || len(rec.Fields[1].Type.Consts) != 3 {
+		t.Fatalf("hue field: %s", rec)
+	}
+	th, err := d.Var("threshold")
+	if err != nil || th.Kind != KindReal {
+		t.Fatalf("threshold: %v %v", th, err)
+	}
+}
+
+func TestParseNegativeDomainsAndNesting(t *testing.T) {
+	d, err := ParseDecls(`var grid: [-2..2] [1..3] real;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := d.Var("grid")
+	if g.Lo != -2 || g.Hi != 2 || g.Elem.Kind != KindArray || g.Elem.Len() != 3 {
+		t.Fatalf("grid = %s", g)
+	}
+	// Empty domain is legal (hi = lo-1).
+	d, err = ParseDecls(`var empty: [1..0] int;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := d.Var("empty")
+	if e.Len() != 0 {
+		t.Fatalf("empty = %s", e)
+	}
+}
+
+func TestParsedTypeWorksWithValues(t *testing.T) {
+	d, err := ParseDecls(fig6Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty, _ := d.Var("data")
+	v := NewArray(ty)
+	v.At(2).(*Record).Field("b1").(*Array).At(3).(*Record).
+		Field("a1").(*Array).SetAt(4, &Real{Val: 7.5})
+	got := v.At(2).(*Record).Field("b1").(*Array).At(3).(*Record).
+		Field("a1").(*Array).At(4).(*Real).Val
+	if got != 7.5 {
+		t.Fatal("parsed type round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":             `banana split;`,
+		"unknown type":        `var x: quux;`,
+		"forward reference":   `var x: [1..2] B; record B { f: int; }`,
+		"duplicate record":    `record A { f: int; } record A { g: int; }`,
+		"duplicate enum":      `enum e { a } enum e { b }`,
+		"duplicate var":       `var x: int; var x: real;`,
+		"empty record":        `record A { }`,
+		"missing semicolon":   `var x: int`,
+		"missing colon":       `var x int;`,
+		"bad domain":          `var x: [5..2] int;`,
+		"bad bound":           `var x: [a..2] int;`,
+		"unsized string":      `var s: string;`,
+		"zero string":         `var s: string(0);`,
+		"unclosed record":     `record A { f: int;`,
+		"enum without consts": `enum e { };`,
+		"field type missing":  `record A { f: ; }`,
+	}
+	for name, src := range cases {
+		if _, err := ParseDecls(src); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, src)
+		}
+	}
+}
+
+func TestParseCommentsStripped(t *testing.T) {
+	d, err := ParseDecls(`
+// leading comment
+var x: int; /* trailing
+   multi-line */ var y: real; // end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Vars) != 2 {
+		t.Fatalf("vars = %v", d.Vars)
+	}
+	// Unterminated block comment swallows the rest harmlessly.
+	d, err = ParseDecls(`var x: int; /* dangling`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Vars) != 1 {
+		t.Fatal("dangling comment")
+	}
+}
+
+func TestParseRecordComposition(t *testing.T) {
+	// Record-in-record without arrays between them (the chain case
+	// MetaFor folds into one junction).
+	d, err := ParseDecls(`
+record Inner { pad: real; xs: [1..3] real; }
+record Wrap  { pre: int; inner: Inner; }
+var outer: [1..2] Wrap;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty, _ := d.Var("outer")
+	s := ty.String()
+	for _, want := range []string{"record Wrap", "inner: record Inner", "xs: [1..3] real"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("type %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package cluster simulates FREERIDE's cluster-wide execution. The original
+// middleware ran on clusters: each node performed local reductions over its
+// portion of the dataset with the multicore engine, and "after local
+// combination, the results produced by all nodes in a cluster are combined
+// again to form the final result, which is the global combination phase.
+// The global combination phase can be achieved by a simple all-to-one
+// reduce algorithm. If the size of the reduction object is large, both
+// local and global combination phases perform a parallel merge. ... the
+// communication involved in the global combination phase [is] handled
+// internally by the middleware and is transparent to the application
+// programmer" (paper §III-A).
+//
+// The paper's evaluation machine is a single 8-core node, so this package
+// is the substitution for the cluster hardware: N simulated nodes (each an
+// independent freeride.Engine over a block partition of the dataset)
+// exchange serialized reduction objects over a pluggable transport —
+// in-process channels or real TCP connections on the loopback interface —
+// and combine them with either the all-to-one algorithm or a binary
+// combining tree. The application code is identical to single-node code,
+// preserving the middleware's transparency claim.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+)
+
+// Transport selects how nodes exchange reduction objects during global
+// combination.
+type Transport int
+
+const (
+	// InProcess exchanges objects over Go channels (zero-copy handoff).
+	InProcess Transport = iota
+	// TCP exchanges gob-serialized objects over loopback TCP connections,
+	// exercising a real wire format and network stack.
+	TCP
+)
+
+// String returns the transport name.
+func (t Transport) String() string {
+	switch t {
+	case InProcess:
+		return "in-process"
+	case TCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("transport(%d)", int(t))
+	}
+}
+
+// CombineAlgo selects the global combination algorithm.
+type CombineAlgo int
+
+const (
+	// AllToOne sends every node's object to node 0, which folds them in
+	// node order — the paper's "simple all-to-one reduce algorithm".
+	AllToOne CombineAlgo = iota
+	// Tree combines pairwise in ⌈log2 N⌉ rounds — the scalable variant for
+	// large reduction objects.
+	Tree
+)
+
+// String returns the algorithm name.
+func (a CombineAlgo) String() string {
+	switch a {
+	case AllToOne:
+		return "all-to-one"
+	case Tree:
+		return "tree"
+	default:
+		return fmt.Sprintf("combine(%d)", int(a))
+	}
+}
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Nodes is the node count. Defaults to 2.
+	Nodes int
+	// PerNode configures each node's multicore engine.
+	PerNode freeride.Config
+	// Transport selects the exchange mechanism. Default InProcess.
+	Transport Transport
+	// Combine selects the global combination algorithm. Default AllToOne.
+	Combine CombineAlgo
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes < 1 {
+		c.Nodes = 2
+	}
+	return c
+}
+
+// Stats describes one cluster run.
+type Stats struct {
+	// NodeRows is the number of data instances each node processed.
+	NodeRows []int
+	// BytesMoved is the serialized reduction-object volume exchanged
+	// during global combination (0 for the in-process transport).
+	BytesMoved int64
+	// Rounds is the number of combination rounds (1 for all-to-one).
+	Rounds int
+}
+
+// Result is the cluster-wide reduction outcome.
+type Result struct {
+	// Object is the globally combined reduction object.
+	Object *robj.Object
+	// Stats describes the run.
+	Stats Stats
+}
+
+// Cluster executes FREERIDE specs across simulated nodes.
+type Cluster struct {
+	cfg Config
+}
+
+// New creates a cluster.
+func New(cfg Config) *Cluster { return &Cluster{cfg: cfg.withDefaults()} }
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// subSource exposes a contiguous row range of an underlying source as a
+// node's local dataset.
+type subSource struct {
+	src      dataset.Source
+	lo, rows int
+}
+
+// NumRows implements dataset.Source.
+func (s *subSource) NumRows() int { return s.rows }
+
+// Cols implements dataset.Source.
+func (s *subSource) Cols() int { return s.src.Cols() }
+
+// ReadRows implements dataset.Source.
+func (s *subSource) ReadRows(begin, end int, dst []float64) error {
+	if begin < 0 || end > s.rows || begin > end {
+		return fmt.Errorf("cluster: ReadRows range [%d,%d) out of [0,%d)", begin, end, s.rows)
+	}
+	return s.src.ReadRows(s.lo+begin, s.lo+end, dst)
+}
+
+// Rows implements dataset.RowSlicer when the underlying source does.
+func (s *subSource) Rows(begin, end int) []float64 {
+	return s.src.(dataset.RowSlicer).Rows(s.lo+begin, s.lo+end)
+}
+
+// partition returns each node's [lo, hi) row range (block partition, the
+// distribution FREERIDE's splitter assumes: "the data instances owned by a
+// processor").
+func partition(totalRows, nodes int) [][2]int {
+	out := make([][2]int, nodes)
+	base, extra := totalRows/nodes, totalRows%nodes
+	lo := 0
+	for i := 0; i < nodes; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out[i] = [2]int{lo, lo + size}
+		lo += size
+	}
+	return out
+}
+
+// nodeSource wraps the node's row range, preserving the zero-copy fast
+// path when available.
+func nodeSource(src dataset.Source, lo, hi int) dataset.Source {
+	sub := &subSource{src: src, lo: lo, rows: hi - lo}
+	if _, ok := src.(dataset.RowSlicer); ok {
+		return struct {
+			dataset.Source
+			dataset.RowSlicer
+		}{sub, sub}
+	}
+	return sub
+}
+
+// globalBegin is the context key-free mechanism by which reduction
+// functions can learn their global row offset: the engine's args.Begin is
+// node-local, so specs that need global indices should add the per-node
+// offset themselves. Run rewrites the spec's Reduction to do this
+// transparently by adding the node's base offset to args.Begin.
+func offsetSpec(spec freeride.Spec, base int) freeride.Spec {
+	inner := spec.Reduction
+	spec.Reduction = func(args *freeride.ReductionArgs) error {
+		args.Begin += base
+		err := inner(args)
+		args.Begin -= base
+		return err
+	}
+	return spec
+}
+
+// Run executes the spec over the dataset across the simulated cluster:
+// block-partition, per-node multicore reduction, then global combination
+// over the configured transport. The spec's Finalize hook, if any, runs
+// once on the combined result, mirroring single-node semantics. Specs using
+// LocalInit state are not supported across nodes (the engine-level API
+// covers that case on one node).
+func (c *Cluster) Run(spec freeride.Spec, src dataset.Source) (*Result, error) {
+	if spec.Reduction == nil {
+		return nil, freeride.ErrNoReduction
+	}
+	if spec.LocalInit != nil {
+		return nil, errors.New("cluster: user-managed local state is single-node only")
+	}
+	if src == nil {
+		return nil, errors.New("cluster: nil data source")
+	}
+	cfg := c.cfg
+	parts := partition(src.NumRows(), cfg.Nodes)
+
+	// Per-node local reduction (each node is an independent engine).
+	finalize := spec.Finalize
+	spec.Finalize = nil
+	results := make([]*freeride.Result, cfg.Nodes)
+	errs := make([]error, cfg.Nodes)
+	var wg sync.WaitGroup
+	for n := 0; n < cfg.Nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			lo, hi := parts[n][0], parts[n][1]
+			eng := freeride.New(cfg.PerNode)
+			results[n], errs[n] = eng.Run(offsetSpec(spec, lo), nodeSource(src, lo, hi))
+		}(n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Global combination over the transport.
+	objects := make([]*robj.Object, cfg.Nodes)
+	for n, r := range results {
+		objects[n] = r.Object
+	}
+	var (
+		combined *robj.Object
+		moved    int64
+		rounds   int
+		err      error
+	)
+	switch cfg.Transport {
+	case TCP:
+		combined, moved, rounds, err = combineTCP(objects, cfg.Combine)
+	default:
+		combined, moved, rounds, err = combineInProcess(objects, cfg.Combine)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Object: combined}
+	for n := range parts {
+		res.Stats.NodeRows = append(res.Stats.NodeRows, parts[n][1]-parts[n][0])
+	}
+	res.Stats.BytesMoved = moved
+	res.Stats.Rounds = rounds
+
+	if finalize != nil {
+		fr := &freeride.Result{Object: combined}
+		if err := finalize(fr); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// combineInProcess folds the objects without serialization.
+func combineInProcess(objects []*robj.Object, algo CombineAlgo) (*robj.Object, int64, int, error) {
+	switch algo {
+	case Tree:
+		rounds := 0
+		live := objects
+		for len(live) > 1 {
+			rounds++
+			next := make([]*robj.Object, 0, (len(live)+1)/2)
+			var wg sync.WaitGroup
+			errs := make([]error, len(live)/2)
+			for i := 0; i+1 < len(live); i += 2 {
+				next = append(next, live[i])
+				wg.Add(1)
+				go func(slot int, dst, src *robj.Object) {
+					defer wg.Done()
+					errs[slot] = dst.CombineFrom(src)
+				}(i/2, live[i], live[i+1])
+			}
+			if len(live)%2 == 1 {
+				next = append(next, live[len(live)-1])
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, 0, 0, err
+				}
+			}
+			live = next
+		}
+		return live[0], 0, rounds, nil
+	default: // AllToOne
+		dst := objects[0]
+		for _, o := range objects[1:] {
+			if err := dst.CombineFrom(o); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+		rounds := 0
+		if len(objects) > 1 {
+			rounds = 1
+		}
+		return dst, 0, rounds, nil
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"chapelfreeride/internal/robj"
+)
+
+// wireObject is the gob wire format for a merged reduction object: enough
+// to reconstruct and combine it on the receiving node.
+type wireObject struct {
+	Node   int
+	Groups int
+	Elems  int
+	Op     robj.Op
+	Cells  []float64
+}
+
+// countingConn wraps a connection and counts the bytes written through it.
+type countingConn struct {
+	net.Conn
+	n *int64
+	m *sync.Mutex
+}
+
+// Write implements io.Writer with byte accounting.
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.m.Lock()
+	*c.n += int64(n)
+	c.m.Unlock()
+	return n, err
+}
+
+// combineTCP performs the global combination over loopback TCP: node 0
+// listens; every other node dials in and streams its serialized object;
+// node 0 folds them in node order (the tree algorithm still moves every
+// non-root object over the wire — the rounds differ only in who folds, so
+// the simulation folds at the root and reports ⌈log2 N⌉ rounds).
+func combineTCP(objects []*robj.Object, algo CombineAlgo) (*robj.Object, int64, int, error) {
+	n := len(objects)
+	if n == 1 {
+		return objects[0], 0, 0, nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("cluster: listen: %w", err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	var (
+		moved   int64
+		movedMu sync.Mutex
+	)
+
+	// Senders: nodes 1..n-1 dial the root and stream their object.
+	var senders sync.WaitGroup
+	sendErrs := make([]error, n)
+	for node := 1; node < n; node++ {
+		senders.Add(1)
+		go func(node int) {
+			defer senders.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				sendErrs[node] = fmt.Errorf("cluster: node %d dial: %w", node, err)
+				return
+			}
+			defer conn.Close()
+			o := objects[node]
+			enc := gob.NewEncoder(countingConn{Conn: conn, n: &moved, m: &movedMu})
+			err = enc.Encode(wireObject{
+				Node:   node,
+				Groups: o.Groups(),
+				Elems:  o.ElemsPerGroup(),
+				Op:     o.Op(),
+				Cells:  o.Snapshot(),
+			})
+			if err != nil {
+				sendErrs[node] = fmt.Errorf("cluster: node %d send: %w", node, err)
+			}
+		}(node)
+	}
+
+	// Root: accept n-1 connections, decode, fold in node order. Out-of-
+	// order arrival is buffered so the combination order (and therefore
+	// floating-point results) is deterministic.
+	received := make([]*wireObject, n)
+	var recvErr error
+	var recvWg sync.WaitGroup
+	var recvMu sync.Mutex
+	for i := 1; i < n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			recvErr = fmt.Errorf("cluster: accept: %w", err)
+			break
+		}
+		recvWg.Add(1)
+		go func(conn net.Conn) {
+			defer recvWg.Done()
+			defer conn.Close()
+			var w wireObject
+			if err := gob.NewDecoder(conn).Decode(&w); err != nil {
+				recvMu.Lock()
+				if recvErr == nil {
+					recvErr = fmt.Errorf("cluster: decode: %w", err)
+				}
+				recvMu.Unlock()
+				return
+			}
+			recvMu.Lock()
+			if w.Node < 1 || w.Node >= n || received[w.Node] != nil {
+				if recvErr == nil {
+					recvErr = fmt.Errorf("cluster: unexpected wire object for node %d", w.Node)
+				}
+			} else {
+				received[w.Node] = &w
+			}
+			recvMu.Unlock()
+		}(conn)
+	}
+	recvWg.Wait()
+	senders.Wait()
+	for _, err := range sendErrs {
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	if recvErr != nil {
+		return nil, 0, 0, recvErr
+	}
+
+	dst := objects[0]
+	for node := 1; node < n; node++ {
+		w := received[node]
+		if w == nil {
+			return nil, 0, 0, fmt.Errorf("cluster: missing object from node %d", node)
+		}
+		if w.Groups != dst.Groups() || w.Elems != dst.ElemsPerGroup() || w.Op != dst.Op() {
+			return nil, 0, 0, fmt.Errorf("cluster: node %d object shape/op mismatch", node)
+		}
+		if err := dst.CombineCells(w.Cells); err != nil {
+			return nil, 0, 0, fmt.Errorf("cluster: node %d: %w", node, err)
+		}
+	}
+
+	rounds := 1
+	if algo == Tree {
+		rounds = 0
+		for span := 1; span < n; span *= 2 {
+			rounds++
+		}
+	}
+	return dst, moved, rounds, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"chapelfreeride/internal/chapel"
+)
+
+// EmitC renders the C-like reduction function the paper's modified Chapel
+// compiler would generate for a reduction class at the given optimization
+// level. The output is documentation, not compiled: it makes the three code
+// shapes of §V inspectable side by side (compare Fig. 5 and Fig. 8), and
+// cmd/freeride-translate prints it for any class.
+//
+// The emitted function follows the paper's structure: FREERIDE hands the
+// reduction a split (reduction_args_t); the loop over the split's elements
+// accesses the linearized dataset either through computeIndex per element
+// (generated), or through a strength-reduced base pointer (opt-1/opt-2);
+// hot variables are read through Chapel's nested structures (generated/
+// opt-1) or through their own linearized buffers (opt-2).
+func EmitC(class *ReductionClass, dataType *chapel.Type, opt OptLevel) (string, error) {
+	if class == nil {
+		return "", fmt.Errorf("core: EmitC needs a class")
+	}
+	meta, err := MetaFor(dataType, class.Path...)
+	if err != nil {
+		return "", err
+	}
+	promoteFlatDataMeta(meta)
+	if meta.Levels != 2 {
+		return "", fmt.Errorf("core: EmitC supports 2-level datasets, got %d levels", meta.Levels)
+	}
+	name := sanitizeIdent(class.Name)
+	if name == "" {
+		name = "reduction"
+	}
+	inner := meta.InnerLen
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* %s: Chapel reduction translated to FREERIDE (%s) */\n", name, opt)
+	fmt.Fprintf(&b, "/* dataset: %s */\n", dataType)
+	fmt.Fprintf(&b, "/* reduction object: %d group(s) x %d element(s) */\n",
+		class.Object.Groups, class.Object.Elems)
+	fmt.Fprintf(&b, "void %s_reduction(reduction_args_t* args) {\n", name)
+
+	// Hot variable declarations.
+	for i, hv := range class.HotVars {
+		ty := hv.Value.Type()
+		switch opt {
+		case Opt2:
+			fmt.Fprintf(&b, "    /* hot variable %d linearized by the compiler (opt-2) */\n", i)
+			fmt.Fprintf(&b, "    double* hot%d = linearized_hot_%d; /* was: %s */\n", i, i, ty)
+		default:
+			fmt.Fprintf(&b, "    /* hot variable %d accessed through Chapel structures */\n", i)
+			fmt.Fprintf(&b, "    chpl_%s* hot%d = &chpl_hot_%d;\n", sanitizeIdent(elemName(ty)), i, i)
+		}
+	}
+
+	fmt.Fprintf(&b, "    for (int i = 0; i < args->num_rows; i++) {\n")
+	switch opt {
+	case OptNone:
+		fmt.Fprintf(&b, "        /* generated: computeIndex evaluated per element (Fig. 8, before optimization) */\n")
+		fmt.Fprintf(&b, "        for (int k = 0; k < %d; k++) {\n", inner)
+		fmt.Fprintf(&b, "            int index = computeIndex(unitSize, unitOffset, myIndex(args->begin + i, k), position, 0, %d);\n", meta.Levels)
+		fmt.Fprintf(&b, "            elem[k] = linear_data[index];\n")
+		fmt.Fprintf(&b, "        }\n")
+	default:
+		fmt.Fprintf(&b, "        /* opt-1 strength reduction: start point computed before the first\n")
+		fmt.Fprintf(&b, "           iteration, pre-computed offset added per iteration (§V) */\n")
+		fmt.Fprintf(&b, "        int base = %d * (args->begin + i) + %d;\n",
+			meta.UnitSize[0], meta.UnitOffset[0][meta.Position[0][0]]+meta.LeafOffset)
+		fmt.Fprintf(&b, "        double* elem = &linear_data[base]; /* %d contiguous elements */\n", inner)
+	}
+
+	fmt.Fprintf(&b, "        /* accumulate body (user logic, cf. Fig. 3/Fig. 5): */\n")
+	for i := range class.HotVars {
+		switch opt {
+		case Opt2:
+			fmt.Fprintf(&b, "        /*   hot%d[j]         — mapping algorithm on dense storage */\n", i)
+		default:
+			fmt.Fprintf(&b, "        /*   hot%d->...->vals[j] — nested-structure traversal per access */\n", i)
+		}
+	}
+	fmt.Fprintf(&b, "        /*   accumulate(group, elem, value) updates the reduction object */\n")
+	fmt.Fprintf(&b, "    }\n")
+	fmt.Fprintf(&b, "}\n")
+	return b.String(), nil
+}
+
+// elemName derives a readable identifier for a boxed structure's element
+// type.
+func elemName(ty *chapel.Type) string {
+	if ty.Kind == chapel.KindArray {
+		ty = ty.Elem
+	}
+	if ty.Name != "" {
+		return ty.Name
+	}
+	return ty.Kind.String()
+}
+
+// sanitizeIdent keeps letters, digits, and underscores.
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r == '-' || r == ' ':
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

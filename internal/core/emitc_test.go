@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/freeride"
+)
+
+func TestEmitCShapes(t *testing.T) {
+	cls := kmeansClass(4, 3, makeCentroids(4, 3, 1))
+	dataTy := pointsType(100, 3)
+
+	gen, err := EmitC(cls, dataTy, OptNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gen, "computeIndex(unitSize, unitOffset") {
+		t.Fatalf("generated code must call computeIndex per element:\n%s", gen)
+	}
+	if !strings.Contains(gen, "chpl_Point* hot0") {
+		t.Fatalf("generated code must access the hot variable through Chapel structures:\n%s", gen)
+	}
+
+	o1, err := EmitC(cls, dataTy, Opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(o1, "computeIndex(") {
+		t.Fatal("opt-1 must hoist computeIndex out of the element loop")
+	}
+	if !strings.Contains(o1, "int base = ") || !strings.Contains(o1, "chpl_Point* hot0") {
+		t.Fatalf("opt-1 shape wrong:\n%s", o1)
+	}
+
+	o2, err := EmitC(cls, dataTy, Opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(o2, "double* hot0 = linearized_hot_0") {
+		t.Fatalf("opt-2 must linearize the hot variable:\n%s", o2)
+	}
+	if strings.Contains(o2, "chpl_Point") {
+		t.Fatal("opt-2 must not traverse Chapel structures for hot variables")
+	}
+
+	// Function name derives from the class name.
+	for _, src := range []string{gen, o1, o2} {
+		if !strings.Contains(src, "void kmeans_reduction(reduction_args_t* args)") {
+			t.Fatalf("missing FREERIDE entry point:\n%s", src)
+		}
+	}
+}
+
+func TestEmitCErrorsAndSanitize(t *testing.T) {
+	if _, err := EmitC(nil, pointsType(1, 1), OptNone); err == nil {
+		t.Fatal("nil class: want error")
+	}
+	cls := kmeansClass(2, 2, makeCentroids(2, 2, 1))
+	if _, err := EmitC(cls, chapel.IntType(), OptNone); err == nil {
+		t.Fatal("non-array dataset: want error")
+	}
+	deep := chapel.ArrayType(chapel.ArrayType(chapel.ArrayType(chapel.RealType(), 1, 2), 1, 2), 1, 2)
+	cls2 := &ReductionClass{Kernel: cls.Kernel}
+	if _, err := EmitC(cls2, deep, OptNone); err == nil {
+		t.Fatal("3-level dataset: want error")
+	}
+	// Unnamed class falls back to "reduction"; odd characters sanitize.
+	cls.Name = "k-means v2!"
+	src, err := EmitC(cls, pointsType(4, 2), Opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "void k_means_v2_reduction(") {
+		t.Fatalf("sanitized name missing:\n%s", src)
+	}
+	cls.Name = ""
+	src, err = EmitC(cls, pointsType(4, 2), Opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "void reduction_reduction(") {
+		t.Fatalf("default name missing:\n%s", src)
+	}
+	if sanitizeIdent("a b-c!") != "a_b_c" {
+		t.Fatal("sanitizeIdent")
+	}
+}
+
+func TestEmitCFlatDataset(t *testing.T) {
+	// A flat [1..n] real dataset promotes to n×1 and still emits.
+	cls := &ReductionClass{
+		Name:   "sum",
+		Kernel: func(*Vec, []*StateVec, *freeride.ReductionArgs) {},
+	}
+	src, err := EmitC(cls, chapel.ArrayType(chapel.RealType(), 1, 100), Opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "void sum_reduction(") {
+		t.Fatalf("flat dataset emit:\n%s", src)
+	}
+}

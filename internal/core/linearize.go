@@ -1,0 +1,335 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"chapelfreeride/internal/chapel"
+)
+
+// Buffer is linearized storage: the dense low-level data Ds that FREERIDE's
+// "simple 2-D array view" requires, produced from a high-level Chapel value
+// by Algorithm 2. It retains the source type so the storage can be mapped
+// (Meta/ComputeIndex) and de-linearized (written back).
+type Buffer struct {
+	// Ty is the Chapel type of the linearized value.
+	Ty *chapel.Type
+	// Bytes is the dense storage, in the layout SizeOf describes.
+	Bytes []byte
+}
+
+// Linearize is Algorithm 2 (linearizeIt): it allocates storage of
+// ComputeLinearizeSize bytes and recursively copies the value into it —
+// primitives directly, arrays element by element, records member by member.
+func Linearize(v chapel.Value) *Buffer {
+	b := &Buffer{Ty: v.Type(), Bytes: make([]byte, ComputeLinearizeSize(v))}
+	off := linearizeInto(b.Bytes, 0, v)
+	if off != len(b.Bytes) {
+		panic(fmt.Sprintf("core: linearize wrote %d of %d bytes", off, len(b.Bytes)))
+	}
+	return b
+}
+
+// linearizeInto copies v at offset off, returning the next free offset.
+func linearizeInto(dst []byte, off int, v chapel.Value) int {
+	switch x := v.(type) {
+	case *chapel.Int:
+		binary.LittleEndian.PutUint64(dst[off:], uint64(x.Val))
+		return off + intSize
+	case *chapel.Real:
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(x.Val))
+		return off + realSize
+	case *chapel.Bool:
+		if x.Val {
+			dst[off] = 1
+		} else {
+			dst[off] = 0
+		}
+		return off + boolSize
+	case *chapel.String:
+		n := copy(dst[off:off+x.Ty.MaxLen], x.Val)
+		for i := off + n; i < off+x.Ty.MaxLen; i++ {
+			dst[i] = 0
+		}
+		return off + x.Ty.MaxLen
+	case *chapel.Enum:
+		binary.LittleEndian.PutUint64(dst[off:], uint64(x.Ordinal))
+		return off + enumSize
+	case *chapel.Array:
+		for _, e := range x.Elems {
+			off = linearizeInto(dst, off, e)
+		}
+		return off
+	case *chapel.Record:
+		for _, f := range x.Fields {
+			off = linearizeInto(dst, off, f)
+		}
+		return off
+	default:
+		panic(fmt.Sprintf("core: linearize of unknown value %T", v))
+	}
+}
+
+// LinearizeExpr is Algorithm 2's isIterative branch: the linearization
+// function is invoked iteratively on each element the expression yields
+// (e.g. on each sum of corresponding elements for A+B). The result is typed
+// as a [1..n] array of the element type.
+func LinearizeExpr(e chapel.Expr) *Buffer {
+	n := e.Len()
+	ty := chapel.ArrayType(e.ElemType(), 1, n)
+	b := &Buffer{Ty: ty, Bytes: make([]byte, ExprLinearizeSize(e))}
+	off := 0
+	for i := 0; i < n; i++ {
+		off = linearizeInto(b.Bytes, off, e.Index(i))
+	}
+	return b
+}
+
+// LinearizeParallel linearizes a top-level array with the given number of
+// workers, each copying a contiguous range of elements (element offsets are
+// fixed by the type, so ranges are independent). The paper performs
+// linearization sequentially and names parallel/pipelined linearization as
+// future work (§V); this is that extension, exercised by the ABL-PIPE
+// ablation.
+func LinearizeParallel(a *chapel.Array, workers int) *Buffer {
+	if workers < 1 {
+		workers = 1
+	}
+	n := a.Len()
+	if workers > n {
+		workers = n
+	}
+	elemSize := SizeOf(a.Ty.Elem)
+	b := &Buffer{Ty: a.Ty, Bytes: make([]byte, n*elemSize)}
+	if workers <= 1 {
+		linearizeInto(b.Bytes, 0, a)
+		return b
+	}
+	var wg sync.WaitGroup
+	base, extra := n/workers, n%workers
+	begin := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < extra {
+			size++
+		}
+		lo, hi := begin, begin+size
+		begin = hi
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			off := lo * elemSize
+			for i := lo; i < hi; i++ {
+				off = linearizeInto(b.Bytes, off, a.Elems[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return b
+}
+
+// ReadReal reads the real at byte offset off.
+func (b *Buffer) ReadReal(off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b.Bytes[off:]))
+}
+
+// WriteReal stores a real at byte offset off.
+func (b *Buffer) WriteReal(off int, v float64) {
+	binary.LittleEndian.PutUint64(b.Bytes[off:], math.Float64bits(v))
+}
+
+// ReadInt reads the int at byte offset off.
+func (b *Buffer) ReadInt(off int) int64 {
+	return int64(binary.LittleEndian.Uint64(b.Bytes[off:]))
+}
+
+// WriteInt stores an int at byte offset off.
+func (b *Buffer) WriteInt(off int, v int64) {
+	binary.LittleEndian.PutUint64(b.Bytes[off:], uint64(v))
+}
+
+// ReadBool reads the bool at byte offset off.
+func (b *Buffer) ReadBool(off int) bool { return b.Bytes[off] != 0 }
+
+// ReadString reads the fixed-width string slot of width maxLen at off,
+// trimming the zero padding.
+func (b *Buffer) ReadString(off, maxLen int) string {
+	s := b.Bytes[off : off+maxLen]
+	end := len(s)
+	for end > 0 && s[end-1] == 0 {
+		end--
+	}
+	return string(s[:end])
+}
+
+// Delinearize reconstructs the boxed Chapel value from linearized storage —
+// the inverse of Linearize, used to write reduction results back into
+// Chapel's world and to verify round-trips.
+func Delinearize(b *Buffer) (chapel.Value, error) {
+	if want := SizeOf(b.Ty); want != len(b.Bytes) {
+		return nil, fmt.Errorf("core: delinearize size mismatch: type wants %d bytes, buffer has %d",
+			want, len(b.Bytes))
+	}
+	v, _ := delinearizeAt(b, 0, b.Ty)
+	return v, nil
+}
+
+func delinearizeAt(b *Buffer, off int, ty *chapel.Type) (chapel.Value, int) {
+	switch ty.Kind {
+	case chapel.KindInt:
+		return &chapel.Int{Val: b.ReadInt(off)}, off + intSize
+	case chapel.KindReal:
+		return &chapel.Real{Val: b.ReadReal(off)}, off + realSize
+	case chapel.KindBool:
+		return &chapel.Bool{Val: b.ReadBool(off)}, off + boolSize
+	case chapel.KindString:
+		return &chapel.String{Ty: ty, Val: b.ReadString(off, ty.MaxLen)}, off + ty.MaxLen
+	case chapel.KindEnum:
+		ord := int(b.ReadInt(off))
+		if ord < 0 || ord >= len(ty.Consts) {
+			ord = 0
+		}
+		return &chapel.Enum{Ty: ty, Ordinal: ord}, off + enumSize
+	case chapel.KindArray:
+		a := &chapel.Array{Ty: ty, Elems: make([]chapel.Value, ty.Len())}
+		for i := range a.Elems {
+			a.Elems[i], off = delinearizeAt(b, off, ty.Elem)
+		}
+		return a, off
+	case chapel.KindRecord:
+		r := &chapel.Record{Ty: ty, Fields: make([]chapel.Value, len(ty.Fields))}
+		for i, f := range ty.Fields {
+			r.Fields[i], off = delinearizeAt(b, off, f.Type)
+		}
+		return r, off
+	default:
+		panic("core: delinearize of unknown kind " + ty.Kind.String())
+	}
+}
+
+// Float64s decodes the buffer as a dense []float64, valid only for all-real
+// layouts. This is the element-typed view of Fig. 8's linear_data.
+func (b *Buffer) Float64s() ([]float64, error) {
+	if !AllReal(b.Ty) {
+		return nil, fmt.Errorf("core: Float64s view needs an all-real layout, type is %s", b.Ty)
+	}
+	out := make([]float64, len(b.Bytes)/8)
+	for i := range out {
+		out[i] = b.ReadReal(i * 8)
+	}
+	return out, nil
+}
+
+// LinearizeToWords linearizes an all-real value directly into a []float64,
+// skipping the byte stage. This is the fast path used for the input
+// datasets handed to FREERIDE and for opt-2's hot-variable linearization.
+func LinearizeToWords(v chapel.Value) ([]float64, error) {
+	if !AllReal(v.Type()) {
+		return nil, fmt.Errorf("core: LinearizeToWords needs an all-real value, type is %s", v.Type())
+	}
+	out := make([]float64, ComputeLinearizeSize(v)/8)
+	n := wordsInto(out, 0, v)
+	if n != len(out) {
+		panic(fmt.Sprintf("core: word linearize wrote %d of %d words", n, len(out)))
+	}
+	return out, nil
+}
+
+// LinearizeToWordsParallel is LinearizeToWords with parallel element copy
+// for a top-level array (see LinearizeParallel).
+func LinearizeToWordsParallel(a *chapel.Array, workers int) ([]float64, error) {
+	if !AllReal(a.Ty) {
+		return nil, fmt.Errorf("core: LinearizeToWords needs an all-real value, type is %s", a.Ty)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := a.Len()
+	if workers > n {
+		workers = n
+	}
+	elemWords := SizeOf(a.Ty.Elem) / 8
+	out := make([]float64, n*elemWords)
+	if workers <= 1 {
+		wordsInto(out, 0, a)
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	base, extra := n/workers, n%workers
+	begin := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < extra {
+			size++
+		}
+		lo, hi := begin, begin+size
+		begin = hi
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			off := lo * elemWords
+			for i := lo; i < hi; i++ {
+				off = wordsInto(out, off, a.Elems[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+func wordsInto(dst []float64, off int, v chapel.Value) int {
+	switch x := v.(type) {
+	case *chapel.Real:
+		dst[off] = x.Val
+		return off + 1
+	case *chapel.Array:
+		for _, e := range x.Elems {
+			off = wordsInto(dst, off, e)
+		}
+		return off
+	case *chapel.Record:
+		for _, f := range x.Fields {
+			off = wordsInto(dst, off, f)
+		}
+		return off
+	default:
+		panic(fmt.Sprintf("core: word linearize of non-real value %T", v))
+	}
+}
+
+// WordsBack writes a []float64 word view back into a boxed all-real value,
+// the word-level inverse used to return FREERIDE results (e.g. updated
+// centroids) to Chapel structures.
+func WordsBack(words []float64, v chapel.Value) error {
+	if !AllReal(v.Type()) {
+		return fmt.Errorf("core: WordsBack needs an all-real value, type is %s", v.Type())
+	}
+	want := ComputeLinearizeSize(v) / 8
+	if len(words) != want {
+		return fmt.Errorf("core: WordsBack got %d words, value wants %d", len(words), want)
+	}
+	wordsBack(words, 0, v)
+	return nil
+}
+
+func wordsBack(src []float64, off int, v chapel.Value) int {
+	switch x := v.(type) {
+	case *chapel.Real:
+		x.Val = src[off]
+		return off + 1
+	case *chapel.Array:
+		for _, e := range x.Elems {
+			off = wordsBack(src, off, e)
+		}
+		return off
+	case *chapel.Record:
+		for _, f := range x.Fields {
+			off = wordsBack(src, off, f)
+		}
+		return off
+	default:
+		panic(fmt.Sprintf("core: wordsBack into non-real value %T", v))
+	}
+}

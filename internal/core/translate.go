@@ -1,0 +1,546 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+)
+
+// OptLevel selects which of the paper's three compiler-generated code shapes
+// the translator emits (§V):
+//
+//	OptNone — "generated": ComputeIndex evaluated for every innermost
+//	          element, hot variables read through boxed Chapel structures.
+//	Opt1    — strength reduction: the index is hoisted out of the innermost
+//	          loop and the contiguous run is walked directly; hot variables
+//	          still go through boxed structures.
+//	Opt2    — Opt1 plus linearization of the frequently-accessed variables,
+//	          which are then read "through the mapping algorithm" on flat
+//	          storage.
+type OptLevel int
+
+const (
+	// OptNone is the unoptimized generated code.
+	OptNone OptLevel = iota
+	// Opt1 adds strength reduction of the innermost ComputeIndex.
+	Opt1
+	// Opt2 adds hot-variable linearization on top of Opt1.
+	Opt2
+)
+
+// String returns the paper's name for the level.
+func (o OptLevel) String() string {
+	switch o {
+	case OptNone:
+		return "generated"
+	case Opt1:
+		return "opt-1"
+	case Opt2:
+		return "opt-2"
+	default:
+		return fmt.Sprintf("opt(%d)", int(o))
+	}
+}
+
+// OptLevels lists the levels in increasing optimization order.
+func OptLevels() []OptLevel { return []OptLevel{OptNone, Opt1, Opt2} }
+
+// Vec is the translator's view of one data element's innermost contiguous
+// run of reals (e.g. one point's coordinates). The kernel is written once
+// against Vec; the translator binds the access mode the optimization level
+// dictates. Vec is a concrete struct (not an interface) so that the
+// strength-reduced path compiles to a direct slice load — matching the
+// paper, where opt-1/opt-2 output is ordinary C array code while the
+// generated version calls computeIndex per element.
+type Vec struct {
+	// run is the strength-reduced view (Opt1/Opt2): the element's words,
+	// base offset already applied. nil in generated mode.
+	run []float64
+	// Generated-mode state: the whole linearized buffer plus the mapping
+	// metadata, with ComputeIndex evaluated on every access.
+	words []float64
+	meta  *Meta
+	row   int // domain index at level 0
+}
+
+// Len is the number of reals in the run.
+func (v *Vec) Len() int {
+	if v.run != nil {
+		return len(v.run)
+	}
+	return v.meta.InnerLen
+}
+
+// At reads the k-th real (0-based within the run).
+func (v *Vec) At(k int) float64 {
+	if v.run != nil {
+		return v.run[k]
+	}
+	return v.atMapped(k)
+}
+
+// atMapped is the generated-mode access: Algorithm 3 from the top for every
+// element, Fig. 8's pre-optimization loop body.
+func (v *Vec) atMapped(k int) float64 {
+	idx := [2]int{v.row, v.meta.Lo[1] + k}
+	return v.words[v.meta.ComputeIndex(idx[:]...)]
+}
+
+// Row materializes the element's run as a contiguous slice of length Len().
+// The strength-reduced modes return the run zero-copy; generated mode
+// evaluates ComputeIndex once per element of the run into scratch — exactly
+// the Fig. 8 "after linearization" loop before strength reduction. scratch
+// must have length at least Len() (use freeride.ReductionArgs.Scratch).
+func (v *Vec) Row(scratch []float64) []float64 {
+	if v.run != nil {
+		return v.run
+	}
+	n := v.meta.InnerLen
+	scratch = scratch[:n]
+	for k := 0; k < n; k++ {
+		scratch[k] = v.atMapped(k)
+	}
+	return scratch
+}
+
+// StateVec is the translator's view of a frequently-accessed ("hot")
+// variable such as k-means' centroids: At(i, j) reads the j-th real of the
+// i-th element, in the variable's declared domains. In generated/opt-1 mode
+// every access walks the boxed Chapel structure (§V's overhead source 3);
+// in opt-2 mode the variable has been linearized and the access is the
+// mapping algorithm on dense words.
+type StateVec struct {
+	// Opt2 path: flat words plus the two-level mapping constants
+	// (Algorithm 3 specialized to levels=2).
+	flat                   []float64
+	u0, off0, u1, lo0, lo1 int
+	// Boxed path (generated/opt-1).
+	boxed *boxedState
+	// shape
+	elems, width int
+	src          *chapel.Array
+}
+
+// At reads element (i, j) in the variable's domain indices.
+func (s *StateVec) At(i, j int) float64 {
+	if s.flat != nil {
+		return s.flat[s.u0*(i-s.lo0)+s.off0+s.u1*(j-s.lo1)]
+	}
+	return s.boxed.at(i, j)
+}
+
+// Row returns element i's reals as a contiguous slice of length Width(). In
+// opt-2 mode this is a zero-copy view of the linearized words (the mapping
+// arithmetic runs once per row, which is what the paper's generated-then-
+// compiled C achieves through loop-invariant hoisting). In boxed mode the
+// row is materialized into scratch through the boxed structure, paying the
+// per-element traversal cost opt-2 exists to remove; scratch must have
+// length at least Width() (use freeride.ReductionArgs.Scratch).
+func (s *StateVec) Row(i int, scratch []float64) []float64 {
+	if s.flat != nil {
+		base := s.u0*(i-s.lo0) + s.off0
+		return s.flat[base : base+s.width]
+	}
+	scratch = scratch[:s.width]
+	for j := 0; j < s.width; j++ {
+		scratch[j] = s.boxed.at(i, s.boxed.innerLo+j)
+	}
+	return scratch
+}
+
+// Elems reports the level-0 domain length.
+func (s *StateVec) Elems() int { return s.elems }
+
+// Width reports the inner run length.
+func (s *StateVec) Width() int { return s.width }
+
+// refresh re-linearizes the boxed source into the flat words after the
+// source changed (no-op for boxed mode, whose access is live).
+func (s *StateVec) refresh() {
+	if s.flat != nil {
+		wordsInto(s.flat, 0, s.src)
+	}
+}
+
+// boxedState holds the pre-resolved field index for boxed traversal.
+type boxedState struct {
+	root    *chapel.Array
+	field   int  // record field between the two array levels, or -1
+	vector  bool // [1..n] real addressed as a single 1×n element
+	innerLo int  // inner array's domain low bound
+}
+
+// at walks the boxed structure: array element, optional record field,
+// inner array element — pointer chasing and dynamic type switches on every
+// access, the cost opt-2 exists to remove.
+func (s *boxedState) at(i, j int) float64 {
+	if s.vector {
+		return s.root.At(j).(*chapel.Real).Val
+	}
+	e := s.root.At(i)
+	if s.field >= 0 {
+		e = e.(*chapel.Record).Fields[s.field]
+	}
+	return e.(*chapel.Array).At(j).(*chapel.Real).Val
+}
+
+// NewBoxedStateVec builds the boxed (generated/opt-1) hot-variable view.
+// The variable must be a two-level structure: [1..n] record with a real
+// array field (path names the field), [1..n][1..m] real, or [1..n] real
+// (addressed as n×1).
+func NewBoxedStateVec(root *chapel.Array, path []string) (*StateVec, error) {
+	b := &boxedState{root: root, field: -1}
+	s := &StateVec{boxed: b, elems: root.Len(), src: root}
+	elem := root.Ty.Elem
+	switch {
+	case elem.Kind == chapel.KindArray && len(path) == 0:
+		s.width = elem.Len()
+		b.innerLo = elem.Lo
+	case elem.Kind == chapel.KindRecord && len(path) == 1:
+		f := elem.FieldIndex(path[0])
+		if f < 0 {
+			return nil, fmt.Errorf("core: record %s has no field %q", elem.Name, path[0])
+		}
+		inner := elem.Fields[f].Type
+		if inner.Kind != chapel.KindArray || inner.Elem.Kind != chapel.KindReal {
+			return nil, fmt.Errorf("core: hot path %v must select a real array, got %s", path, inner)
+		}
+		b.field = f
+		s.width = inner.Len()
+		b.innerLo = inner.Lo
+	case elem.Kind == chapel.KindReal && len(path) == 0:
+		// A flat vector is addressed as one 1×n element.
+		b.vector = true
+		b.innerLo = root.Ty.Lo
+		s.elems = 1
+		s.width = root.Len()
+	default:
+		return nil, fmt.Errorf("core: unsupported hot variable shape %s with path %v", root.Ty, path)
+	}
+	return s, nil
+}
+
+// NewWordStateVec builds the linearized (opt-2) hot-variable view: the
+// variable is linearized once and subsequently addressed with the mapping
+// algorithm on dense words. Call StateVec.refresh (via
+// Translation.RefreshHotVars) after mutating the boxed source.
+func NewWordStateVec(root *chapel.Array, path []string) (*StateVec, error) {
+	meta, err := MetaFor(root.Ty, path...)
+	if err != nil {
+		return nil, err
+	}
+	promoteFlatVectorMeta(meta, root.Len())
+	if meta.Levels != 2 {
+		return nil, fmt.Errorf("core: hot variable needs 2-level addressing, path %v gives %d", path, meta.Levels)
+	}
+	wmeta, err := meta.Words()
+	if err != nil {
+		return nil, err
+	}
+	words, err := LinearizeToWords(root)
+	if err != nil {
+		return nil, err
+	}
+	elems := root.Len()
+	if root.Ty.Elem.Kind == chapel.KindReal && len(path) == 0 {
+		elems = 1 // vector promoted to 1×n
+	}
+	return &StateVec{
+		flat:  words,
+		u0:    wmeta.UnitSize[0],
+		off0:  wmeta.UnitOffset[0][wmeta.Position[0][0]] + wmeta.LeafOffset,
+		u1:    wmeta.UnitSize[1],
+		lo0:   wmeta.Lo[0],
+		lo1:   wmeta.Lo[1],
+		elems: elems,
+		width: wmeta.InnerLen,
+		src:   root,
+	}, nil
+}
+
+// promoteFlatDataMeta rewrites a 1-level meta ([1..n] of a primitive) as an
+// n×1 two-level access: each primitive is one data element (row), matching
+// FREERIDE's view of a flat dataset.
+func promoteFlatDataMeta(meta *Meta) {
+	if meta.Levels != 1 {
+		return
+	}
+	meta.Levels = 2
+	meta.UnitSize = append(meta.UnitSize, meta.UnitSize[0])
+	meta.UnitOffset = append(meta.UnitOffset, []int{meta.LeafOffset})
+	meta.Position = append(meta.Position, []int{0})
+	meta.LeafOffset = 0
+	meta.Lo = append(meta.Lo, 1)
+	meta.InnerLen = 1
+}
+
+// promoteFlatVectorMeta rewrites a 1-level meta ([1..n] of a primitive) as
+// a 1×n two-level access: the whole vector is a single element whose row is
+// the n values — the natural addressing for hot-variable vectors like PCA's
+// mean (At(1, j), Row(1)).
+func promoteFlatVectorMeta(meta *Meta, n int) {
+	if meta.Levels != 1 {
+		return
+	}
+	inner := meta.UnitSize[0]
+	meta.Levels = 2
+	meta.UnitSize = []int{n * inner, inner}
+	meta.UnitOffset = [][]int{{meta.LeafOffset}}
+	meta.Position = [][]int{{0}}
+	meta.LeafOffset = 0
+	meta.Lo = []int{1, meta.Lo[0]}
+	meta.InnerLen = n
+}
+
+// Kernel is the translated accumulate body: it processes one data element,
+// reading the element through elem, hot variables through hot, and updating
+// the reduction object through args.Accumulate.
+type Kernel func(elem *Vec, hot []*StateVec, args *freeride.ReductionArgs)
+
+// HotVar declares a frequently-accessed variable for the kernel: a boxed
+// two-level structure (array of records with a real array field, array of
+// real arrays, or array of reals) plus the field path to its real run.
+type HotVar struct {
+	Value *chapel.Array
+	Path  []string
+}
+
+// ReductionClass is the translator's input: the Chapel-side reduction
+// (paper Fig. 3) described declaratively — the reduction-object shape, the
+// access path from a data element to its real run, the hot variables, and
+// the accumulate kernel.
+type ReductionClass struct {
+	// Name identifies the reduction in diagnostics.
+	Name string
+	// Object is the FREERIDE reduction-object shape to allocate.
+	Object freeride.ObjectSpec
+	// Path selects the real run inside one data element (empty when the
+	// element itself is a real array or a single real).
+	Path []string
+	// HotVars lists the structures the kernel reads for every element.
+	HotVars []HotVar
+	// Kernel is the per-element accumulate body.
+	Kernel Kernel
+	// Combine optionally post-processes the merged object (combination_t).
+	Combine func(o *robj.Object) error
+	// Finalize optionally runs on the run result (finalize_t).
+	Finalize func(r *freeride.Result) error
+}
+
+// Translation is compiled, executable output of Translate: a FREERIDE spec
+// plus the linearized input it runs over.
+type Translation struct {
+	class *ReductionClass
+	opt   OptLevel
+
+	words []float64
+	meta  *Meta // word units, for the data
+	rows  int
+	cols  int // words per element
+
+	hot []*StateVec
+
+	// stream is non-nil for TranslateStreaming translations: the source is
+	// gated on the background linearizer.
+	stream *StreamStats
+
+	// LinearizeTime is the cost of the sequential input linearization (the
+	// first overhead source in §V; not optimized by opt-1/opt-2). Zero for
+	// streaming translations, whose cost is overlapped (StreamStats).
+	LinearizeTime time.Duration
+	// HotLinearizeTime is the opt-2 hot-variable linearization cost.
+	HotLinearizeTime time.Duration
+}
+
+// TranslateOptions tunes the translation.
+type TranslateOptions struct {
+	// LinearizeWorkers > 1 enables the parallel linearization extension
+	// (the paper's future-work pipelining). Default 1: sequential, as the
+	// paper's implementation does.
+	LinearizeWorkers int
+}
+
+// Translate compiles a ReductionClass over a Chapel data array into a
+// FREERIDE execution. The data must be an all-real array whose elements
+// reach their real run through Path with two-level addressing (the
+// FREERIDE "simple 2-D array view").
+func Translate(class *ReductionClass, data *chapel.Array, opt OptLevel) (*Translation, error) {
+	return TranslateWith(class, data, opt, TranslateOptions{})
+}
+
+// TranslateWith is Translate with options.
+func TranslateWith(class *ReductionClass, data *chapel.Array, opt OptLevel, o TranslateOptions) (*Translation, error) {
+	if class == nil || class.Kernel == nil {
+		return nil, fmt.Errorf("core: translation needs a class with a kernel")
+	}
+	if !AllReal(data.Ty) {
+		return nil, fmt.Errorf("core: FREERIDE translation needs an all-real dataset, type is %s", data.Ty)
+	}
+	meta, err := MetaFor(data.Ty, class.Path...)
+	if err != nil {
+		return nil, err
+	}
+	promoteFlatDataMeta(meta)
+	if meta.Levels != 2 {
+		return nil, fmt.Errorf("core: dataset access path %v needs 2-level addressing, got %d levels",
+			class.Path, meta.Levels)
+	}
+	wmeta, err := meta.Words()
+	if err != nil {
+		return nil, err
+	}
+	tr := &Translation{class: class, opt: opt, meta: wmeta, rows: data.Len()}
+	tr.cols = SizeOf(data.Ty.Elem) / 8
+
+	// Linearize the input dataset (Ft: Dv → Ds). Sequential unless the
+	// pipelining extension is requested.
+	t0 := time.Now()
+	workers := o.LinearizeWorkers
+	if workers <= 1 {
+		tr.words, err = LinearizeToWords(data)
+	} else {
+		tr.words, err = LinearizeToWordsParallel(data, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tr.LinearizeTime = time.Since(t0)
+
+	// Prepare hot-variable access per optimization level.
+	t0 = time.Now()
+	for _, hv := range class.HotVars {
+		var sv *StateVec
+		if opt == Opt2 {
+			sv, err = NewWordStateVec(hv.Value, hv.Path)
+		} else {
+			sv, err = NewBoxedStateVec(hv.Value, hv.Path)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: hot variable: %w", err)
+		}
+		tr.hot = append(tr.hot, sv)
+	}
+	tr.HotLinearizeTime = time.Since(t0)
+	return tr, nil
+}
+
+// Opt reports the translation's optimization level.
+func (t *Translation) Opt() OptLevel { return t.opt }
+
+// Words exposes the linearized dataset (word view).
+func (t *Translation) Words() []float64 { return t.words }
+
+// Meta exposes the dataset's mapping metadata (word units).
+func (t *Translation) Meta() *Meta { return t.meta }
+
+// Source returns the linearized dataset as a FREERIDE data source: one row
+// per top-level element. For streaming translations the source blocks
+// readers until the background linearizer has produced the requested rows.
+func (t *Translation) Source() dataset.Source {
+	ws := NewWordSource(t.words, t.rows, t.cols)
+	if t.stream != nil {
+		return &streamSource{WordSource: ws, stats: t.stream}
+	}
+	return ws
+}
+
+// RefreshHotVars re-linearizes opt-2 hot variables after their boxed
+// sources changed (no-op at other levels, whose access is live). Call
+// between outer iterations, e.g. after k-means updates its centroids.
+func (t *Translation) RefreshHotVars() {
+	t0 := time.Now()
+	for _, sv := range t.hot {
+		sv.refresh()
+	}
+	t.HotLinearizeTime += time.Since(t0)
+}
+
+// Spec assembles the FREERIDE reduction spec whose Reduction callback is
+// the generated code for the translation's optimization level.
+func (t *Translation) Spec() freeride.Spec {
+	return SpecFromWords(t.class, t.words, t.meta, t.hot, t.opt)
+}
+
+// SpecFromWords assembles the optimization-level-specific FREERIDE spec for
+// a reduction class over an already-linearized dataset — the path used when
+// several reduction phases share one linearization (e.g. PCA's mean and
+// covariance phases). meta must be in word units and hot must have been
+// built to match opt (NewBoxedStateVec or NewWordStateVec).
+func SpecFromWords(class *ReductionClass, words []float64, meta *Meta, hot []*StateVec, opt OptLevel) freeride.Spec {
+	spec := freeride.Spec{Object: class.Object, Combine: class.Combine, Finalize: class.Finalize}
+	kernel := class.Kernel
+	switch opt {
+	case OptNone:
+		// Generated code: ComputeIndex in the innermost loop, boxed
+		// hot-variable access.
+		spec.Reduction = func(args *freeride.ReductionArgs) error {
+			vec := Vec{words: words, meta: meta}
+			for i := 0; i < args.NumRows; i++ {
+				vec.row = meta.Lo[0] + args.Begin + i
+				kernel(&vec, hot, args)
+			}
+			return nil
+		}
+	default:
+		// Opt-1/Opt-2: strength reduction — "the start point for the
+		// continuous data split is computed before the first iteration,
+		// and an appropriate pre-computed offset is added for each
+		// iteration" (§V). off0 is that pre-computed offset.
+		stride := meta.Stride()
+		inner := meta.InnerLen
+		u0 := meta.UnitSize[0]
+		off0 := meta.UnitOffset[0][meta.Position[0][0]] + meta.LeafOffset
+		spec.Reduction = func(args *freeride.ReductionArgs) error {
+			vec := Vec{}
+			for i := 0; i < args.NumRows; i++ {
+				base := u0*(args.Begin+i) + off0
+				vec.run = words[base : base+inner*stride]
+				kernel(&vec, hot, args)
+			}
+			return nil
+		}
+	}
+	return spec
+}
+
+// WordSource adapts a linearized word buffer to dataset.Source with the
+// zero-copy RowSlicer fast path.
+type WordSource struct {
+	words []float64
+	rows  int
+	cols  int
+}
+
+// NewWordSource wraps a flat row-major word buffer as a data source.
+func NewWordSource(words []float64, rows, cols int) *WordSource {
+	if rows*cols != len(words) {
+		panic(fmt.Sprintf("core: WordSource shape %dx%d over %d words", rows, cols, len(words)))
+	}
+	return &WordSource{words: words, rows: rows, cols: cols}
+}
+
+// NumRows implements dataset.Source.
+func (s *WordSource) NumRows() int { return s.rows }
+
+// Cols implements dataset.Source.
+func (s *WordSource) Cols() int { return s.cols }
+
+// ReadRows implements dataset.Source.
+func (s *WordSource) ReadRows(begin, end int, dst []float64) error {
+	if begin < 0 || end > s.rows || begin > end {
+		return fmt.Errorf("core: ReadRows range [%d,%d) out of [0,%d)", begin, end, s.rows)
+	}
+	if copy(dst, s.words[begin*s.cols:end*s.cols]) != (end-begin)*s.cols {
+		return fmt.Errorf("core: ReadRows dst too small")
+	}
+	return nil
+}
+
+// Rows implements dataset.RowSlicer, aliasing the word buffer.
+func (s *WordSource) Rows(begin, end int) []float64 {
+	return s.words[begin*s.cols : end*s.cols]
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+)
+
+// pointsType is the k-means data shape: [1..n] Point{coords: [1..dim] real}.
+func pointsType(n, dim int) *chapel.Type {
+	pt := chapel.RecordType("Point",
+		chapel.Field{Name: "coords", Type: chapel.ArrayType(chapel.RealType(), 1, dim)})
+	return chapel.ArrayType(pt, 1, n)
+}
+
+func makePoints(n, dim int, seed int64) *chapel.Array {
+	rng := rand.New(rand.NewSource(seed))
+	data := chapel.NewArray(pointsType(n, dim))
+	for i := 1; i <= n; i++ {
+		c := data.At(i).(*chapel.Record).Field("coords").(*chapel.Array)
+		for j := 1; j <= dim; j++ {
+			c.SetAt(j, &chapel.Real{Val: float64(rng.Intn(1000))})
+		}
+	}
+	return data
+}
+
+func makeCentroids(k, dim int, seed int64) *chapel.Array {
+	return makePoints(k, dim, seed)
+}
+
+// kmeansClass builds the translator input mirroring the paper's Fig. 3
+// k-means reduction class: per point, find the nearest centroid and update
+// the reduction object (per-cluster coordinate sums plus a count).
+func kmeansClass(k, dim int, centroids *chapel.Array) *ReductionClass {
+	return &ReductionClass{
+		Name:   "kmeans",
+		Object: freeride.ObjectSpec{Groups: k, Elems: dim + 1, Op: robj.OpAdd},
+		Path:   []string{"coords"},
+		HotVars: []HotVar{
+			{Value: centroids, Path: []string{"coords"}},
+		},
+		Kernel: func(elem *Vec, hot []*StateVec, args *freeride.ReductionArgs) {
+			cents := hot[0]
+			pt := elem.Row(args.Scratch(0, dim))
+			best, bestDist := 1, math.Inf(1)
+			for c := 1; c <= k; c++ {
+				cc := cents.Row(c, args.Scratch(1, dim))
+				var d float64
+				for j := 0; j < dim; j++ {
+					diff := pt[j] - cc[j]
+					d += diff * diff
+				}
+				if d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			for j := 0; j < dim; j++ {
+				args.Accumulate(best-1, j, elem.At(j))
+			}
+			args.Accumulate(best-1, dim, 1)
+		},
+	}
+}
+
+// kmeansManual computes the same reduction sequentially on boxed data, as
+// the reference.
+func kmeansManual(data, centroids *chapel.Array, k, dim int) []float64 {
+	out := make([]float64, k*(dim+1))
+	for i := 1; i <= data.Len(); i++ {
+		coords := data.At(i).(*chapel.Record).Field("coords").(*chapel.Array)
+		best, bestDist := 1, math.Inf(1)
+		for c := 1; c <= k; c++ {
+			cc := centroids.At(c).(*chapel.Record).Field("coords").(*chapel.Array)
+			var d float64
+			for j := 1; j <= dim; j++ {
+				diff := coords.At(j).(*chapel.Real).Val - cc.At(j).(*chapel.Real).Val
+				d += diff * diff
+			}
+			if d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		for j := 1; j <= dim; j++ {
+			out[(best-1)*(dim+1)+j-1] += coords.At(j).(*chapel.Real).Val
+		}
+		out[(best-1)*(dim+1)+dim]++
+	}
+	return out
+}
+
+func TestTranslateAllLevelsMatchReference(t *testing.T) {
+	const n, k, dim = 500, 5, 3
+	data := makePoints(n, dim, 1)
+	centroids := makeCentroids(k, dim, 2)
+	want := kmeansManual(data, centroids, k, dim)
+	for _, opt := range OptLevels() {
+		tr, err := Translate(kmeansClass(k, dim, centroids), data, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", opt, err)
+		}
+		for _, threads := range []int{1, 4} {
+			eng := freeride.New(freeride.Config{Threads: threads, SplitRows: 64})
+			res, err := eng.Run(tr.Spec(), tr.Source())
+			if err != nil {
+				t.Fatalf("%v/threads=%d: %v", opt, threads, err)
+			}
+			got := res.Object.Snapshot()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v/threads=%d: cell %d = %v, want %v", opt, threads, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestOptLevelStrings(t *testing.T) {
+	if OptNone.String() != "generated" || Opt1.String() != "opt-1" || Opt2.String() != "opt-2" {
+		t.Fatal("opt level strings")
+	}
+	if OptLevel(9).String() != "opt(9)" {
+		t.Fatal("unknown opt level")
+	}
+	if len(OptLevels()) != 3 {
+		t.Fatal("OptLevels")
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	data := makePoints(10, 2, 1)
+	cls := kmeansClass(2, 2, makeCentroids(2, 2, 2))
+	if _, err := Translate(nil, data, OptNone); err == nil {
+		t.Fatal("nil class: want error")
+	}
+	if _, err := Translate(&ReductionClass{}, data, OptNone); err == nil {
+		t.Fatal("nil kernel: want error")
+	}
+	// Non-all-real dataset.
+	intData := chapel.NewArray(chapel.ArrayType(chapel.IntType(), 1, 4))
+	if _, err := Translate(cls, intData, OptNone); err == nil {
+		t.Fatal("int dataset: want error")
+	}
+	// Wrong path.
+	bad := kmeansClass(2, 2, makeCentroids(2, 2, 2))
+	bad.Path = []string{"nope"}
+	if _, err := Translate(bad, data, OptNone); err == nil {
+		t.Fatal("bad path: want error")
+	}
+	// Path resolving to 3 levels.
+	deep := chapel.ArrayType(chapel.ArrayType(chapel.ArrayType(chapel.RealType(), 1, 2), 1, 2), 1, 2)
+	deepData := chapel.NewArray(deep)
+	cls2 := &ReductionClass{
+		Object: freeride.ObjectSpec{Groups: 1, Elems: 1, Op: robj.OpAdd},
+		Kernel: func(*Vec, []*StateVec, *freeride.ReductionArgs) {},
+	}
+	if _, err := Translate(cls2, deepData, OptNone); err == nil {
+		t.Fatal("3-level path: want error")
+	}
+	// Bad hot variable path.
+	badHot := kmeansClass(2, 2, makeCentroids(2, 2, 2))
+	badHot.HotVars[0].Path = []string{"nope"}
+	for _, opt := range OptLevels() {
+		if _, err := Translate(badHot, data, opt); err == nil {
+			t.Fatalf("%v: bad hot path: want error", opt)
+		}
+	}
+}
+
+func TestHotVarShapes(t *testing.T) {
+	// [1..n] real hot variable (e.g. a weight vector) works at every level
+	// and is addressed as n×1.
+	weights := chapel.RealArray(2, 4, 8)
+	data := chapel.RealArray(1, 1, 1, 1)
+	cls := &ReductionClass{
+		Name:   "weighted-count",
+		Object: freeride.ObjectSpec{Groups: 1, Elems: 1, Op: robj.OpAdd},
+		HotVars: []HotVar{
+			{Value: weights},
+		},
+		Kernel: func(elem *Vec, hot []*StateVec, args *freeride.ReductionArgs) {
+			args.Accumulate(0, 0, elem.At(0)*hot[0].At(1, 2))
+		},
+	}
+	for _, opt := range OptLevels() {
+		tr, err := Translate(cls, data, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", opt, err)
+		}
+		// A flat vector is addressed as one 1×n element.
+		if tr.hot[0].Elems() != 1 || tr.hot[0].Width() != 3 {
+			t.Fatalf("%v: hot shape %dx%d", opt, tr.hot[0].Elems(), tr.hot[0].Width())
+		}
+		eng := freeride.New(freeride.Config{Threads: 2, SplitRows: 2})
+		res, err := eng.Run(tr.Spec(), tr.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Object.Get(0, 0); got != 16 { // 4 elems × weight 4
+			t.Fatalf("%v: got %v", opt, got)
+		}
+	}
+	// [1..n][1..m] real hot variable (array of arrays).
+	matTy := chapel.ArrayType(chapel.ArrayType(chapel.RealType(), 1, 2), 1, 2)
+	mat := chapel.NewArray(matTy)
+	mat.At(2).(*chapel.Array).SetAt(2, &chapel.Real{Val: 7})
+	cls.HotVars = []HotVar{{Value: mat}}
+	cls.Kernel = func(elem *Vec, hot []*StateVec, args *freeride.ReductionArgs) {
+		args.Accumulate(0, 0, hot[0].At(2, 2))
+	}
+	for _, opt := range OptLevels() {
+		tr, err := Translate(cls, data, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", opt, err)
+		}
+		eng := freeride.New(freeride.Config{Threads: 1})
+		res, err := eng.Run(tr.Spec(), tr.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Object.Get(0, 0); got != 28 { // 4 elems × 7
+			t.Fatalf("%v: got %v", opt, got)
+		}
+	}
+}
+
+func TestRefreshHotVars(t *testing.T) {
+	// Opt-2 linearizes hot vars; after mutating the boxed source, results
+	// must be stale until RefreshHotVars, then correct.
+	weights := chapel.RealArray(1)
+	data := chapel.RealArray(1, 1)
+	cls := &ReductionClass{
+		Object:  freeride.ObjectSpec{Groups: 1, Elems: 1, Op: robj.OpAdd},
+		HotVars: []HotVar{{Value: weights}},
+		Kernel: func(elem *Vec, hot []*StateVec, args *freeride.ReductionArgs) {
+			args.Accumulate(0, 0, hot[0].At(1, 1))
+		},
+	}
+	tr, err := Translate(cls, data, Opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := freeride.New(freeride.Config{Threads: 1})
+	run := func() float64 {
+		res, err := eng.Run(tr.Spec(), tr.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Object.Get(0, 0)
+	}
+	if got := run(); got != 2 {
+		t.Fatalf("initial = %v", got)
+	}
+	weights.SetAt(1, &chapel.Real{Val: 10})
+	if got := run(); got != 2 {
+		t.Fatalf("stale read should still see old words, got %v", got)
+	}
+	tr.RefreshHotVars()
+	if got := run(); got != 20 {
+		t.Fatalf("after refresh = %v", got)
+	}
+	// At boxed levels the access is live; refresh is a no-op but reads see
+	// the new value immediately.
+	tr1, err := Translate(cls, data, Opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights.SetAt(1, &chapel.Real{Val: 3})
+	res, err := eng.Run(tr1.Spec(), tr1.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Object.Get(0, 0); got != 6 {
+		t.Fatalf("boxed live read = %v", got)
+	}
+	tr1.RefreshHotVars() // no-op, must not panic
+}
+
+func TestTranslateParallelLinearizationOption(t *testing.T) {
+	data := makePoints(200, 4, 3)
+	centroids := makeCentroids(3, 4, 4)
+	cls := kmeansClass(3, 4, centroids)
+	seq, err := Translate(cls, data, Opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := TranslateWith(cls, data, Opt2, TranslateOptions{LinearizeWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Words() {
+		if seq.Words()[i] != par.Words()[i] {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+}
+
+func TestWordSource(t *testing.T) {
+	words := []float64{1, 2, 3, 4, 5, 6}
+	s := NewWordSource(words, 3, 2)
+	if s.NumRows() != 3 || s.Cols() != 2 {
+		t.Fatal("shape")
+	}
+	dst := make([]float64, 4)
+	if err := s.ReadRows(1, 3, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 3 || dst[3] != 6 {
+		t.Fatalf("dst = %v", dst)
+	}
+	if err := s.ReadRows(-1, 1, dst); err == nil {
+		t.Fatal("bad range: want error")
+	}
+	if err := s.ReadRows(0, 3, make([]float64, 2)); err == nil {
+		t.Fatal("short dst: want error")
+	}
+	if rows := s.Rows(1, 2); &rows[0] != &words[2] {
+		t.Fatal("Rows should alias")
+	}
+	mustPanic(t, "bad shape", func() { NewWordSource(words, 2, 2) })
+}
+
+func TestTranslationAccessors(t *testing.T) {
+	data := makePoints(10, 2, 5)
+	tr, err := Translate(kmeansClass(2, 2, makeCentroids(2, 2, 6)), data, Opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Opt() != Opt1 {
+		t.Fatal("Opt accessor")
+	}
+	if len(tr.Words()) != 20 {
+		t.Fatalf("words len %d", len(tr.Words()))
+	}
+	if tr.Meta().Levels != 2 || !tr.Meta().WordUnits() {
+		t.Fatal("meta accessor")
+	}
+	if tr.LinearizeTime < 0 {
+		t.Fatal("linearize time")
+	}
+}
+
+// Property: all three optimization levels produce identical reduction
+// objects for random k-means inputs (integer coordinates keep float
+// arithmetic exact; the kernel's accumulation order per cell is fixed).
+func TestPropertyOptLevelsEquivalent(t *testing.T) {
+	f := func(seed int64, nRaw uint8, kRaw, dimRaw uint8) bool {
+		n := int(nRaw%100) + 10
+		k := int(kRaw%5) + 1
+		dim := int(dimRaw%4) + 1
+		data := makePoints(n, dim, seed)
+		centroids := makeCentroids(k, dim, seed+1)
+		want := kmeansManual(data, centroids, k, dim)
+		for _, opt := range OptLevels() {
+			tr, err := Translate(kmeansClass(k, dim, centroids), data, opt)
+			if err != nil {
+				return false
+			}
+			eng := freeride.New(freeride.Config{Threads: 3, SplitRows: 16})
+			res, err := eng.Run(tr.Spec(), tr.Source())
+			if err != nil {
+				return false
+			}
+			got := res.Object.Snapshot()
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Fatal(err)
+	}
+}

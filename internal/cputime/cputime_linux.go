@@ -1,0 +1,31 @@
+//go:build linux
+
+// Package cputime exposes per-thread CPU time accounting where the platform
+// provides it. The FREERIDE engine uses it to report per-worker CPU work,
+// from which the benchmark harness estimates multicore scaling when the
+// machine running the reproduction has fewer cores than the paper's 8-core
+// testbed (per-worker CPU is unaffected by time-slicing, unlike wall time).
+package cputime
+
+import (
+	"syscall"
+	"time"
+)
+
+// Supported reports whether per-thread CPU accounting is available.
+func Supported() bool { return true }
+
+// ThreadCPU returns the calling OS thread's consumed CPU time (user +
+// system). The caller must be locked to its OS thread for the value to be
+// meaningful across calls.
+func ThreadCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_THREAD, &ru); err != nil {
+		return 0
+	}
+	return tvDuration(ru.Utime) + tvDuration(ru.Stime)
+}
+
+func tvDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}

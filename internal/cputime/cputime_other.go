@@ -1,0 +1,11 @@
+//go:build !linux
+
+package cputime
+
+import "time"
+
+// Supported reports whether per-thread CPU accounting is available.
+func Supported() bool { return false }
+
+// ThreadCPU returns 0 on platforms without per-thread accounting.
+func ThreadCPU() time.Duration { return 0 }

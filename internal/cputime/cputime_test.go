@@ -1,0 +1,37 @@
+package cputime
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestThreadCPUAdvances(t *testing.T) {
+	if !Supported() {
+		if ThreadCPU() != 0 {
+			t.Fatal("unsupported platform should report 0")
+		}
+		t.Skip("per-thread CPU accounting unsupported")
+	}
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	start := ThreadCPU()
+	// Burn some CPU; the accounted time must advance.
+	x := 0.0
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			x += float64(i)
+		}
+	}
+	if x < 0 {
+		t.Fatal("unreachable")
+	}
+	delta := ThreadCPU() - start
+	if delta <= 0 {
+		t.Fatalf("thread CPU did not advance: %v", delta)
+	}
+	if delta > time.Second {
+		t.Fatalf("implausible thread CPU delta: %v", delta)
+	}
+}

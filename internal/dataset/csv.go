@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV parses a rectangular numeric CSV into a matrix. When skipHeader
+// is set the first record is discarded. Every remaining record must have
+// the same number of numeric fields.
+func ReadCSV(r io.Reader, skipHeader bool) (*Matrix, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var (
+		data []float64
+		cols int
+		rows int
+		line int
+	)
+	for {
+		rec, err := cr.Read()
+		line++
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line, err)
+		}
+		if skipHeader && line == 1 {
+			continue
+		}
+		if cols == 0 {
+			cols = len(rec)
+		} else if len(rec) != cols {
+			return nil, fmt.Errorf("dataset: csv line %d has %d fields, want %d", line, len(rec), cols)
+		}
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d field %d: %w", line, i+1, err)
+			}
+			data = append(data, v)
+		}
+		rows++
+	}
+	if rows == 0 || cols == 0 {
+		return nil, fmt.Errorf("dataset: csv contained no data rows")
+	}
+	m := NewMatrix(rows, cols)
+	copy(m.Data, data)
+	return m, nil
+}
+
+// WriteCSV serializes the matrix as numeric CSV, optionally with a header
+// of the given column names (must match the column count when non-nil).
+func WriteCSV(w io.Writer, m *Matrix, header []string) error {
+	cw := csv.NewWriter(w)
+	if header != nil {
+		if len(header) != m.Cols {
+			return fmt.Errorf("dataset: header has %d names for %d columns", len(header), m.Cols)
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+	}
+	rec := make([]string, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

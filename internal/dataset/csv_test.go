@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := UniformMatrix(17, 4, 5, -100, 100)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m, []string{"a", "b", "c", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Fatal("csv round trip mismatch")
+	}
+	// Without header.
+	buf.Reset()
+	if err := WriteCSV(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadCSV(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Fatal("headerless round trip mismatch")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"header only": "a,b\n",
+		"non-numeric": "1,2\n3,oops\n",
+		"ragged":      "1,2\n3\n",
+	}
+	for name, src := range cases {
+		skip := name == "header only"
+		if _, err := ReadCSV(strings.NewReader(src), skip); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	// Header length mismatch on write.
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, NewMatrix(1, 2), []string{"only-one"}); err == nil {
+		t.Error("short header: want error")
+	}
+}
+
+func TestCSVParsesPlainFile(t *testing.T) {
+	src := "x,y,label\n1.5,2,0\n-3,4e2,1\n"
+	m, err := ReadCSV(strings.NewReader(src), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 3 || m.At(1, 1) != 400 || m.At(0, 0) != 1.5 {
+		t.Fatalf("parsed %v", m.Data)
+	}
+}

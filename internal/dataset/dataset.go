@@ -1,0 +1,348 @@
+// Package dataset provides the synthetic workloads and data access layer for
+// the reproduction: dense row-major matrices, deterministic generators for
+// the paper's k-means and PCA inputs, a binary on-disk format, and row
+// sources that the FREERIDE engine's splitter partitions into splits.
+//
+// The paper evaluates on a 12 MB and a 1.2 GB point dataset for k-means and
+// on 1000×10,000 and 1000×100,000 matrices for PCA. Those datasets are not
+// distributed, so this package regenerates equivalents from fixed seeds:
+// Gaussian-mixture points for k-means (so clusters exist to find) and
+// uniform matrices for PCA. The generators are deterministic given (shape,
+// seed), which the tests rely on.
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+)
+
+// Matrix is a dense row-major float64 matrix. For point datasets each row is
+// one data instance and each column one feature; this matches FREERIDE's
+// "simple 2-D array view of the input dataset" (§IV-A of the paper).
+type Matrix struct {
+	Rows int
+	Cols int
+	Data []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("dataset: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// SizeBytes reports the payload size of the matrix in bytes.
+func (m *Matrix) SizeBytes() int64 { return int64(len(m.Data)) * 8 }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and bit-identical
+// contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != o.Data[i] && !(math.IsNaN(v) && math.IsNaN(o.Data[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// GaussianMixture generates n points of dimension dim drawn from k spherical
+// Gaussian clusters with unit variance, plus the true cluster centers. The
+// centers are placed uniformly in [-spread, spread]^dim. Deterministic for a
+// fixed (n, dim, k, seed).
+func GaussianMixture(n, dim, k int, seed int64) (points, centers *Matrix) {
+	if k <= 0 {
+		panic("dataset: GaussianMixture needs k > 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const spread = 10.0
+	centers = NewMatrix(k, dim)
+	for i := range centers.Data {
+		centers.Data[i] = (rng.Float64()*2 - 1) * spread
+	}
+	points = NewMatrix(n, dim)
+	for r := 0; r < n; r++ {
+		c := centers.Row(rng.Intn(k))
+		row := points.Row(r)
+		for j := 0; j < dim; j++ {
+			row[j] = c[j] + rng.NormFloat64()
+		}
+	}
+	return points, centers
+}
+
+// UniformMatrix generates a rows×cols matrix with entries uniform in
+// [lo, hi). Deterministic for a fixed (rows, cols, seed, lo, hi).
+func UniformMatrix(rows, cols int, seed int64, lo, hi float64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	span := hi - lo
+	for i := range m.Data {
+		m.Data[i] = lo + rng.Float64()*span
+	}
+	return m
+}
+
+// KMeansPointsForBytes returns the row count that makes an n×dim float64
+// point dataset occupy approximately targetBytes, as used to size the
+// paper's "12 MB" and "1.2 GB" k-means inputs.
+func KMeansPointsForBytes(targetBytes int64, dim int) int {
+	if dim <= 0 {
+		panic("dataset: dim must be positive")
+	}
+	n := targetBytes / int64(dim*8)
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}
+
+// Binary on-disk format:
+//
+//	magic   [4]byte  "FRDS"
+//	version uint32   1
+//	rows    int64
+//	cols    int64
+//	data    rows*cols float64, little-endian, row-major
+var magic = [4]byte{'F', 'R', 'D', 'S'}
+
+const formatVersion = 1
+
+// headerSize is the byte offset of the data payload in the file format.
+const headerSize = 4 + 4 + 8 + 8
+
+// ErrBadFormat reports a malformed or truncated dataset file.
+var ErrBadFormat = errors.New("dataset: bad file format")
+
+// Write serializes the matrix to w in the binary format.
+func Write(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(formatVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(m.Rows)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(m.Cols)); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a matrix written by Write.
+func Read(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var got [4]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, got[:])
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	var rows, cols int64
+	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if rows < 0 || cols < 0 || (cols > 0 && rows > (1<<40)/cols) {
+		return nil, fmt.Errorf("%w: implausible shape %dx%d", ErrBadFormat, rows, cols)
+	}
+	m := NewMatrix(int(rows), int(cols))
+	var buf [8]byte
+	for i := range m.Data {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated data: %v", ErrBadFormat, err)
+		}
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return m, nil
+}
+
+// WriteFile serializes the matrix to a file.
+func WriteFile(path string, m *Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile deserializes a matrix from a file.
+func ReadFile(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Source abstracts row access for the FREERIDE engine: "the data instances
+// owned by a processor and belonging to the subset specified are read". A
+// Source may be fully in memory or backed by a file on disk; the engine's
+// splitter partitions [0, NumRows) and workers call ReadRows per split.
+//
+// ReadRows must be safe for concurrent use by multiple workers reading
+// disjoint ranges.
+type Source interface {
+	// NumRows reports the total number of data instances.
+	NumRows() int
+	// Cols reports the number of features per instance.
+	Cols() int
+	// ReadRows copies rows [begin, end) into dst, which must have room for
+	// (end-begin)*Cols() values.
+	ReadRows(begin, end int, dst []float64) error
+}
+
+// MemorySource serves rows from an in-memory matrix.
+type MemorySource struct{ M *Matrix }
+
+// NewMemorySource wraps a matrix as a Source.
+func NewMemorySource(m *Matrix) *MemorySource { return &MemorySource{M: m} }
+
+// NumRows implements Source.
+func (s *MemorySource) NumRows() int { return s.M.Rows }
+
+// Cols implements Source.
+func (s *MemorySource) Cols() int { return s.M.Cols }
+
+// ReadRows implements Source.
+func (s *MemorySource) ReadRows(begin, end int, dst []float64) error {
+	if begin < 0 || end > s.M.Rows || begin > end {
+		return fmt.Errorf("dataset: ReadRows range [%d,%d) out of [0,%d)", begin, end, s.M.Rows)
+	}
+	n := copy(dst, s.M.Data[begin*s.M.Cols:end*s.M.Cols])
+	if n != (end-begin)*s.M.Cols {
+		return fmt.Errorf("dataset: ReadRows short copy: dst too small")
+	}
+	return nil
+}
+
+// Rows implements RowSlicer: it returns rows [begin, end) as a slice
+// aliasing the in-memory storage, letting engines avoid the copy.
+func (s *MemorySource) Rows(begin, end int) []float64 {
+	return s.M.Data[begin*s.M.Cols : end*s.M.Cols]
+}
+
+// RowSlicer is an optional Source fast path: sources whose rows are already
+// contiguous in memory can expose them without copying.
+type RowSlicer interface {
+	Rows(begin, end int) []float64
+}
+
+// FileSource serves rows from a dataset file using positional reads, which
+// simulates FREERIDE reading data instances from disk. It is safe for
+// concurrent ReadRows calls (each uses ReadAt).
+type FileSource struct {
+	f    *os.File
+	rows int
+	cols int
+}
+
+// OpenFileSource opens path (written by WriteFile) as a Source.
+func OpenFileSource(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if [4]byte(hdr[0:4]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != formatVersion {
+		f.Close()
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	rows := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	cols := int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	if rows < 0 || cols < 0 {
+		f.Close()
+		return nil, fmt.Errorf("%w: negative shape", ErrBadFormat)
+	}
+	return &FileSource{f: f, rows: int(rows), cols: int(cols)}, nil
+}
+
+// NumRows implements Source.
+func (s *FileSource) NumRows() int { return s.rows }
+
+// Cols implements Source.
+func (s *FileSource) Cols() int { return s.cols }
+
+// ReadRows implements Source with a positional read.
+func (s *FileSource) ReadRows(begin, end int, dst []float64) error {
+	if begin < 0 || end > s.rows || begin > end {
+		return fmt.Errorf("dataset: ReadRows range [%d,%d) out of [0,%d)", begin, end, s.rows)
+	}
+	n := (end - begin) * s.cols
+	if len(dst) < n {
+		return fmt.Errorf("dataset: ReadRows dst len %d, need %d", len(dst), n)
+	}
+	raw := make([]byte, n*8)
+	off := int64(headerSize) + int64(begin)*int64(s.cols)*8
+	if _, err := s.f.ReadAt(raw, off); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return nil
+}
+
+// Close releases the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }

@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PrefetchSource wraps a Source with a read-ahead cache: a background
+// goroutine keeps the next window of rows resident so workers that scan
+// mostly forward hit memory instead of the disk. FREERIDE determines "the
+// order in which data instances are read from the disks" in its runtime;
+// this is that I/O layer, usable in front of FileSource.
+//
+// The cache holds fixed-size row blocks with single-slot lookahead per
+// block miss: a miss fetches the block synchronously and schedules the
+// next block in the background. Reads spanning blocks assemble from
+// multiple fetches. Safe for concurrent use.
+type PrefetchSource struct {
+	src       Source
+	blockRows int
+
+	mu     sync.Mutex
+	blocks map[int][]float64 // block index → rows payload
+	order  []int             // FIFO of resident blocks for eviction
+	max    int               // max resident blocks
+
+	pending map[int]*sync.WaitGroup // in-flight background fetches
+
+	// stats
+	hits, misses, prefetches int64
+}
+
+// NewPrefetchSource wraps src with a read-ahead cache of maxBlocks blocks
+// of blockRows rows each. blockRows defaults to 4096 and maxBlocks to 8.
+func NewPrefetchSource(src Source, blockRows, maxBlocks int) *PrefetchSource {
+	if blockRows < 1 {
+		blockRows = 4096
+	}
+	if maxBlocks < 2 {
+		maxBlocks = 8
+	}
+	return &PrefetchSource{
+		src:       src,
+		blockRows: blockRows,
+		blocks:    map[int][]float64{},
+		pending:   map[int]*sync.WaitGroup{},
+		max:       maxBlocks,
+	}
+}
+
+// NumRows implements Source.
+func (p *PrefetchSource) NumRows() int { return p.src.NumRows() }
+
+// Cols implements Source.
+func (p *PrefetchSource) Cols() int { return p.src.Cols() }
+
+// Stats reports cache behaviour: block hits, block misses, and background
+// prefetches issued.
+func (p *PrefetchSource) Stats() (hits, misses, prefetches int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.prefetches
+}
+
+// blockCount returns the number of blocks covering the source.
+func (p *PrefetchSource) blockCount() int {
+	return (p.src.NumRows() + p.blockRows - 1) / p.blockRows
+}
+
+// fetchBlock loads block b from the underlying source (no locks held).
+func (p *PrefetchSource) fetchBlock(b int) ([]float64, error) {
+	lo := b * p.blockRows
+	hi := lo + p.blockRows
+	if hi > p.src.NumRows() {
+		hi = p.src.NumRows()
+	}
+	buf := make([]float64, (hi-lo)*p.src.Cols())
+	if err := p.src.ReadRows(lo, hi, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// install puts a fetched block into the cache, evicting FIFO.
+func (p *PrefetchSource) install(b int, payload []float64) {
+	if _, ok := p.blocks[b]; ok {
+		return
+	}
+	p.blocks[b] = payload
+	p.order = append(p.order, b)
+	for len(p.order) > p.max {
+		victim := p.order[0]
+		p.order = p.order[1:]
+		delete(p.blocks, victim)
+	}
+}
+
+// getBlock returns block b's payload, fetching on miss and scheduling a
+// background prefetch of block b+1.
+func (p *PrefetchSource) getBlock(b int) ([]float64, error) {
+	p.mu.Lock()
+	if payload, ok := p.blocks[b]; ok {
+		p.hits++
+		p.mu.Unlock()
+		return payload, nil
+	}
+	// Wait for an in-flight fetch if one exists.
+	if wg, ok := p.pending[b]; ok {
+		p.mu.Unlock()
+		wg.Wait()
+		p.mu.Lock()
+		if payload, ok := p.blocks[b]; ok {
+			p.hits++
+			p.mu.Unlock()
+			return payload, nil
+		}
+		p.mu.Unlock()
+		// The background fetch failed; fall through to a direct fetch.
+		payload, err := p.fetchBlock(b)
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.misses++
+		p.install(b, payload)
+		p.mu.Unlock()
+		return payload, nil
+	}
+	p.misses++
+	p.mu.Unlock()
+
+	payload, err := p.fetchBlock(b)
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	p.install(b, payload)
+	// Schedule single-slot lookahead.
+	next := b + 1
+	if next < p.blockCount() {
+		if _, resident := p.blocks[next]; !resident {
+			if _, inflight := p.pending[next]; !inflight {
+				wg := &sync.WaitGroup{}
+				wg.Add(1)
+				p.pending[next] = wg
+				p.prefetches++
+				go func() {
+					defer wg.Done()
+					pl, err := p.fetchBlock(next)
+					p.mu.Lock()
+					defer p.mu.Unlock()
+					delete(p.pending, next)
+					if err == nil {
+						p.install(next, pl)
+					}
+				}()
+			}
+		}
+	}
+	p.mu.Unlock()
+	return payload, nil
+}
+
+// ReadRows implements Source, assembling from cached blocks.
+func (p *PrefetchSource) ReadRows(begin, end int, dst []float64) error {
+	if begin < 0 || end > p.src.NumRows() || begin > end {
+		return fmt.Errorf("dataset: ReadRows range [%d,%d) out of [0,%d)", begin, end, p.src.NumRows())
+	}
+	cols := p.src.Cols()
+	if len(dst) < (end-begin)*cols {
+		return fmt.Errorf("dataset: ReadRows dst len %d, need %d", len(dst), (end-begin)*cols)
+	}
+	for row := begin; row < end; {
+		b := row / p.blockRows
+		payload, err := p.getBlock(b)
+		if err != nil {
+			return err
+		}
+		blockLo := b * p.blockRows
+		upto := (b + 1) * p.blockRows
+		if upto > end {
+			upto = end
+		}
+		src := payload[(row-blockLo)*cols : (upto-blockLo)*cols]
+		copy(dst[(row-begin)*cols:], src)
+		row = upto
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefetchMatchesUnderlying(t *testing.T) {
+	m := UniformMatrix(1000, 3, 1, 0, 1)
+	p := NewPrefetchSource(NewMemorySource(m), 64, 4)
+	if p.NumRows() != 1000 || p.Cols() != 3 {
+		t.Fatal("shape")
+	}
+	dst := make([]float64, 3000)
+	// Sequential scan in odd-sized chunks crossing block boundaries.
+	for lo := 0; lo < 1000; lo += 37 {
+		hi := lo + 37
+		if hi > 1000 {
+			hi = 1000
+		}
+		buf := dst[:(hi-lo)*3]
+		if err := p.ReadRows(lo, hi, buf); err != nil {
+			t.Fatal(err)
+		}
+		for i := range buf {
+			if buf[i] != m.Data[lo*3+i] {
+				t.Fatalf("mismatch at row %d", lo)
+			}
+		}
+	}
+	hits, misses, prefetches := p.Stats()
+	if misses == 0 || prefetches == 0 {
+		t.Fatalf("expected misses and prefetches, got h=%d m=%d p=%d", hits, misses, prefetches)
+	}
+	if hits == 0 {
+		t.Fatal("sequential scan should hit prefetched blocks")
+	}
+}
+
+func TestPrefetchFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.frds")
+	m := UniformMatrix(512, 4, 2, -1, 1)
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	p := NewPrefetchSource(fs, 100, 3)
+	dst := make([]float64, 512*4)
+	if err := p.ReadRows(0, 512, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != m.Data[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestPrefetchConcurrentReaders(t *testing.T) {
+	m := UniformMatrix(2048, 2, 3, 0, 1)
+	p := NewPrefetchSource(NewMemorySource(m), 128, 6)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			dst := make([]float64, 2048*2)
+			for trial := 0; trial < 50; trial++ {
+				lo := rng.Intn(2048)
+				hi := lo + rng.Intn(2048-lo)
+				buf := dst[:(hi-lo)*2]
+				if err := p.ReadRows(lo, hi, buf); err != nil {
+					errs[w] = err
+					return
+				}
+				for i := range buf {
+					if buf[i] != m.Data[lo*2+i] {
+						errs[w] = errors.New("data mismatch")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPrefetchEviction(t *testing.T) {
+	m := UniformMatrix(1000, 1, 4, 0, 1)
+	// Tiny cache: 2 blocks of 100 rows.
+	p := NewPrefetchSource(NewMemorySource(m), 100, 2)
+	dst := make([]float64, 100)
+	// Touch many blocks; cache must stay bounded and reads stay correct.
+	for pass := 0; pass < 3; pass++ {
+		for lo := 0; lo < 1000; lo += 100 {
+			if err := p.ReadRows(lo, lo+100, dst); err != nil {
+				t.Fatal(err)
+			}
+			if dst[0] != m.Data[lo] {
+				t.Fatal("wrong block content")
+			}
+		}
+	}
+	p.mu.Lock()
+	resident := len(p.blocks)
+	p.mu.Unlock()
+	if resident > 2 {
+		t.Fatalf("cache holds %d blocks, max 2", resident)
+	}
+}
+
+func TestPrefetchErrors(t *testing.T) {
+	m := UniformMatrix(10, 2, 5, 0, 1)
+	p := NewPrefetchSource(NewMemorySource(m), 4, 2)
+	dst := make([]float64, 20)
+	if err := p.ReadRows(-1, 2, dst); err == nil {
+		t.Fatal("negative begin: want error")
+	}
+	if err := p.ReadRows(0, 11, dst); err == nil {
+		t.Fatal("end beyond rows: want error")
+	}
+	if err := p.ReadRows(0, 10, make([]float64, 3)); err == nil {
+		t.Fatal("short dst: want error")
+	}
+	// Defaults applied for degenerate parameters.
+	q := NewPrefetchSource(NewMemorySource(m), 0, 0)
+	if q.blockRows != 4096 || q.max != 8 {
+		t.Fatalf("defaults: %d %d", q.blockRows, q.max)
+	}
+}
+
+// Property: prefetch reads equal direct reads for arbitrary ranges, block
+// sizes, and cache sizes.
+func TestPropertyPrefetchEquivalence(t *testing.T) {
+	m := UniformMatrix(300, 2, 7, 0, 1)
+	f := func(a, b uint16, blockRaw, cacheRaw uint8) bool {
+		lo, hi := int(a)%301, int(b)%301
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		p := NewPrefetchSource(NewMemorySource(m), int(blockRaw%64)+1, int(cacheRaw%6)+2)
+		dst := make([]float64, (hi-lo)*2)
+		if err := p.ReadRows(lo, hi, dst); err != nil {
+			return false
+		}
+		for i := range dst {
+			if dst[i] != m.Data[lo*2+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,474 @@
+// Package freeride reimplements the FREERIDE middleware (FRamework for
+// Rapid Implementation of Datamining Engines) for multicore machines, after
+// the API the paper summarizes in Table I and the processing structure of
+// its §III.
+//
+// FREERIDE's distinguishing choices versus Map-Reduce (Fig. 4 of the paper):
+// the reduction object is explicit and updated element-wise as each data
+// instance is processed (map and reduce fused into a single step — no
+// intermediate (key, value) pairs, no sort/group/shuffle), and the result of
+// local reduction must be independent of the order in which instances are
+// processed. After each pass over the data the per-thread results are
+// combined locally under the chosen shared-memory technique, and a global
+// combination (all-to-one, or parallel merge for large objects) produces the
+// final reduction object.
+//
+// The Table-I functions map onto this package as follows:
+//
+//	reduction_t             → Spec.Reduction (func(*ReductionArgs) error)
+//	combination_t           → Spec.Combine (optional; default combination used otherwise)
+//	finalize_t              → Spec.Finalize (optional)
+//	splitter_t              → Spec.Splitter (optional; default splitter provided)
+//	reduction_object_alloc  → Spec.Object{Groups,Elems,Op} allocated by the engine
+//	accumulate              → ReductionArgs.Accumulate
+//	get_intermediate_result → Result.Object.Get / Result.Object.Snapshot
+package freeride
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"chapelfreeride/internal/cputime"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/sched"
+)
+
+// Config controls the engine's parallel execution. The zero value is usable:
+// it runs with GOMAXPROCS threads, full replication, dynamic scheduling, and
+// a default split size.
+type Config struct {
+	// Threads is the number of worker goroutines ("one thread is allocated
+	// on one CPU" in the paper's experiments). Defaults to GOMAXPROCS(0).
+	Threads int
+	// Strategy is the shared-memory technique for reduction-object updates.
+	// Defaults to robj.FullReplication, FREERIDE's usual best performer.
+	Strategy robj.Strategy
+	// Scheduler is the split scheduling policy. Defaults to sched.Dynamic.
+	Scheduler sched.Policy
+	// SplitRows is the number of data instances per split handed to the
+	// user reduction function. Defaults to 4096.
+	SplitRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads < 1 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.SplitRows < 1 {
+		c.SplitRows = 4096
+	}
+	return c
+}
+
+// ReductionArgs mirrors FREERIDE's reduction_args_t: one split of the input
+// dataset plus the worker's handle for updating the reduction object.
+type ReductionArgs struct {
+	// Data holds the split's rows, row-major; len == NumRows*Cols.
+	Data []float64
+	// NumRows is the number of data instances in this split.
+	NumRows int
+	// Cols is the number of features per instance.
+	Cols int
+	// Begin is the global index of the split's first row.
+	Begin int
+	// Local is the worker's user-managed reduction object when the Spec
+	// set LocalInit; nil otherwise.
+	Local any
+
+	worker  int
+	object  *robj.Object
+	scratch [][]float64
+}
+
+// Scratch returns per-worker scratch buffer id of length n, reused across
+// calls. Kernels use distinct ids for buffers they need simultaneously
+// (e.g. the data row and a hot-variable row); the contents are unspecified
+// on entry.
+func (a *ReductionArgs) Scratch(id, n int) []float64 {
+	for id >= len(a.scratch) {
+		a.scratch = append(a.scratch, nil)
+	}
+	if cap(a.scratch[id]) < n {
+		a.scratch[id] = make([]float64, n)
+	}
+	return a.scratch[id][:n]
+}
+
+// Row returns instance i of the split.
+func (a *ReductionArgs) Row(i int) []float64 {
+	return a.Data[i*a.Cols : (i+1)*a.Cols]
+}
+
+// Worker reports the id of the worker thread processing this split.
+func (a *ReductionArgs) Worker() int { return a.worker }
+
+// Accumulate updates element (group, elem) of the reduction object with v,
+// mirroring FREERIDE's accumulate(int, int, void* value). It panics when the
+// spec declared no cell-based object.
+func (a *ReductionArgs) Accumulate(group, elem int, v float64) {
+	if a.object == nil {
+		panic("freeride: Accumulate without a cell-based reduction object (spec declared only LocalInit state)")
+	}
+	a.object.Accumulate(a.worker, group, elem, v)
+}
+
+// ObjectSpec describes the reduction object to allocate for a run,
+// mirroring reduction_object_alloc: Groups × Elems cells combined with Op.
+type ObjectSpec struct {
+	Groups int
+	Elems  int
+	Op     robj.Op
+}
+
+// Spec is one reduction pass over the dataset: the user-defined functions of
+// Table I plus the reduction-object shape.
+type Spec struct {
+	// Object describes the reduction object the engine allocates.
+	Object ObjectSpec
+	// Reduction is the required local reduction function: it processes every
+	// instance of its split and updates the reduction object through
+	// args.Accumulate. Its result must be independent of instance order.
+	Reduction func(args *ReductionArgs) error
+	// Splitter optionally overrides the default splitter. It must partition
+	// [0, totalRows) into disjoint, covering chunks. requestedUnits is the
+	// engine's hint (derived from Config.SplitRows).
+	Splitter func(totalRows, requestedUnits int) []sched.Chunk
+	// Combine optionally post-processes the merged reduction object (the
+	// paper's combination_t). When nil, the default combination — the
+	// element-wise merge under the object's Op — is all that runs.
+	Combine func(o *robj.Object) error
+	// Finalize optionally runs once at the end (the paper's finalize_t).
+	Finalize func(r *Result) error
+
+	// LocalInit, when set, gives each worker a user-managed reduction
+	// object in addition to (or instead of) the cell-based Object. This is
+	// FREERIDE's "reduction object declared by the programmer" in full
+	// generality — needed when the object is not a grid of combinable
+	// floats (e.g. k-nearest-neighbour keeps a bounded list of candidates).
+	LocalInit func() any
+	// LocalCombine merges src into dst and returns the merged object; it
+	// is applied across workers in worker order. Required with LocalInit.
+	LocalCombine func(dst, src any) any
+}
+
+// Stats is the timing breakdown of a Run.
+type Stats struct {
+	// SplitTime is time spent computing the split table.
+	SplitTime time.Duration
+	// ReduceTime is the wall time of the parallel local-reduction phase.
+	ReduceTime time.Duration
+	// CombineTime covers local combination (merge) plus the user Combine.
+	CombineTime time.Duration
+	// FinalizeTime covers the user Finalize.
+	FinalizeTime time.Duration
+	// Splits is the number of splits processed.
+	Splits int
+	// Threads is the worker count used.
+	Threads int
+	// WorkerCPU is the CPU time each worker consumed during the local
+	// reduction, when the platform supports per-thread accounting (Linux);
+	// empty otherwise. Unlike wall time it is unaffected by time-slicing,
+	// so it supports scaling estimates on machines with fewer cores than
+	// workers.
+	WorkerCPU []time.Duration
+}
+
+// Total returns the sum of all phases.
+func (s Stats) Total() time.Duration {
+	return s.SplitTime + s.ReduceTime + s.CombineTime + s.FinalizeTime
+}
+
+// CPUTotal returns the summed worker CPU time of the reduction phase, or 0
+// when per-thread accounting is unavailable.
+func (s Stats) CPUTotal() time.Duration {
+	var sum time.Duration
+	for _, d := range s.WorkerCPU {
+		sum += d
+	}
+	return sum
+}
+
+// CPUMax returns the largest per-worker CPU time — the reduction phase's
+// critical path on a machine with at least Threads cores.
+func (s Stats) CPUMax() time.Duration {
+	var max time.Duration
+	for _, d := range s.WorkerCPU {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// BalanceSpeedup estimates the parallel speedup of the reduction phase on a
+// machine with one core per worker: total CPU work over the critical path.
+// It captures load balance and scheduling overhead but assumes perfect
+// memory-system scaling. Returns 1 when accounting is unavailable.
+func (s Stats) BalanceSpeedup() float64 {
+	max := s.CPUMax()
+	if max <= 0 {
+		return 1
+	}
+	return float64(s.CPUTotal()) / float64(max)
+}
+
+// Result carries the final reduction object and run statistics.
+type Result struct {
+	// Object is the merged cell-based reduction object, or nil when the
+	// spec declared a zero-shaped object and used only LocalInit state.
+	Object *robj.Object
+	// Local is the merged user-managed reduction object (LocalInit specs).
+	Local any
+	Stats Stats
+}
+
+// Engine executes reduction Specs over data Sources.
+type Engine struct {
+	cfg Config
+}
+
+// New creates an engine with the given configuration.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg.withDefaults()} }
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// DefaultSplitter partitions [0, totalRows) into requestedUnits contiguous
+// chunks of near-equal size. It is the middleware-provided splitter_t.
+func DefaultSplitter(totalRows, requestedUnits int) []sched.Chunk {
+	if totalRows <= 0 {
+		return nil
+	}
+	if requestedUnits < 1 {
+		requestedUnits = 1
+	}
+	if requestedUnits > totalRows {
+		requestedUnits = totalRows
+	}
+	chunks := make([]sched.Chunk, 0, requestedUnits)
+	base := totalRows / requestedUnits
+	extra := totalRows % requestedUnits
+	begin := 0
+	for u := 0; u < requestedUnits; u++ {
+		size := base
+		if u < extra {
+			size++
+		}
+		chunks = append(chunks, sched.Chunk{Begin: begin, End: begin + size})
+		begin += size
+	}
+	return chunks
+}
+
+// ErrNoReduction reports a Spec without a Reduction function.
+var ErrNoReduction = errors.New("freeride: Spec.Reduction is required")
+
+// Run executes one reduction pass: split, parallel local reduction, local
+// combination, user combination, finalize. The returned Result's Object is
+// merged and ready for Get/Snapshot.
+func (e *Engine) Run(spec Spec, src dataset.Source) (*Result, error) {
+	return e.run(spec, src, nil)
+}
+
+// RunInto is Run reusing the reduction object of a previous Result: reuse
+// is Reset and refilled in place, avoiding the per-pass allocation that
+// iterative algorithms (k-means' outer loop, EM rounds) would otherwise
+// pay for large objects. reuse must have been produced by a prior Run with
+// the same object shape, operator, sharing strategy, and thread count.
+func (e *Engine) RunInto(spec Spec, src dataset.Source, reuse *robj.Object) (*Result, error) {
+	if reuse == nil {
+		return nil, errors.New("freeride: RunInto needs a reduction object to reuse")
+	}
+	if reuse.Groups() != spec.Object.Groups || reuse.ElemsPerGroup() != spec.Object.Elems ||
+		reuse.Op() != spec.Object.Op {
+		return nil, fmt.Errorf("freeride: RunInto object %dx%d/%v does not match spec %dx%d/%v",
+			reuse.Groups(), reuse.ElemsPerGroup(), reuse.Op(),
+			spec.Object.Groups, spec.Object.Elems, spec.Object.Op)
+	}
+	if reuse.Strategy() != e.cfg.Strategy || reuse.Workers() != e.cfg.Threads {
+		return nil, fmt.Errorf("freeride: RunInto object built for %v/%d workers, engine uses %v/%d",
+			reuse.Strategy(), reuse.Workers(), e.cfg.Strategy, e.cfg.Threads)
+	}
+	reuse.Reset()
+	return e.run(spec, src, reuse)
+}
+
+func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, error) {
+	if spec.Reduction == nil {
+		return nil, ErrNoReduction
+	}
+	if src == nil {
+		return nil, errors.New("freeride: nil data source")
+	}
+	if spec.LocalInit != nil && spec.LocalCombine == nil {
+		return nil, errors.New("freeride: LocalInit requires LocalCombine")
+	}
+	cfg := e.cfg
+	if obj == nil && (spec.Object.Groups != 0 || spec.Object.Elems != 0) {
+		var err error
+		obj, err = robj.Alloc(cfg.Strategy, spec.Object.Op, spec.Object.Groups, spec.Object.Elems, cfg.Threads)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if obj == nil && spec.LocalInit == nil {
+		return nil, errors.New("freeride: spec declares neither a reduction object shape nor LocalInit")
+	}
+	res := &Result{Object: obj}
+	res.Stats.Threads = cfg.Threads
+
+	// Split phase.
+	t0 := time.Now()
+	splitter := spec.Splitter
+	if splitter == nil {
+		splitter = DefaultSplitter
+	}
+	units := (src.NumRows() + cfg.SplitRows - 1) / cfg.SplitRows
+	splits := splitter(src.NumRows(), units)
+	if err := validateSplits(splits, src.NumRows()); err != nil {
+		return nil, err
+	}
+	res.Stats.SplitTime = time.Since(t0)
+	res.Stats.Splits = len(splits)
+
+	// Parallel local reduction: the scheduler hands out split indices.
+	t0 = time.Now()
+	s := sched.New(cfg.Scheduler, len(splits), cfg.Threads, 1)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	slicer, hasSlicer := src.(dataset.RowSlicer)
+	cols := src.Cols()
+	locals := make([]any, cfg.Threads)
+	workerCPU := make([]time.Duration, cfg.Threads)
+	measureCPU := cputime.Supported()
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if measureCPU {
+				runtime.LockOSThread()
+				start := cputime.ThreadCPU()
+				defer func() {
+					workerCPU[w] = cputime.ThreadCPU() - start
+					runtime.UnlockOSThread()
+				}()
+			}
+			var buf []float64 // per-worker read buffer, reused across splits
+			args := ReductionArgs{Cols: cols, worker: w, object: obj}
+			if spec.LocalInit != nil {
+				args.Local = spec.LocalInit()
+				// The reduction function may replace args.Local (e.g. to
+				// grow a slice); capture the final value when the worker
+				// finishes.
+				defer func() { locals[w] = args.Local }()
+			}
+			for {
+				ci, ok := s.Next(w)
+				if !ok {
+					return
+				}
+				for si := ci.Begin; si < ci.End; si++ {
+					sp := splits[si]
+					n := sp.Len()
+					if hasSlicer {
+						args.Data = slicer.Rows(sp.Begin, sp.End)
+					} else {
+						need := n * cols
+						if cap(buf) < need {
+							buf = make([]float64, need)
+						}
+						buf = buf[:need]
+						if err := src.ReadRows(sp.Begin, sp.End, buf); err != nil {
+							errOnce.Do(func() { firstErr = err })
+							return
+						}
+						args.Data = buf
+					}
+					args.NumRows = n
+					args.Begin = sp.Begin
+					if err := spec.Reduction(&args); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Stats.ReduceTime = time.Since(t0)
+	if measureCPU {
+		res.Stats.WorkerCPU = workerCPU
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Local combination (default combination function) + user combination.
+	t0 = time.Now()
+	if obj != nil {
+		obj.Merge()
+	}
+	if spec.LocalInit != nil {
+		merged := locals[0]
+		for _, l := range locals[1:] {
+			merged = spec.LocalCombine(merged, l)
+		}
+		res.Local = merged
+	}
+	if spec.Combine != nil {
+		if err := spec.Combine(obj); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.CombineTime = time.Since(t0)
+
+	// Finalize.
+	if spec.Finalize != nil {
+		t0 = time.Now()
+		if err := spec.Finalize(res); err != nil {
+			return nil, err
+		}
+		res.Stats.FinalizeTime = time.Since(t0)
+	}
+	return res, nil
+}
+
+// validateSplits checks that the split table exactly tiles [0, totalRows).
+func validateSplits(splits []sched.Chunk, totalRows int) error {
+	covered := 0
+	prevEnd := 0
+	for i, sp := range splits {
+		if sp.Begin != prevEnd || sp.End < sp.Begin || sp.End > totalRows {
+			return fmt.Errorf("freeride: splitter produced bad split %d: %+v", i, sp)
+		}
+		covered += sp.Len()
+		prevEnd = sp.End
+	}
+	if covered != totalRows {
+		return fmt.Errorf("freeride: splitter covered %d of %d rows", covered, totalRows)
+	}
+	return nil
+}
+
+// GlobalCombine merges the reduction objects produced by several engine runs
+// (e.g. one per node in a cluster) into the first, using the all-to-one
+// combination the paper describes for the global phase.
+func GlobalCombine(results []*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, errors.New("freeride: GlobalCombine of no results")
+	}
+	out := results[0]
+	for _, r := range results[1:] {
+		if err := out.Object.CombineFrom(r.Object); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

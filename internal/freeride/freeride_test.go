@@ -1,0 +1,451 @@
+package freeride
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/sched"
+)
+
+// sumSpec reduces every value of the dataset into a single cell.
+func sumSpec() Spec {
+	return Spec{
+		Object: ObjectSpec{Groups: 1, Elems: 1, Op: robj.OpAdd},
+		Reduction: func(a *ReductionArgs) error {
+			var s float64
+			for _, v := range a.Data {
+				s += v
+			}
+			a.Accumulate(0, 0, s)
+			return nil
+		},
+	}
+}
+
+func seqSum(m *dataset.Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+func TestRunSumMatchesSequential(t *testing.T) {
+	m := dataset.UniformMatrix(10000, 4, 1, 0, 1)
+	src := dataset.NewMemorySource(m)
+	want := seqSum(m)
+	for _, threads := range []int{1, 2, 4, 8} {
+		e := New(Config{Threads: threads, SplitRows: 128})
+		res, err := e.Run(sumSpec(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Object.Get(0, 0)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("threads=%d: got %v want %v", threads, got, want)
+		}
+		if res.Stats.Threads != threads {
+			t.Fatalf("stats threads = %d", res.Stats.Threads)
+		}
+		if res.Stats.Splits != (10000+127)/128 {
+			t.Fatalf("splits = %d", res.Stats.Splits)
+		}
+	}
+}
+
+func TestRunAllStrategiesAndSchedulers(t *testing.T) {
+	m := dataset.UniformMatrix(5000, 3, 2, -1, 1)
+	src := dataset.NewMemorySource(m)
+	want := seqSum(m)
+	for _, st := range robj.Strategies() {
+		for _, pol := range sched.Policies() {
+			e := New(Config{Threads: 4, Strategy: st, Scheduler: pol, SplitRows: 100})
+			res, err := e.Run(sumSpec(), src)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", st, pol, err)
+			}
+			if got := res.Object.Get(0, 0); math.Abs(got-want) > 1e-6 {
+				t.Fatalf("%v/%v: got %v want %v", st, pol, got, want)
+			}
+		}
+	}
+}
+
+func TestRunFromFileSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.frds")
+	m := dataset.UniformMatrix(2000, 6, 3, 0, 10)
+	if err := dataset.WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	src, err := dataset.OpenFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	e := New(Config{Threads: 4, SplitRows: 64})
+	res, err := e.Run(sumSpec(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Object.Get(0, 0), seqSum(m); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestRunHistogramGroups(t *testing.T) {
+	// Group instances by floor(value) into a 10-bucket histogram; checks
+	// multi-group accumulation and the Begin/Row helpers.
+	m := dataset.NewMatrix(1000, 1)
+	for i := range m.Data {
+		m.Data[i] = float64(i % 10)
+	}
+	spec := Spec{
+		Object: ObjectSpec{Groups: 10, Elems: 1, Op: robj.OpAdd},
+		Reduction: func(a *ReductionArgs) error {
+			for i := 0; i < a.NumRows; i++ {
+				a.Accumulate(int(a.Row(i)[0]), 0, 1)
+			}
+			return nil
+		},
+	}
+	e := New(Config{Threads: 4, SplitRows: 37})
+	res, err := e.Run(spec, dataset.NewMemorySource(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 10; g++ {
+		if got := res.Object.Get(g, 0); got != 100 {
+			t.Fatalf("bucket %d = %v, want 100", g, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	src := dataset.NewMemorySource(dataset.UniformMatrix(10, 1, 1, 0, 1))
+	e := New(Config{Threads: 2})
+	if _, err := e.Run(Spec{Object: ObjectSpec{Groups: 1, Elems: 1}}, src); !errors.Is(err, ErrNoReduction) {
+		t.Fatalf("want ErrNoReduction, got %v", err)
+	}
+	if _, err := e.Run(sumSpec(), nil); err == nil {
+		t.Fatal("nil source: want error")
+	}
+	bad := sumSpec()
+	bad.Object.Groups = 0
+	if _, err := e.Run(bad, src); err == nil {
+		t.Fatal("bad object shape: want error")
+	}
+}
+
+func TestReductionErrorPropagates(t *testing.T) {
+	src := dataset.NewMemorySource(dataset.UniformMatrix(1000, 1, 1, 0, 1))
+	boom := errors.New("boom")
+	spec := Spec{
+		Object: ObjectSpec{Groups: 1, Elems: 1, Op: robj.OpAdd},
+		Reduction: func(a *ReductionArgs) error {
+			if a.Begin > 100 {
+				return boom
+			}
+			return nil
+		},
+	}
+	e := New(Config{Threads: 4, SplitRows: 10})
+	if _, err := e.Run(spec, src); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestCombineAndFinalizeHooks(t *testing.T) {
+	src := dataset.NewMemorySource(dataset.UniformMatrix(100, 1, 1, 1, 2))
+	combined, finalized := false, false
+	spec := sumSpec()
+	spec.Combine = func(o *robj.Object) error {
+		combined = true
+		if !o.Merged() {
+			t.Error("Combine should see a merged object")
+		}
+		return nil
+	}
+	spec.Finalize = func(r *Result) error {
+		finalized = true
+		return nil
+	}
+	e := New(Config{Threads: 2})
+	if _, err := e.Run(spec, src); err != nil {
+		t.Fatal(err)
+	}
+	if !combined || !finalized {
+		t.Fatalf("combined=%v finalized=%v", combined, finalized)
+	}
+	// Hook errors propagate.
+	spec.Combine = func(o *robj.Object) error { return errors.New("combine fail") }
+	if _, err := e.Run(spec, src); err == nil || err.Error() != "combine fail" {
+		t.Fatalf("combine error: %v", err)
+	}
+	spec.Combine = nil
+	spec.Finalize = func(r *Result) error { return errors.New("finalize fail") }
+	if _, err := e.Run(spec, src); err == nil || err.Error() != "finalize fail" {
+		t.Fatalf("finalize error: %v", err)
+	}
+}
+
+func TestCustomSplitterAndValidation(t *testing.T) {
+	m := dataset.UniformMatrix(100, 1, 1, 0, 1)
+	src := dataset.NewMemorySource(m)
+	spec := sumSpec()
+	// A valid custom splitter with uneven chunks.
+	spec.Splitter = func(total, units int) []sched.Chunk {
+		return []sched.Chunk{{Begin: 0, End: 10}, {Begin: 10, End: 95}, {Begin: 95, End: 100}}
+	}
+	e := New(Config{Threads: 3})
+	res, err := e.Run(spec, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Splits != 3 {
+		t.Fatalf("splits = %d", res.Stats.Splits)
+	}
+	if got := res.Object.Get(0, 0); math.Abs(got-seqSum(m)) > 1e-9 {
+		t.Fatal("custom splitter wrong sum")
+	}
+	// Splitters with gaps, overlaps, or wrong coverage are rejected.
+	badSplitters := []func(int, int) []sched.Chunk{
+		func(total, _ int) []sched.Chunk { return []sched.Chunk{{Begin: 0, End: 50}} },
+		func(total, _ int) []sched.Chunk {
+			return []sched.Chunk{{Begin: 0, End: 60}, {Begin: 50, End: 100}}
+		},
+		func(total, _ int) []sched.Chunk {
+			return []sched.Chunk{{Begin: 0, End: 50}, {Begin: 60, End: 100}}
+		},
+		func(total, _ int) []sched.Chunk { return []sched.Chunk{{Begin: 0, End: 101}} },
+	}
+	for i, bad := range badSplitters {
+		spec.Splitter = bad
+		if _, err := e.Run(spec, src); err == nil {
+			t.Fatalf("bad splitter %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultSplitter(t *testing.T) {
+	if got := DefaultSplitter(0, 4); got != nil {
+		t.Fatal("empty input should produce no splits")
+	}
+	chunks := DefaultSplitter(10, 3)
+	if len(chunks) != 3 {
+		t.Fatalf("want 3 chunks, got %d", len(chunks))
+	}
+	if err := validateSplits(chunks, 10); err != nil {
+		t.Fatal(err)
+	}
+	// More units than rows collapses to one chunk per row.
+	chunks = DefaultSplitter(3, 10)
+	if len(chunks) != 3 {
+		t.Fatalf("want 3 chunks, got %d", len(chunks))
+	}
+	// Non-positive units defaults to 1.
+	chunks = DefaultSplitter(5, 0)
+	if len(chunks) != 1 || chunks[0].Len() != 5 {
+		t.Fatalf("chunks = %+v", chunks)
+	}
+}
+
+func TestGlobalCombine(t *testing.T) {
+	m := dataset.UniformMatrix(100, 2, 5, 0, 1)
+	src := dataset.NewMemorySource(m)
+	e := New(Config{Threads: 2})
+	r1, err := e.Run(sumSpec(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(sumSpec(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := GlobalCombine([]*Result{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.Object.Get(0, 0), 2*seqSum(m); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if _, err := GlobalCombine(nil); err == nil {
+		t.Fatal("empty GlobalCombine: want error")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	e := New(Config{})
+	cfg := e.Config()
+	if cfg.Threads < 1 || cfg.SplitRows != 4096 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	s := Stats{SplitTime: 1, ReduceTime: 2, CombineTime: 3, FinalizeTime: 4}
+	if s.Total() != 10 {
+		t.Fatalf("Total = %v", s.Total())
+	}
+}
+
+// Property (the paper's core invariant, §III-A): the reduction result is
+// independent of thread count, split size, scheduling policy, and sharing
+// strategy, for integer-valued data where float addition is exact.
+func TestPropertyOrderIndependence(t *testing.T) {
+	f := func(seed int64, rowsRaw uint16, threadsRaw, splitRaw uint8, polRaw, stRaw uint8) bool {
+		rows := int(rowsRaw%2000) + 1
+		threads := int(threadsRaw%8) + 1
+		splitRows := int(splitRaw%200) + 1
+		pol := sched.Policies()[int(polRaw)%len(sched.Policies())]
+		st := robj.Strategies()[int(stRaw)%len(robj.Strategies())]
+
+		rng := rand.New(rand.NewSource(seed))
+		m := dataset.NewMatrix(rows, 2)
+		for i := range m.Data {
+			m.Data[i] = float64(rng.Intn(1000))
+		}
+		want := seqSum(m)
+		e := New(Config{Threads: threads, SplitRows: splitRows, Scheduler: pol, Strategy: st})
+		res, err := e.Run(sumSpec(), dataset.NewMemorySource(m))
+		if err != nil {
+			return false
+		}
+		return res.Object.Get(0, 0) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(99))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserManagedLocalState(t *testing.T) {
+	// A "keep the 3 smallest values" reduction — inexpressible with cell
+	// ops, natural with a user-managed reduction object.
+	m := dataset.NewMatrix(1000, 1)
+	for i := range m.Data {
+		m.Data[i] = float64((i*7919 + 13) % 1000)
+	}
+	keep := 3
+	insert := func(best []float64, v float64) []float64 {
+		best = append(best, v)
+		sort.Float64s(best)
+		if len(best) > keep {
+			best = best[:keep]
+		}
+		return best
+	}
+	spec := Spec{
+		LocalInit: func() any { return []float64(nil) },
+		Reduction: func(a *ReductionArgs) error {
+			best := a.Local.([]float64)
+			for i := 0; i < a.NumRows; i++ {
+				best = insert(best, a.Row(i)[0])
+			}
+			a.Local = best
+			return nil
+		},
+		LocalCombine: func(dst, src any) any {
+			best := dst.([]float64)
+			for _, v := range src.([]float64) {
+				best = insert(best, v)
+			}
+			return best
+		},
+	}
+	// NOTE: Reduction reassigns a.Local so the next split sees the grown
+	// slice; engine must hand the same args struct to every split.
+	for _, threads := range []int{1, 4} {
+		e := New(Config{Threads: threads, SplitRows: 64})
+		res, err := e.Run(spec, dataset.NewMemorySource(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Local.([]float64)
+		if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+			t.Fatalf("threads=%d: got %v", threads, got)
+		}
+		if res.Object != nil {
+			t.Fatal("no cell object was declared")
+		}
+	}
+}
+
+func TestLocalStateValidation(t *testing.T) {
+	src := dataset.NewMemorySource(dataset.NewMatrix(4, 1))
+	e := New(Config{Threads: 2})
+	// LocalInit without LocalCombine.
+	spec := Spec{
+		LocalInit: func() any { return 0 },
+		Reduction: func(a *ReductionArgs) error { return nil },
+	}
+	if _, err := e.Run(spec, src); err == nil {
+		t.Fatal("missing LocalCombine: want error")
+	}
+	// Neither object shape nor local state.
+	spec = Spec{Reduction: func(a *ReductionArgs) error { return nil }}
+	if _, err := e.Run(spec, src); err == nil {
+		t.Fatal("no reduction object at all: want error")
+	}
+	// Accumulate without a cell object panics with a clear message.
+	spec = Spec{
+		LocalInit:    func() any { return 0 },
+		LocalCombine: func(dst, src any) any { return dst },
+		Reduction: func(a *ReductionArgs) error {
+			defer func() {
+				if recover() == nil {
+					t.Error("Accumulate without object should panic")
+				}
+			}()
+			a.Accumulate(0, 0, 1)
+			return nil
+		},
+	}
+	if _, err := e.Run(spec, src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInto(t *testing.T) {
+	m := dataset.UniformMatrix(1000, 1, 9, 0, 1)
+	src := dataset.NewMemorySource(m)
+	e := New(Config{Threads: 2, SplitRows: 100})
+	first, err := e.Run(sumSpec(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.Object.Get(0, 0)
+	// Reuse across several passes: same answer, same object.
+	obj := first.Object
+	for pass := 0; pass < 3; pass++ {
+		res, err := e.RunInto(sumSpec(), src, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Object != obj {
+			t.Fatal("RunInto should reuse the given object")
+		}
+		if got := res.Object.Get(0, 0); got != want {
+			t.Fatalf("pass %d: got %v want %v", pass, got, want)
+		}
+	}
+	// Mismatches are rejected.
+	if _, err := e.RunInto(sumSpec(), src, nil); err == nil {
+		t.Fatal("nil reuse: want error")
+	}
+	other := sumSpec()
+	other.Object.Elems = 2
+	if _, err := e.RunInto(other, src, obj); err == nil {
+		t.Fatal("shape mismatch: want error")
+	}
+	e2 := New(Config{Threads: 4})
+	if _, err := e2.RunInto(sumSpec(), src, obj); err == nil {
+		t.Fatal("worker-count mismatch: want error")
+	}
+}

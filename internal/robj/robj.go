@@ -1,0 +1,428 @@
+// Package robj implements the FREERIDE reduction object and the
+// shared-memory parallelization techniques used to update it.
+//
+// In FREERIDE the reduction object is declared explicitly by the programmer,
+// maintained in main memory throughout execution, and updated element-wise
+// by the per-split reduction function. The middleware offers several
+// shared-memory techniques for those concurrent updates (Jin & Agrawal,
+// SDM'02): full replication of the object per thread, full locking with one
+// lock per element, optimized full locking where the lock is co-located with
+// the element on the same cache line, and cache-sensitive (fixed) locking
+// with a small pool of locks. This package implements all four plus a
+// Go-native atomic-CAS strategy as an extension.
+//
+// Addressing follows the paper's two-level scheme: an object is a set of
+// groups, each with a fixed number of elements, and accumulate(group, elem,
+// value) updates one cell. Cells are float64 and are merged with a single
+// associative Op chosen at allocation (sum, min, or max).
+package robj
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is the associative, commutative operator applied by Accumulate and by
+// the local/global combination phases.
+type Op int
+
+const (
+	// OpAdd accumulates by addition; identity 0.
+	OpAdd Op = iota
+	// OpMin keeps the minimum; identity +Inf.
+	OpMin
+	// OpMax keeps the maximum; identity -Inf.
+	OpMax
+)
+
+// String returns the operator name.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Identity returns the operator's identity element.
+func (o Op) Identity() float64 {
+	switch o {
+	case OpMin:
+		return math.Inf(1)
+	case OpMax:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+// Apply combines two values under the operator.
+func (o Op) Apply(a, b float64) float64 {
+	switch o {
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// Strategy selects the shared-memory technique for concurrent updates.
+type Strategy int
+
+const (
+	// FullReplication gives every thread a private copy of the object;
+	// copies are merged in the local-combination phase.
+	FullReplication Strategy = iota
+	// FullLocking shares one copy guarded by one lock per element, with
+	// locks stored in a separate array.
+	FullLocking
+	// OptimizedFullLocking shares one copy with each lock co-located with
+	// its element (padded to a cache line) to halve the cache misses per
+	// update.
+	OptimizedFullLocking
+	// FixedLocking (cache-sensitive locking) shares one copy guarded by a
+	// fixed pool of locks; element i maps to lock i mod poolSize.
+	FixedLocking
+	// AtomicCAS shares one copy updated with compare-and-swap on the raw
+	// float bits. Not in the original FREERIDE; a Go-native extension.
+	AtomicCAS
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case FullReplication:
+		return "replication"
+	case FullLocking:
+		return "full-locking"
+	case OptimizedFullLocking:
+		return "opt-locking"
+	case FixedLocking:
+		return "fixed-locking"
+	case AtomicCAS:
+		return "atomic"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists every strategy, for sweeps and tests.
+func Strategies() []Strategy {
+	return []Strategy{FullReplication, FullLocking, OptimizedFullLocking, FixedLocking, AtomicCAS}
+}
+
+// fixedLockPool is the lock-pool size for FixedLocking.
+const fixedLockPool = 64
+
+// Object is a reduction object: Groups × ElemsPerGroup float64 cells updated
+// concurrently under the chosen Strategy and merged with the chosen Op.
+//
+// Allocate with Alloc, update with Accumulate from worker goroutines, then
+// call Merge once (single-threaded or internally parallel) before reading
+// results with Get or Snapshot.
+type Object struct {
+	groups   int
+	elems    int
+	op       Op
+	strategy Strategy
+	workers  int
+
+	// FullReplication: one flat copy per worker.
+	replicas [][]float64
+
+	// Shared-copy strategies.
+	shared []float64       // FullLocking, FixedLocking
+	locks  []sync.Mutex    // FullLocking: len == cells; FixedLocking: len == pool
+	padded []paddedCell    // OptimizedFullLocking
+	bits   []atomic.Uint64 // AtomicCAS
+
+	merged []float64 // final values after Merge
+	done   bool
+}
+
+// paddedCell co-locates a cell's lock with its value and pads the pair to a
+// 64-byte cache line, mirroring the "optimized full locking" layout.
+type paddedCell struct {
+	mu  sync.Mutex
+	val float64
+	_   [48]byte
+}
+
+// Alloc creates a reduction object with the given shape for the given number
+// of worker threads. It mirrors FREERIDE's reduction_object_alloc: every
+// element gets a unique (group, elem) ID. Cells start at op's identity.
+func Alloc(strategy Strategy, op Op, groups, elems, workers int) (*Object, error) {
+	if groups <= 0 || elems <= 0 {
+		return nil, fmt.Errorf("robj: invalid shape %dx%d", groups, elems)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	o := &Object{groups: groups, elems: elems, op: op, strategy: strategy, workers: workers}
+	cells := groups * elems
+	id := op.Identity()
+	fill := func(s []float64) {
+		for i := range s {
+			s[i] = id
+		}
+	}
+	switch strategy {
+	case FullReplication:
+		o.replicas = make([][]float64, workers)
+		for w := range o.replicas {
+			o.replicas[w] = make([]float64, cells)
+			fill(o.replicas[w])
+		}
+	case FullLocking:
+		o.shared = make([]float64, cells)
+		fill(o.shared)
+		o.locks = make([]sync.Mutex, cells)
+	case OptimizedFullLocking:
+		o.padded = make([]paddedCell, cells)
+		for i := range o.padded {
+			o.padded[i].val = id
+		}
+	case FixedLocking:
+		o.shared = make([]float64, cells)
+		fill(o.shared)
+		o.locks = make([]sync.Mutex, fixedLockPool)
+	case AtomicCAS:
+		o.bits = make([]atomic.Uint64, cells)
+		b := math.Float64bits(id)
+		for i := range o.bits {
+			o.bits[i].Store(b)
+		}
+	default:
+		return nil, fmt.Errorf("robj: unknown strategy %v", strategy)
+	}
+	return o, nil
+}
+
+// Groups reports the number of groups.
+func (o *Object) Groups() int { return o.groups }
+
+// ElemsPerGroup reports the number of elements per group.
+func (o *Object) ElemsPerGroup() int { return o.elems }
+
+// Op reports the combine operator.
+func (o *Object) Op() Op { return o.op }
+
+// Strategy reports the sharing strategy.
+func (o *Object) Strategy() Strategy { return o.strategy }
+
+// Workers reports the worker count the object was allocated for.
+func (o *Object) Workers() int { return o.workers }
+
+// cell computes the flat cell index, panicking on out-of-range coordinates —
+// an out-of-range update is a programming error in the reduction function.
+func (o *Object) cell(group, elem int) int {
+	if group < 0 || group >= o.groups || elem < 0 || elem >= o.elems {
+		panic(fmt.Sprintf("robj: accumulate out of range: group=%d elem=%d shape=%dx%d",
+			group, elem, o.groups, o.elems))
+	}
+	return group*o.elems + elem
+}
+
+// Accumulate applies the object's operator to cell (group, elem) with v, on
+// behalf of worker w. Safe for concurrent use by distinct workers. It mirrors
+// FREERIDE's accumulate(int, int, void* value).
+func (o *Object) Accumulate(w, group, elem int, v float64) {
+	i := o.cell(group, elem)
+	switch o.strategy {
+	case FullReplication:
+		r := o.replicas[w]
+		r[i] = o.op.Apply(r[i], v)
+	case FullLocking:
+		o.locks[i].Lock()
+		o.shared[i] = o.op.Apply(o.shared[i], v)
+		o.locks[i].Unlock()
+	case OptimizedFullLocking:
+		c := &o.padded[i]
+		c.mu.Lock()
+		c.val = o.op.Apply(c.val, v)
+		c.mu.Unlock()
+	case FixedLocking:
+		l := &o.locks[i%len(o.locks)]
+		l.Lock()
+		o.shared[i] = o.op.Apply(o.shared[i], v)
+		l.Unlock()
+	case AtomicCAS:
+		b := &o.bits[i]
+		for {
+			old := b.Load()
+			next := math.Float64bits(o.op.Apply(math.Float64frombits(old), v))
+			if b.CompareAndSwap(old, next) {
+				return
+			}
+		}
+	}
+}
+
+// parallelMergeThreshold is the cell count above which Merge combines
+// replicas with parallel range-partitioned workers, mirroring the paper's
+// "if the size of the reduction object is large, both local and global
+// combination phases perform a parallel merge".
+const parallelMergeThreshold = 1 << 14
+
+// Merge performs the local combination phase: for FullReplication it merges
+// the per-thread copies (in worker order, so floating-point results are
+// deterministic for a fixed worker count); for shared strategies it simply
+// publishes the shared copy. Merge must be called exactly once, after all
+// Accumulate calls have completed.
+func (o *Object) Merge() {
+	if o.done {
+		panic("robj: Merge called twice")
+	}
+	o.done = true
+	cells := o.groups * o.elems
+	out := make([]float64, cells)
+	switch o.strategy {
+	case FullReplication:
+		copy(out, o.replicas[0])
+		mergeRange := func(lo, hi int) {
+			for w := 1; w < len(o.replicas); w++ {
+				r := o.replicas[w]
+				for i := lo; i < hi; i++ {
+					out[i] = o.op.Apply(out[i], r[i])
+				}
+			}
+		}
+		if cells >= parallelMergeThreshold && o.workers > 1 {
+			var wg sync.WaitGroup
+			per := (cells + o.workers - 1) / o.workers
+			for lo := 0; lo < cells; lo += per {
+				hi := lo + per
+				if hi > cells {
+					hi = cells
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					mergeRange(lo, hi)
+				}(lo, hi)
+			}
+			wg.Wait()
+		} else {
+			mergeRange(0, cells)
+		}
+	case OptimizedFullLocking:
+		for i := range o.padded {
+			out[i] = o.padded[i].val
+		}
+	case AtomicCAS:
+		for i := range o.bits {
+			out[i] = math.Float64frombits(o.bits[i].Load())
+		}
+	default: // FullLocking, FixedLocking
+		copy(out, o.shared)
+	}
+	o.merged = out
+}
+
+// Merged reports whether Merge has run.
+func (o *Object) Merged() bool { return o.done }
+
+// Get returns the final value of cell (group, elem). It mirrors FREERIDE's
+// get_intermediate_result. Get panics if Merge has not been called.
+func (o *Object) Get(group, elem int) float64 {
+	if !o.done {
+		panic("robj: Get before Merge")
+	}
+	return o.merged[o.cell(group, elem)]
+}
+
+// Snapshot returns the merged object as a flat slice laid out group-major.
+// The slice is owned by the object; callers must not modify it.
+func (o *Object) Snapshot() []float64 {
+	if !o.done {
+		panic("robj: Snapshot before Merge")
+	}
+	return o.merged
+}
+
+// Reset returns a merged object to its pre-Merge state with every cell at
+// the operator's identity, so iterative algorithms (k-means' outer loop,
+// EM rounds) can reuse the allocation instead of allocating a fresh object
+// per pass. Reset panics if Merge has not run (resetting an un-merged
+// object mid-flight would race with accumulators).
+func (o *Object) Reset() {
+	if !o.done {
+		panic("robj: Reset before Merge")
+	}
+	o.done = false
+	o.merged = nil
+	id := o.op.Identity()
+	switch o.strategy {
+	case FullReplication:
+		for _, r := range o.replicas {
+			for i := range r {
+				r[i] = id
+			}
+		}
+	case OptimizedFullLocking:
+		for i := range o.padded {
+			o.padded[i].val = id
+		}
+	case AtomicCAS:
+		b := math.Float64bits(id)
+		for i := range o.bits {
+			o.bits[i].Store(b)
+		}
+	default: // FullLocking, FixedLocking
+		for i := range o.shared {
+			o.shared[i] = id
+		}
+	}
+}
+
+// CombineCells folds a flat cell array (group-major, same shape as
+// Snapshot) into the merged object under its operator — the receive side
+// of a serialized global combination across nodes. CombineCells panics if
+// Merge has not run.
+func (o *Object) CombineCells(cells []float64) error {
+	if !o.done {
+		panic("robj: CombineCells before Merge")
+	}
+	if len(cells) != len(o.merged) {
+		return fmt.Errorf("robj: CombineCells got %d cells, object has %d", len(cells), len(o.merged))
+	}
+	for i := range o.merged {
+		o.merged[i] = o.op.Apply(o.merged[i], cells[i])
+	}
+	return nil
+}
+
+// CombineFrom merges another object's final values into this one's, cell by
+// cell under the operator. Both objects must be merged and have identical
+// shapes. This is the all-to-one global combination used when several nodes
+// (or engine passes) each hold a reduction object.
+func (o *Object) CombineFrom(other *Object) error {
+	if !o.done || !other.done {
+		panic("robj: CombineFrom before Merge")
+	}
+	if o.groups != other.groups || o.elems != other.elems {
+		return fmt.Errorf("robj: shape mismatch %dx%d vs %dx%d", o.groups, o.elems, other.groups, other.elems)
+	}
+	if o.op != other.op {
+		return fmt.Errorf("robj: operator mismatch %v vs %v", o.op, other.op)
+	}
+	for i := range o.merged {
+		o.merged[i] = o.op.Apply(o.merged[i], other.merged[i])
+	}
+	return nil
+}

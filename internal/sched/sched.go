@@ -1,0 +1,268 @@
+// Package sched provides chunk scheduling policies for parallel loops over a
+// fixed index space.
+//
+// The FREERIDE engine (internal/freeride) splits the input dataset into
+// units ("splits") and hands them to worker threads. The order and grouping
+// in which splits reach workers is a scheduling policy decision; the paper's
+// middleware says "the order in which data instances are read from the disks
+// is determined by the runtime system", which this package makes pluggable.
+//
+// All schedulers partition the half-open range [0, n) into contiguous chunks
+// and guarantee that every index is handed out exactly once.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Chunk is a contiguous, half-open index range [Begin, End).
+type Chunk struct {
+	Begin int
+	End   int
+}
+
+// Len reports the number of indices covered by the chunk.
+func (c Chunk) Len() int { return c.End - c.Begin }
+
+// Scheduler hands out chunks of a fixed index space to concurrent workers.
+//
+// Next is safe for concurrent use. It returns ok=false once the index space
+// is exhausted; after that every subsequent call also returns ok=false.
+type Scheduler interface {
+	// Next returns the next chunk for the calling worker.
+	Next(worker int) (c Chunk, ok bool)
+}
+
+// Policy selects a scheduling algorithm.
+type Policy int
+
+const (
+	// Static divides the index space into one contiguous block per worker.
+	// Zero coordination overhead, but no load balancing.
+	Static Policy = iota
+	// Dynamic (self-scheduling) hands out fixed-size chunks from a shared
+	// counter. Good load balancing, one atomic op per chunk.
+	Dynamic
+	// Guided hands out chunks whose size decays geometrically with the
+	// remaining work (remaining/(2*workers), floored at the chunk size).
+	Guided
+	// WorkStealing gives each worker a private deque of chunks; idle
+	// workers steal from victims round-robin.
+	WorkStealing
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	case WorkStealing:
+		return "worksteal"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Policies lists every available policy, for sweeps and tests.
+func Policies() []Policy { return []Policy{Static, Dynamic, Guided, WorkStealing} }
+
+// New builds a scheduler over the index space [0, n) for the given number of
+// workers. chunkSize is the grain for Dynamic and WorkStealing and the floor
+// for Guided; it is ignored by Static. A non-positive n yields a scheduler
+// that is immediately exhausted. A non-positive chunkSize defaults to 1, and
+// a non-positive workers count defaults to 1.
+func New(p Policy, n, workers, chunkSize int) Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	switch p {
+	case Static:
+		return newStatic(n, workers)
+	case Dynamic:
+		return &dynamic{n: int64(n), chunk: int64(chunkSize)}
+	case Guided:
+		return &guided{n: int64(n), workers: int64(workers), minChunk: int64(chunkSize)}
+	case WorkStealing:
+		return newWorkStealing(n, workers, chunkSize)
+	default:
+		return &dynamic{n: int64(n), chunk: int64(chunkSize)}
+	}
+}
+
+// static pre-computes one contiguous block per worker.
+type static struct {
+	blocks []Chunk
+	taken  []atomic.Bool
+}
+
+func newStatic(n, workers int) *static {
+	s := &static{
+		blocks: make([]Chunk, workers),
+		taken:  make([]atomic.Bool, workers),
+	}
+	// Distribute n over workers as evenly as possible: the first n%workers
+	// blocks get one extra element.
+	base := n / workers
+	extra := n % workers
+	begin := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < extra {
+			size++
+		}
+		s.blocks[w] = Chunk{Begin: begin, End: begin + size}
+		begin += size
+	}
+	return s
+}
+
+func (s *static) Next(worker int) (Chunk, bool) {
+	if worker < 0 || worker >= len(s.blocks) {
+		return Chunk{}, false
+	}
+	if s.taken[worker].Swap(true) {
+		return Chunk{}, false
+	}
+	b := s.blocks[worker]
+	if b.Len() == 0 {
+		return Chunk{}, false
+	}
+	return b, true
+}
+
+// dynamic is classic self-scheduling off a shared atomic cursor.
+type dynamic struct {
+	cursor atomic.Int64
+	n      int64
+	chunk  int64
+}
+
+func (d *dynamic) Next(worker int) (Chunk, bool) {
+	begin := d.cursor.Add(d.chunk) - d.chunk
+	if begin >= d.n {
+		return Chunk{}, false
+	}
+	end := begin + d.chunk
+	if end > d.n {
+		end = d.n
+	}
+	return Chunk{Begin: int(begin), End: int(end)}, true
+}
+
+// guided hands out geometrically shrinking chunks under a mutex (the chunk
+// size depends on the remaining work, so a single atomic does not suffice).
+type guided struct {
+	mu       sync.Mutex
+	cursor   int64
+	n        int64
+	workers  int64
+	minChunk int64
+}
+
+func (g *guided) Next(worker int) (Chunk, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	remaining := g.n - g.cursor
+	if remaining <= 0 {
+		return Chunk{}, false
+	}
+	size := remaining / (2 * g.workers)
+	if size < g.minChunk {
+		size = g.minChunk
+	}
+	if size > remaining {
+		size = remaining
+	}
+	c := Chunk{Begin: int(g.cursor), End: int(g.cursor + size)}
+	g.cursor += size
+	return c, true
+}
+
+// workStealing gives each worker a private LIFO stack of chunks; when a
+// worker's stack is empty it scans other workers' stacks (FIFO end) for work.
+type workStealing struct {
+	deques []wsDeque
+}
+
+type wsDeque struct {
+	mu     sync.Mutex
+	chunks []Chunk // owner pops from the back; thieves steal from the front
+}
+
+func newWorkStealing(n, workers, chunkSize int) *workStealing {
+	ws := &workStealing{deques: make([]wsDeque, workers)}
+	// Pre-split the per-worker static block into chunkSize pieces so there
+	// is something to steal.
+	base := n / workers
+	extra := n % workers
+	begin := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < extra {
+			size++
+		}
+		end := begin + size
+		for b := begin; b < end; b += chunkSize {
+			e := b + chunkSize
+			if e > end {
+				e = end
+			}
+			ws.deques[w].chunks = append(ws.deques[w].chunks, Chunk{Begin: b, End: e})
+		}
+		begin = end
+	}
+	return ws
+}
+
+func (ws *workStealing) Next(worker int) (Chunk, bool) {
+	if worker < 0 || worker >= len(ws.deques) {
+		worker = 0
+	}
+	// Pop from our own deque first (back = most recently pushed).
+	if c, ok := ws.deques[worker].popBack(); ok {
+		return c, true
+	}
+	// Steal round-robin starting from the next worker.
+	n := len(ws.deques)
+	for i := 1; i < n; i++ {
+		victim := (worker + i) % n
+		if c, ok := ws.deques[victim].popFront(); ok {
+			return c, true
+		}
+	}
+	return Chunk{}, false
+}
+
+func (d *wsDeque) popBack() (Chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.chunks) == 0 {
+		return Chunk{}, false
+	}
+	c := d.chunks[len(d.chunks)-1]
+	d.chunks = d.chunks[:len(d.chunks)-1]
+	return c, true
+}
+
+func (d *wsDeque) popFront() (Chunk, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.chunks) == 0 {
+		return Chunk{}, false
+	}
+	c := d.chunks[0]
+	d.chunks = d.chunks[1:]
+	return c, true
+}
