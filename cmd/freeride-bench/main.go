@@ -7,6 +7,14 @@
 //	freeride-bench -exp fig9                 # one experiment, default scale
 //	freeride-bench -exp fig9 -scale 1        # paper-sized dataset
 //	freeride-bench -exp all -threads 1,2,4,8
+//	freeride-bench -exp fig9 -metrics-addr :9090 -metrics-hold 30s
+//	freeride-bench -exp fig9 -trace-out trace.json -max-combine-share 0.25
+//
+// Observability: -metrics-addr serves live Prometheus-text metrics (plus
+// /report, /trace, expvar, and pprof with per-worker labels), -trace-out
+// dumps the per-phase JSON event log, the obs report printed after the run
+// summarizes every engine counter, and -max-combine-share guards against
+// combination-phase regressions (see README "Observability").
 //
 // Scale 1 reproduces the paper's dataset sizes (12 MB / 1.2 GB k-means
 // inputs, 1000×10,000 / 1000×100,000 PCA matrices); the per-experiment
@@ -22,8 +30,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"chapelfreeride/internal/bench"
+	"chapelfreeride/internal/obs"
 )
 
 func main() {
@@ -35,8 +45,25 @@ func main() {
 		repsFlag    = flag.Int("reps", 1, "repetitions per measurement (fastest kept)")
 		formatFlag  = flag.String("format", "table", "output format: table | csv")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve the observability endpoint (/metrics Prometheus text, /report, /trace JSON event log, /debug/vars, /debug/pprof) on this address")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the experiments finish")
+		traceOut    = flag.String("trace-out", "", "write the JSON event log of all engine passes to this file")
+		obsReport   = flag.Bool("obs-report", true, "print the obs counter report after each experiment run")
+		maxCombine  = flag.Float64("max-combine-share", 0, "regression guard: warn when combine phases exceed this fraction of engine wall time per experiment (0 disables)")
+		guardFail   = flag.Bool("guard-fail", false, "exit non-zero when the combine-share guard trips")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeride-bench: metrics endpoint:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "freeride-bench: metrics at http://%s/metrics (also /report, /trace, /debug/vars, /debug/pprof)\n", srv.Addr)
+	}
 
 	if *listFlag {
 		fmt.Println("experiments:")
@@ -83,8 +110,10 @@ func main() {
 		}
 	}
 
+	guardTripped := false
 	for _, e := range selected {
 		p := bench.Params{Threads: threads, Scale: *scaleFlag, Seed: *seedFlag, Reps: *repsFlag}.WithDefaults(e.DefaultScale)
+		phasesBefore := bench.SnapshotPhases()
 		tbl, err := e.Run(p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "freeride-bench: %s: %v\n", e.ID, err)
@@ -98,6 +127,34 @@ func main() {
 		} else {
 			tbl.Fprint(os.Stdout)
 		}
+		if diag, ok := bench.CheckCombineShare(phasesBefore, *maxCombine); !ok {
+			guardTripped = true
+			fmt.Fprintf(os.Stderr, "freeride-bench: %s: %s\n", e.ID, diag)
+		}
+	}
+
+	if *obsReport {
+		obs.WriteReport(os.Stdout, obs.Default)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = obs.Log.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeride-bench: trace-out:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsAddr != "" && *metricsHold > 0 {
+		fmt.Fprintf(os.Stderr, "freeride-bench: holding metrics endpoint for %v\n", *metricsHold)
+		time.Sleep(*metricsHold)
+	}
+	if guardTripped && *guardFail {
+		os.Exit(1)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"chapelfreeride/internal/cluster"
 	"chapelfreeride/internal/dataset"
 	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/obs"
 )
 
 func main() {
@@ -35,8 +36,24 @@ func main() {
 		version = flag.String("version", "opt-2", "implementation version")
 		nodes   = flag.Int("nodes", 0, "simulated cluster nodes (>1 runs 'manual FR' distributed over TCP)")
 		verbose = flag.Bool("v", false, "print final centroids")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve the observability endpoint (/metrics, /report, /trace, /debug/vars, /debug/pprof) on this address")
+		obsReport   = flag.Bool("obs-report", false, "print the obs counter report after the run")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kmeans: metrics endpoint:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "kmeans: metrics at http://%s/metrics\n", srv.Addr)
+	}
+	if *obsReport || *metricsAddr != "" {
+		defer obs.WriteReport(os.Stdout, obs.Default)
+	}
 
 	points, err := loadOrGenerate(*input, *n, *dim, *k, *seed)
 	if err != nil {

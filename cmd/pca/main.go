@@ -19,6 +19,7 @@ import (
 	"chapelfreeride/internal/apps"
 	"chapelfreeride/internal/dataset"
 	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,24 @@ func main() {
 		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		version = flag.String("version", "opt-2", "implementation version (sequential, generated, opt-1, opt-2, \"manual FR\")")
 		verbose = flag.Bool("v", false, "print the mean vector and covariance diagonal")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve the observability endpoint (/metrics, /report, /trace, /debug/vars, /debug/pprof) on this address")
+		obsReport   = flag.Bool("obs-report", false, "print the obs counter report after the run")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pca: metrics endpoint:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pca: metrics at http://%s/metrics\n", srv.Addr)
+	}
+	if *obsReport || *metricsAddr != "" {
+		defer obs.WriteReport(os.Stdout, obs.Default)
+	}
 
 	var data *dataset.Matrix
 	var err error

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/obs"
+)
+
+// The obs-driven regression guard mirrors the paper's §V overhead-source
+// analysis: FREERIDE's advantage over Map-Reduce rests on the combination
+// phase staying cheap relative to the local reduction. The guard snapshots
+// the engine's cumulative per-phase counters before a workload, and after it
+// checks what share of the engine wall time the combination phases (local
+// merge + user combine + global combine) consumed. A share above the
+// configured fraction signals a regression in the reduction-object layer
+// (too much merging, contention, or per-pass allocation).
+
+// PhaseSnapshot is a reading of the engine's cumulative per-phase wall-time
+// counters (freeride_phase_ns_total), in nanoseconds.
+type PhaseSnapshot map[string]int64
+
+// SnapshotPhases reads the current per-phase totals from the obs registry.
+func SnapshotPhases() PhaseSnapshot {
+	s := PhaseSnapshot{}
+	for _, p := range freeride.Phases() {
+		s[p] = obs.Default.Value("freeride_phase_ns_total", obs.Label{Key: "phase", Value: p})
+	}
+	return s
+}
+
+// combinePhases are the phases charged to "combination" by the guard.
+var combinePhases = []string{freeride.PhaseLocalCombine, freeride.PhaseCombine, freeride.PhaseGlobalCombine}
+
+// CombineShareSince returns the fraction of engine wall time spent in the
+// combination phases since the snapshot, plus the total engine time elapsed.
+// The share is 0 when no engine time elapsed.
+func CombineShareSince(before PhaseSnapshot) (share float64, total time.Duration) {
+	now := SnapshotPhases()
+	var combine, all int64
+	for _, p := range freeride.Phases() {
+		d := now[p] - before[p]
+		if d < 0 {
+			d = 0
+		}
+		all += d
+	}
+	for _, p := range combinePhases {
+		if d := now[p] - before[p]; d > 0 {
+			combine += d
+		}
+	}
+	if all == 0 {
+		return 0, 0
+	}
+	return float64(combine) / float64(all), time.Duration(all)
+}
+
+// CheckCombineShare evaluates the guard: it returns ok=false plus a
+// diagnostic when the combination share of engine wall time since the
+// snapshot exceeds maxShare. A maxShare <= 0 disables the guard.
+func CheckCombineShare(before PhaseSnapshot, maxShare float64) (diag string, ok bool) {
+	if maxShare <= 0 {
+		return "", true
+	}
+	share, total := CombineShareSince(before)
+	if total == 0 || share <= maxShare {
+		return "", true
+	}
+	return fmt.Sprintf("combine-share guard: combination phases took %.4g%% of %.3fs engine time, above the %.4g%% budget (see freeride_phase_ns_total and robj_* counters)",
+		share*100, total.Seconds(), maxShare*100), false
+}

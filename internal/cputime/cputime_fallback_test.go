@@ -1,0 +1,29 @@
+//go:build !linux
+
+package cputime
+
+import "testing"
+
+// TestFallbackMonotoneNonNegative pins the cputime_other.go contract: on
+// platforms without per-thread accounting, Supported reports false and
+// ThreadCPU returns a constant 0 — trivially monotone and non-negative — so
+// callers can subtract readings without branching per platform.
+func TestFallbackMonotoneNonNegative(t *testing.T) {
+	if Supported() {
+		t.Fatal("fallback build must report Supported() == false")
+	}
+	prev := ThreadCPU()
+	if prev != 0 {
+		t.Fatalf("fallback ThreadCPU = %v, want 0", prev)
+	}
+	for i := 0; i < 100; i++ {
+		cur := ThreadCPU()
+		if cur < 0 {
+			t.Fatalf("sample %d negative: %v", i, cur)
+		}
+		if cur < prev {
+			t.Fatalf("sample %d decreased: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,40 @@
+//go:build linux
+
+package cputime
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestLinuxBusyLoopAccrues covers the Linux rusage path: a locked thread
+// busy-looping for 100ms of wall time must accrue a meaningful amount of
+// per-thread CPU, and Supported must report true.
+func TestLinuxBusyLoopAccrues(t *testing.T) {
+	if !Supported() {
+		t.Fatal("linux build must report Supported() == true")
+	}
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	start := ThreadCPU()
+	x := 0.0
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 10000; i++ {
+			x += float64(i)
+		}
+	}
+	if x < 0 {
+		t.Fatal("unreachable")
+	}
+	delta := ThreadCPU() - start
+	// The loop burned ~100ms of wall time on a locked thread; even on a
+	// heavily shared machine a sizable slice of it must be accounted.
+	if delta < 10*time.Millisecond {
+		t.Fatalf("busy loop accrued only %v of thread CPU", delta)
+	}
+	if delta > time.Second {
+		t.Fatalf("implausible thread CPU delta: %v", delta)
+	}
+}

@@ -1,0 +1,36 @@
+package cputime
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestThreadCPUMonotoneNonNegative runs on every platform: successive
+// ThreadCPU readings from one locked OS thread must be non-negative and
+// never decrease, whether the platform implementation is the Linux rusage
+// path or the constant-zero fallback.
+func TestThreadCPUMonotoneNonNegative(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	prev := ThreadCPU()
+	if prev < 0 {
+		t.Fatalf("initial reading negative: %v", prev)
+	}
+	x := 0.0
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 20000; j++ {
+			x += float64(j)
+		}
+		cur := ThreadCPU()
+		if cur < 0 {
+			t.Fatalf("sample %d negative: %v", i, cur)
+		}
+		if cur < prev {
+			t.Fatalf("sample %d decreased: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+	if x < 0 {
+		t.Fatal("unreachable")
+	}
+}

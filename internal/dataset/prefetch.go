@@ -3,6 +3,16 @@ package dataset
 import (
 	"fmt"
 	"sync"
+
+	"chapelfreeride/internal/obs"
+)
+
+// Prefetch cache counters, cumulative across every PrefetchSource in the
+// process; per-source values stay available through Stats.
+var (
+	mPrefHits   = obs.Default.Counter("dataset_prefetch_hits_total", "block reads served from the read-ahead cache")
+	mPrefMisses = obs.Default.Counter("dataset_prefetch_misses_total", "block reads that went to the underlying source")
+	mPrefIssued = obs.Default.Counter("dataset_prefetch_issued_total", "background read-ahead fetches scheduled")
 )
 
 // PrefetchSource wraps a Source with a read-ahead cache: a background
@@ -101,6 +111,7 @@ func (p *PrefetchSource) getBlock(b int) ([]float64, error) {
 	p.mu.Lock()
 	if payload, ok := p.blocks[b]; ok {
 		p.hits++
+		mPrefHits.Inc()
 		p.mu.Unlock()
 		return payload, nil
 	}
@@ -111,6 +122,7 @@ func (p *PrefetchSource) getBlock(b int) ([]float64, error) {
 		p.mu.Lock()
 		if payload, ok := p.blocks[b]; ok {
 			p.hits++
+			mPrefHits.Inc()
 			p.mu.Unlock()
 			return payload, nil
 		}
@@ -122,11 +134,13 @@ func (p *PrefetchSource) getBlock(b int) ([]float64, error) {
 		}
 		p.mu.Lock()
 		p.misses++
+		mPrefMisses.Inc()
 		p.install(b, payload)
 		p.mu.Unlock()
 		return payload, nil
 	}
 	p.misses++
+	mPrefMisses.Inc()
 	p.mu.Unlock()
 
 	payload, err := p.fetchBlock(b)
@@ -145,6 +159,7 @@ func (p *PrefetchSource) getBlock(b int) ([]float64, error) {
 				wg.Add(1)
 				p.pending[next] = wg
 				p.prefetches++
+				mPrefIssued.Inc()
 				go func() {
 					defer wg.Done()
 					pl, err := p.fetchBlock(next)

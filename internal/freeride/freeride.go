@@ -25,17 +25,86 @@
 package freeride
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"chapelfreeride/internal/cputime"
 	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/obs"
 	"chapelfreeride/internal/robj"
 	"chapelfreeride/internal/sched"
 )
+
+// Engine phase names as recorded in the obs layer: each Run emits one span
+// per phase into the run's trace (Stats.Spans, obs.Log) and adds the phase's
+// wall time to the cumulative counter freeride_phase_ns_total{phase=...}.
+// Together with robj's and sched's counters they quantify the paper's three
+// §V overhead sources: split handling (PhaseSplit, sched_*), reduction-object
+// access (PhaseLocalCombine, robj_*), and data access (dataset_*).
+const (
+	PhaseSplit         = "split"
+	PhaseReduce        = "reduce"
+	PhaseLocalCombine  = "local-combine"
+	PhaseCombine       = "combine"
+	PhaseFinalize      = "finalize"
+	PhaseGlobalCombine = "global-combine"
+)
+
+// Phases lists every phase name an engine pass can record.
+func Phases() []string {
+	return []string{PhaseSplit, PhaseReduce, PhaseLocalCombine, PhaseCombine, PhaseFinalize, PhaseGlobalCombine}
+}
+
+// Always-on engine counters.
+var (
+	mRuns = obs.Default.Counter("freeride_runs_total", "engine passes executed")
+	// phaseNS accumulates per-phase wall time in nanoseconds, resolved once
+	// at init so the engine never does registry lookups mid-run.
+	phaseNS = func() map[string]*obs.Counter {
+		m := map[string]*obs.Counter{}
+		for _, p := range Phases() {
+			m[p] = obs.Default.Counter("freeride_phase_ns_total",
+				"cumulative wall time per engine phase, nanoseconds",
+				obs.Label{Key: "phase", Value: p})
+		}
+		return m
+	}()
+)
+
+// workerCounters is the per-worker counter set, cached per worker id: splits
+// claimed, rows (data instances) reduced, busy and idle nanoseconds of the
+// reduction phase.
+type workerCounters struct {
+	splits, rows, busyNS, idleNS *obs.Counter
+}
+
+var (
+	workerCountersMu sync.Mutex
+	workerCountersBy []workerCounters
+)
+
+// countersForWorker returns (cached) counters labeled worker="w".
+func countersForWorker(w int) workerCounters {
+	workerCountersMu.Lock()
+	defer workerCountersMu.Unlock()
+	for w >= len(workerCountersBy) {
+		id := strconv.Itoa(len(workerCountersBy))
+		label := obs.Label{Key: "worker", Value: id}
+		workerCountersBy = append(workerCountersBy, workerCounters{
+			splits: obs.Default.Counter("freeride_worker_splits_total", "splits claimed per worker", label),
+			rows:   obs.Default.Counter("freeride_worker_rows_total", "data instances reduced per worker", label),
+			busyNS: obs.Default.Counter("freeride_worker_busy_ns_total", "reduction-phase time spent processing splits, nanoseconds", label),
+			idleNS: obs.Default.Counter("freeride_worker_idle_ns_total", "reduction-phase time spent waiting (scheduling, stragglers), nanoseconds", label),
+		})
+	}
+	return workerCountersBy[w]
+}
 
 // Config controls the engine's parallel execution. The zero value is usable:
 // it runs with GOMAXPROCS threads, full replication, dynamic scheduling, and
@@ -175,6 +244,32 @@ type Stats struct {
 	// so it supports scaling estimates on machines with fewer cores than
 	// workers.
 	WorkerCPU []time.Duration
+
+	// Spans is the run's phase trace: nested spans for every phase plus one
+	// span per worker in the reduction phase, ready for obs.EventLog export.
+	// Existing phase fields (SplitTime, ReduceTime, ...) remain the coarse
+	// view; Spans is the fine-grained one.
+	Spans []obs.SpanRecord
+	// WorkerSplits is the number of splits each worker claimed.
+	WorkerSplits []int64
+	// WorkerRows is the number of data instances each worker reduced.
+	WorkerRows []int64
+	// WorkerBusy is the reduction-phase wall time each worker spent
+	// processing splits (reading rows + user reduction); ReduceTime minus
+	// WorkerBusy[w] is worker w's idle/wait time.
+	WorkerBusy []time.Duration
+}
+
+// WorkerIdle returns worker w's reduction-phase idle time: the phase's wall
+// time not spent processing splits (scheduler waits, straggler imbalance).
+func (s Stats) WorkerIdle(w int) time.Duration {
+	if w < 0 || w >= len(s.WorkerBusy) {
+		return 0
+	}
+	if idle := s.ReduceTime - s.WorkerBusy[w]; idle > 0 {
+		return idle
+	}
+	return 0
 }
 
 // Total returns the sum of all phases.
@@ -320,8 +415,12 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 	}
 	res := &Result{Object: obj}
 	res.Stats.Threads = cfg.Threads
+	mRuns.Inc()
+	tr := obs.NewTrace()
+	runSpan := tr.Start("run")
 
 	// Split phase.
+	splitSpan := runSpan.Child(PhaseSplit)
 	t0 := time.Now()
 	splitter := spec.Splitter
 	if splitter == nil {
@@ -333,9 +432,12 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 		return nil, err
 	}
 	res.Stats.SplitTime = time.Since(t0)
+	splitSpan.End()
+	phaseNS[PhaseSplit].Add(int64(res.Stats.SplitTime))
 	res.Stats.Splits = len(splits)
 
 	// Parallel local reduction: the scheduler hands out split indices.
+	reduceSpan := runSpan.Child(PhaseReduce)
 	t0 = time.Now()
 	s := sched.New(cfg.Scheduler, len(splits), cfg.Threads, 1)
 	var (
@@ -347,64 +449,94 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 	cols := src.Cols()
 	locals := make([]any, cfg.Threads)
 	workerCPU := make([]time.Duration, cfg.Threads)
+	workerSplits := make([]int64, cfg.Threads)
+	workerRows := make([]int64, cfg.Threads)
+	workerBusy := make([]time.Duration, cfg.Threads)
 	measureCPU := cputime.Supported()
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if measureCPU {
-				runtime.LockOSThread()
-				start := cputime.ThreadCPU()
-				defer func() {
-					workerCPU[w] = cputime.ThreadCPU() - start
-					runtime.UnlockOSThread()
-				}()
-			}
-			var buf []float64 // per-worker read buffer, reused across splits
-			args := ReductionArgs{Cols: cols, worker: w, object: obj}
-			if spec.LocalInit != nil {
-				args.Local = spec.LocalInit()
-				// The reduction function may replace args.Local (e.g. to
-				// grow a slice); capture the final value when the worker
-				// finishes.
-				defer func() { locals[w] = args.Local }()
-			}
-			for {
-				ci, ok := s.Next(w)
-				if !ok {
-					return
-				}
-				for si := ci.Begin; si < ci.End; si++ {
-					sp := splits[si]
-					n := sp.Len()
-					if hasSlicer {
-						args.Data = slicer.Rows(sp.Begin, sp.End)
-					} else {
-						need := n * cols
-						if cap(buf) < need {
-							buf = make([]float64, need)
-						}
-						buf = buf[:need]
-						if err := src.ReadRows(sp.Begin, sp.End, buf); err != nil {
-							errOnce.Do(func() { firstErr = err })
+			// Label the worker goroutine so CPU/heap profiles taken from
+			// the metrics endpoint attribute samples per worker.
+			pprof.Do(context.Background(),
+				pprof.Labels("subsystem", "freeride", "worker", strconv.Itoa(w)),
+				func(context.Context) {
+					if measureCPU {
+						runtime.LockOSThread()
+						start := cputime.ThreadCPU()
+						defer func() {
+							workerCPU[w] = cputime.ThreadCPU() - start
+							runtime.UnlockOSThread()
+						}()
+					}
+					wSpan := reduceSpan.Child("worker")
+					wSpan.SetWorker(w)
+					defer wSpan.End()
+					defer func() {
+						wc := countersForWorker(w)
+						wc.splits.Add(workerSplits[w])
+						wc.rows.Add(workerRows[w])
+						wc.busyNS.Add(int64(workerBusy[w]))
+					}()
+					var buf []float64 // per-worker read buffer, reused across splits
+					args := ReductionArgs{Cols: cols, worker: w, object: obj}
+					if spec.LocalInit != nil {
+						args.Local = spec.LocalInit()
+						// The reduction function may replace args.Local (e.g. to
+						// grow a slice); capture the final value when the worker
+						// finishes.
+						defer func() { locals[w] = args.Local }()
+					}
+					for {
+						ci, ok := s.Next(w)
+						if !ok {
 							return
 						}
-						args.Data = buf
+						for si := ci.Begin; si < ci.End; si++ {
+							sp := splits[si]
+							n := sp.Len()
+							splitStart := time.Now()
+							if hasSlicer {
+								args.Data = slicer.Rows(sp.Begin, sp.End)
+							} else {
+								need := n * cols
+								if cap(buf) < need {
+									buf = make([]float64, need)
+								}
+								buf = buf[:need]
+								if err := src.ReadRows(sp.Begin, sp.End, buf); err != nil {
+									errOnce.Do(func() { firstErr = err })
+									return
+								}
+								args.Data = buf
+							}
+							args.NumRows = n
+							args.Begin = sp.Begin
+							if err := spec.Reduction(&args); err != nil {
+								errOnce.Do(func() { firstErr = err })
+								return
+							}
+							workerBusy[w] += time.Since(splitStart)
+							workerSplits[w]++
+							workerRows[w] += int64(n)
+						}
 					}
-					args.NumRows = n
-					args.Begin = sp.Begin
-					if err := spec.Reduction(&args); err != nil {
-						errOnce.Do(func() { firstErr = err })
-						return
-					}
-				}
-			}
+				})
 		}(w)
 	}
 	wg.Wait()
 	res.Stats.ReduceTime = time.Since(t0)
+	reduceSpan.End()
+	phaseNS[PhaseReduce].Add(int64(res.Stats.ReduceTime))
 	if measureCPU {
 		res.Stats.WorkerCPU = workerCPU
+	}
+	res.Stats.WorkerSplits = workerSplits
+	res.Stats.WorkerRows = workerRows
+	res.Stats.WorkerBusy = workerBusy
+	for w := 0; w < cfg.Threads; w++ {
+		countersForWorker(w).idleNS.Add(int64(res.Stats.WorkerIdle(w)))
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -412,6 +544,7 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 
 	// Local combination (default combination function) + user combination.
 	t0 = time.Now()
+	lcSpan := runSpan.Child(PhaseLocalCombine)
 	if obj != nil {
 		obj.Merge()
 	}
@@ -422,8 +555,15 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 		}
 		res.Local = merged
 	}
+	lcSpan.End()
+	phaseNS[PhaseLocalCombine].Add(int64(time.Since(t0)))
 	if spec.Combine != nil {
-		if err := spec.Combine(obj); err != nil {
+		tc := time.Now()
+		cSpan := runSpan.Child(PhaseCombine)
+		err := spec.Combine(obj)
+		cSpan.End()
+		phaseNS[PhaseCombine].Add(int64(time.Since(tc)))
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -432,11 +572,18 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 	// Finalize.
 	if spec.Finalize != nil {
 		t0 = time.Now()
-		if err := spec.Finalize(res); err != nil {
+		fSpan := runSpan.Child(PhaseFinalize)
+		err := spec.Finalize(res)
+		fSpan.End()
+		res.Stats.FinalizeTime = time.Since(t0)
+		phaseNS[PhaseFinalize].Add(int64(res.Stats.FinalizeTime))
+		if err != nil {
 			return nil, err
 		}
-		res.Stats.FinalizeTime = time.Since(t0)
 	}
+	runSpan.End()
+	res.Stats.Spans = tr.Records()
+	obs.Log.Add(res.Stats.Spans)
 	return res, nil
 }
 
@@ -464,11 +611,13 @@ func GlobalCombine(results []*Result) (*Result, error) {
 	if len(results) == 0 {
 		return nil, errors.New("freeride: GlobalCombine of no results")
 	}
+	t0 := time.Now()
 	out := results[0]
 	for _, r := range results[1:] {
 		if err := out.Object.CombineFrom(r.Object); err != nil {
 			return nil, err
 		}
 	}
+	phaseNS[PhaseGlobalCombine].Add(int64(time.Since(t0)))
 	return out, nil
 }

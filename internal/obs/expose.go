@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, HELP/TYPE emitted once
+// per family, samples sorted by label set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	lastFamily := ""
+	for _, s := range samples {
+		if s.Name != lastFamily {
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, typeName(s.Kind)); err != nil {
+				return err
+			}
+			lastFamily = s.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, s.Labels, formatValue(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry as Prometheus text.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// publishExpvar exposes the default registry's samples as one expvar map
+// under the key "freeride_metrics". Guarded by a Once because expvar panics
+// on duplicate names.
+var publishExpvar = sync.OnceFunc(func() {
+	expvar.Publish("freeride_metrics", expvar.Func(func() any {
+		samples := Default.Snapshot()
+		m := make(map[string]float64, len(samples))
+		for _, s := range samples {
+			m[s.Name+s.Labels] = s.Value
+		}
+		return m
+	}))
+})
+
+// NewMux builds the observability HTTP mux:
+//
+//	/metrics       Prometheus text exposition of the Default registry
+//	/report        human-readable Report of the Default registry
+//	/trace         JSON event log of recent engine passes (obs.Log)
+//	/debug/vars    expvar (includes the freeride_metrics map)
+//	/debug/pprof/  profiles; worker goroutines carry pprof labels
+func NewMux() *http.ServeMux {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Default.Handler())
+	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteReport(w, Default)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = Log.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// MetricsServer is a running observability endpoint.
+type MetricsServer struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") and serves it in a background goroutine until Close.
+func Serve(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &MetricsServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: NewMux()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the endpoint.
+func (s *MetricsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,217 @@
+// Package obs is the engine-wide observability layer: always-on atomic
+// counters collected in a process-wide Registry, span-style phase tracing
+// with a JSON event log, and exposition as Prometheus text, expvar, and a
+// human-readable report.
+//
+// The paper's evaluation (§V) attributes the Chapel-to-FREERIDE gap to three
+// measurable overhead sources — split handling, reduction-object access, and
+// nested-structure access. This package gives the runtime the instruments to
+// quantify all three on every run: the scheduler and engine count splits and
+// per-worker work (split handling), the reduction-object strategies count
+// updates, lock waits, and CAS retries (reduction-object access), and the
+// dataset layer counts bytes moved (data access). Counters are single atomic
+// adds, cheap enough to leave enabled permanently.
+//
+// The package has no dependencies outside the standard library and must not
+// import any other package of this repository (everything else imports it).
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key="value" pair attached to a metric, distinguishing
+// samples of the same family (e.g. robj_updates_total{strategy="atomic"}).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// safe for concurrent use, and a nil *Counter is a valid no-op receiver so
+// call sites never need nil checks.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Kind distinguishes sample types in a Snapshot.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value sampled at read time.
+	KindGauge
+)
+
+// metric is one registered sample: a counter or a gauge function.
+type metric struct {
+	family string // metric family name, e.g. "robj_updates_total"
+	labels string // rendered label set, e.g. `{strategy="atomic"}`, or ""
+	help   string
+	c      *Counter
+	gauge  func() float64
+}
+
+// Sample is one metric reading taken by Snapshot.
+type Sample struct {
+	// Name is the metric family name.
+	Name string
+	// Labels is the rendered label set ({k="v",...}) or "".
+	Labels string
+	// Help is the family's help text.
+	Help string
+	// Value is the reading.
+	Value float64
+	// Kind reports whether the sample is a counter or a gauge.
+	Kind Kind
+}
+
+// Registry holds named metrics for exposition. The zero value is not usable;
+// create registries with NewRegistry or use Default.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	index   map[string]*metric // family + labels → metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{index: map[string]*metric{}} }
+
+// Default is the process-wide registry that the engine's subsystems
+// (freeride, robj, sched, dataset) register their always-on counters into.
+var Default = NewRegistry()
+
+// renderLabels renders a label set in Prometheus text syntax. Labels keep
+// their given order, so call sites should pass them consistently.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the counter registered under name+labels, creating and
+// registering it on first use. Help text is taken from the first
+// registration. The call is idempotent, so packages can resolve their
+// counters in init functions or lazily from hot paths' setup code.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[key]; ok && m.c != nil {
+		return m.c
+	}
+	m := &metric{family: name, labels: ls, help: help, c: &Counter{}}
+	r.index[key] = m
+	r.metrics = append(r.metrics, m)
+	return m.c
+}
+
+// GaugeFunc registers a gauge read through fn at exposition time. Re-registering
+// the same name+labels replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[key]; ok {
+		m.gauge = fn
+		m.c = nil
+		return
+	}
+	m := &metric{family: name, labels: ls, help: help, gauge: fn}
+	r.index[key] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// Value returns the current value of the counter registered under
+// name+labels, or 0 when no such counter exists. It never creates metrics,
+// so it is safe to probe from tests and guards.
+func (r *Registry) Value(name string, labels ...Label) int64 {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	m, ok := r.index[key]
+	r.mu.Unlock()
+	if !ok || m.c == nil {
+		return 0
+	}
+	return m.c.Value()
+}
+
+// Snapshot reads every registered metric, sorted by family name then label
+// set, so output (and golden tests) are deterministic.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	out := make([]Sample, 0, len(ms))
+	for _, m := range ms {
+		s := Sample{Name: m.family, Labels: m.labels, Help: m.help}
+		if m.c != nil {
+			s.Value = float64(m.c.Value())
+			s.Kind = KindCounter
+		} else if m.gauge != nil {
+			s.Value = m.gauge()
+			s.Kind = KindGauge
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// formatValue renders a sample value: counters as integers, gauges in
+// shortest float form.
+func formatValue(s Sample) string {
+	if s.Kind == KindCounter {
+		return strconv.FormatInt(int64(s.Value), 10)
+	}
+	return strconv.FormatFloat(s.Value, 'g', -1, 64)
+}
+
+// typeName returns the Prometheus TYPE keyword for a sample kind.
+func typeName(k Kind) string {
+	if k == KindGauge {
+		return "gauge"
+	}
+	return "counter"
+}

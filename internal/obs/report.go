@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteReport writes a human-readable summary of every non-zero metric in
+// the registry, grouped by subsystem prefix (the token before the first
+// underscore). Nanosecond counters (families ending in "_ns_total") are
+// shown both raw and as durations, so the report maps directly onto the
+// Prometheus exposition while staying readable after a benchmark run.
+func WriteReport(w io.Writer, r *Registry) {
+	samples := r.Snapshot()
+	groups := map[string][]Sample{}
+	var order []string
+	for _, s := range samples {
+		if s.Value == 0 {
+			continue
+		}
+		g := s.Name
+		if i := strings.IndexByte(g, '_'); i > 0 {
+			g = g[:i]
+		}
+		if _, seen := groups[g]; !seen {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], s)
+	}
+	fmt.Fprintln(w, "== obs report ==")
+	if len(order) == 0 {
+		fmt.Fprintln(w, "  (no activity recorded)")
+		return
+	}
+	for _, g := range order {
+		fmt.Fprintf(w, "%s:\n", g)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		for _, s := range groups[g] {
+			val := formatValue(s)
+			if strings.HasSuffix(s.Name, "_ns_total") {
+				val = fmt.Sprintf("%s\t(%v)", val, time.Duration(int64(s.Value)).Round(time.Microsecond))
+			}
+			fmt.Fprintf(tw, "  %s%s\t%s\n", s.Name, s.Labels, val)
+		}
+		tw.Flush()
+	}
+}
+
+// Report returns WriteReport's output as a string.
+func Report(r *Registry) string {
+	var b strings.Builder
+	WriteReport(&b, r)
+	return b.String()
+}

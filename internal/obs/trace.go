@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one finished span of a Trace: a named interval with an
+// optional parent (nesting) and an optional worker id.
+type SpanRecord struct {
+	// ID is the span's id within its trace, starting at 1.
+	ID int64
+	// Parent is the enclosing span's ID, or 0 for root spans.
+	Parent int64
+	// Name is the phase name (e.g. "reduce", "local-combine").
+	Name string
+	// Worker is the worker id the span ran on, or -1 when not worker-bound.
+	Worker int
+	// Start is the span's begin time as an offset from the trace's start.
+	Start time.Duration
+	// Dur is the span's duration.
+	Dur time.Duration
+}
+
+// Trace collects the spans of one engine pass. Spans may begin and end from
+// any goroutine. A nil *Trace is a valid no-op receiver, as is a nil *Span,
+// so tracing call sites never branch.
+type Trace struct {
+	begin   time.Time
+	limit   int
+	next    atomic.Int64
+	dropped atomic.Int64
+
+	mu   sync.Mutex
+	recs []SpanRecord
+}
+
+// traceSpanLimit bounds the spans one trace retains; beyond it spans are
+// counted as dropped rather than accumulated without bound.
+const traceSpanLimit = 1 << 16
+
+// NewTrace starts an empty trace whose clock begins now.
+func NewTrace() *Trace {
+	return &Trace{begin: time.Now(), limit: traceSpanLimit}
+}
+
+// Span is an in-flight interval of a Trace. End it exactly once; extra Ends
+// are ignored.
+type Span struct {
+	tr     *Trace
+	id     int64
+	parent int64
+	name   string
+	worker int
+	start  time.Time
+	ended  atomic.Bool
+}
+
+func (t *Trace) span(name string, parent int64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, id: t.next.Add(1), parent: parent, name: name, worker: -1, start: time.Now()}
+}
+
+// Start begins a root span.
+func (t *Trace) Start(name string) *Span { return t.span(name, 0) }
+
+// Child begins a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.span(name, s.id)
+}
+
+// SetWorker tags the span with a worker id. Call before End.
+func (s *Span) SetWorker(w int) {
+	if s != nil {
+		s.worker = w
+	}
+}
+
+// End finishes the span and records it in the trace.
+func (s *Span) End() {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Worker: s.worker,
+		Start:  s.start.Sub(s.tr.begin),
+		Dur:    time.Since(s.start),
+	}
+	t := s.tr
+	t.mu.Lock()
+	if len(t.recs) < t.limit {
+		t.recs = append(t.recs, rec)
+	} else {
+		t.dropped.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// Records returns the finished spans sorted by start offset (ties by id).
+func (t *Trace) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.recs))
+	copy(out, t.recs)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Dropped reports how many spans exceeded the trace's retention limit.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// PhaseTotal sums the duration of every recorded span with the given name.
+func (t *Trace) PhaseTotal(name string) time.Duration {
+	var sum time.Duration
+	for _, r := range t.Records() {
+		if r.Name == name {
+			sum += r.Dur
+		}
+	}
+	return sum
+}
+
+// EventLog is a process-wide ring of recent traces (one entry per engine
+// pass), exported as JSON from the metrics endpoint and by -trace-out.
+type EventLog struct {
+	mu      sync.Mutex
+	limit   int
+	nextRun int64
+	runs    []logEntry
+	dropped int64
+}
+
+type logEntry struct {
+	run   int64
+	spans []SpanRecord
+}
+
+// NewEventLog creates a log retaining the most recent limit runs.
+func NewEventLog(limit int) *EventLog {
+	if limit < 1 {
+		limit = 1
+	}
+	return &EventLog{limit: limit}
+}
+
+// Log is the process-wide event log the engine appends every pass to.
+var Log = NewEventLog(512)
+
+// Add appends one run's span records and returns its run id. When the ring
+// is full the oldest run is dropped.
+func (l *EventLog) Add(spans []SpanRecord) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextRun++
+	l.runs = append(l.runs, logEntry{run: l.nextRun, spans: spans})
+	for len(l.runs) > l.limit {
+		l.runs = l.runs[1:]
+		l.dropped++
+	}
+	return l.nextRun
+}
+
+// Len reports the number of retained runs.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.runs)
+}
+
+// jsonSpan is the event-log export shape: offsets and durations in
+// microseconds, worker -1 meaning "not worker-bound".
+type jsonSpan struct {
+	ID      int64   `json:"id"`
+	Parent  int64   `json:"parent"`
+	Name    string  `json:"name"`
+	Worker  int     `json:"worker"`
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+}
+
+type jsonRun struct {
+	Run   int64      `json:"run"`
+	Spans []jsonSpan `json:"spans"`
+}
+
+type jsonLog struct {
+	DroppedRuns int64     `json:"dropped_runs"`
+	Runs        []jsonRun `json:"runs"`
+}
+
+// WriteJSON writes the retained runs as one JSON document.
+func (l *EventLog) WriteJSON(w io.Writer) error {
+	l.mu.Lock()
+	doc := jsonLog{DroppedRuns: l.dropped, Runs: make([]jsonRun, 0, len(l.runs))}
+	for _, e := range l.runs {
+		jr := jsonRun{Run: e.run, Spans: make([]jsonSpan, 0, len(e.spans))}
+		for _, s := range e.spans {
+			jr.Spans = append(jr.Spans, jsonSpan{
+				ID:      s.ID,
+				Parent:  s.Parent,
+				Name:    s.Name,
+				Worker:  s.Worker,
+				StartUS: float64(s.Start) / float64(time.Microsecond),
+				DurUS:   float64(s.Dur) / float64(time.Microsecond),
+			})
+		}
+		doc.Runs = append(doc.Runs, jr)
+	}
+	l.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -22,7 +22,34 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"chapelfreeride/internal/obs"
 )
+
+// Contention counters, always-on (ISSUE: the paper's §V names
+// reduction-object access as one of the three overhead sources; these make
+// it observable per strategy). Updates are counted in per-worker padded
+// slots on the Object and flushed here at Merge, so the hot path never
+// touches a shared cache line; lock waits and CAS retries increment global
+// counters only on the already-contended path.
+var (
+	mUpdates  = map[Strategy]*obs.Counter{}
+	mLockWait = map[Strategy]*obs.Counter{}
+	mCASRetry = obs.Default.Counter("robj_cas_retries_total",
+		"failed compare-and-swap attempts retried by the atomic strategy")
+	mAllocs = obs.Default.Counter("robj_allocs_total", "reduction objects allocated")
+	mMerges = obs.Default.Counter("robj_merges_total", "local combination (Merge) passes")
+)
+
+func init() {
+	for _, s := range Strategies() {
+		label := obs.Label{Key: "strategy", Value: s.String()}
+		mUpdates[s] = obs.Default.Counter("robj_updates_total",
+			"reduction-object cell updates (Accumulate calls)", label)
+		mLockWait[s] = obs.Default.Counter("robj_lock_waits_total",
+			"Accumulate calls that found their cell lock held", label)
+	}
+}
 
 // Op is the associative, commutative operator applied by Accumulate and by
 // the local/global combination phases.
@@ -153,6 +180,23 @@ type Object struct {
 
 	merged []float64 // final values after Merge
 	done   bool
+
+	// updates holds one padded per-worker update count, flushed to the
+	// global per-strategy counter at Merge. Plain (non-atomic) increments
+	// are safe because each worker id is owned by one goroutine — the same
+	// contract FullReplication's replicas already rely on.
+	updates []padCount
+
+	// Counters resolved once at Alloc so Accumulate never does map lookups.
+	updatesC  *obs.Counter
+	lockWaitC *obs.Counter
+}
+
+// padCount pads a per-worker counter to its own cache line to avoid false
+// sharing between workers on the Accumulate hot path.
+type padCount struct {
+	n int64
+	_ [56]byte
 }
 
 // paddedCell co-locates a cell's lock with its value and pads the pair to a
@@ -174,6 +218,9 @@ func Alloc(strategy Strategy, op Op, groups, elems, workers int) (*Object, error
 		workers = 1
 	}
 	o := &Object{groups: groups, elems: elems, op: op, strategy: strategy, workers: workers}
+	o.updates = make([]padCount, workers)
+	o.updatesC = mUpdates[strategy]
+	o.lockWaitC = mLockWait[strategy]
 	cells := groups * elems
 	id := op.Identity()
 	fill := func(s []float64) {
@@ -210,6 +257,7 @@ func Alloc(strategy Strategy, op Op, groups, elems, workers int) (*Object, error
 	default:
 		return nil, fmt.Errorf("robj: unknown strategy %v", strategy)
 	}
+	mAllocs.Inc()
 	return o, nil
 }
 
@@ -243,22 +291,33 @@ func (o *Object) cell(group, elem int) int {
 // FREERIDE's accumulate(int, int, void* value).
 func (o *Object) Accumulate(w, group, elem int, v float64) {
 	i := o.cell(group, elem)
+	o.updates[w].n++
 	switch o.strategy {
 	case FullReplication:
 		r := o.replicas[w]
 		r[i] = o.op.Apply(r[i], v)
 	case FullLocking:
-		o.locks[i].Lock()
+		l := &o.locks[i]
+		if !l.TryLock() {
+			o.lockWaitC.Inc()
+			l.Lock()
+		}
 		o.shared[i] = o.op.Apply(o.shared[i], v)
-		o.locks[i].Unlock()
+		l.Unlock()
 	case OptimizedFullLocking:
 		c := &o.padded[i]
-		c.mu.Lock()
+		if !c.mu.TryLock() {
+			o.lockWaitC.Inc()
+			c.mu.Lock()
+		}
 		c.val = o.op.Apply(c.val, v)
 		c.mu.Unlock()
 	case FixedLocking:
 		l := &o.locks[i%len(o.locks)]
-		l.Lock()
+		if !l.TryLock() {
+			o.lockWaitC.Inc()
+			l.Lock()
+		}
 		o.shared[i] = o.op.Apply(o.shared[i], v)
 		l.Unlock()
 	case AtomicCAS:
@@ -269,6 +328,7 @@ func (o *Object) Accumulate(w, group, elem int, v float64) {
 			if b.CompareAndSwap(old, next) {
 				return
 			}
+			mCASRetry.Inc()
 		}
 	}
 }
@@ -289,6 +349,15 @@ func (o *Object) Merge() {
 		panic("robj: Merge called twice")
 	}
 	o.done = true
+	mMerges.Inc()
+	// Flush the per-worker update counts gathered since Alloc or Reset into
+	// the global per-strategy counter.
+	var updated int64
+	for w := range o.updates {
+		updated += o.updates[w].n
+		o.updates[w].n = 0
+	}
+	o.updatesC.Add(updated)
 	cells := o.groups * o.elems
 	out := make([]float64, cells)
 	switch o.strategy {

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"chapelfreeride/internal/obs"
+)
+
+// drain consumes a scheduler with the given worker count and returns the
+// number of chunks handed out.
+func drain(s Scheduler, workers int) int64 {
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var n int64
+			for {
+				if _, ok := s.Next(w); !ok {
+					break
+				}
+				n++
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return total
+}
+
+// TestChunkCountersPerPolicy checks that sched_chunks_total advances by
+// exactly the number of chunks each policy hands out.
+func TestChunkCountersPerPolicy(t *testing.T) {
+	const n, workers, chunk = 1000, 4, 7
+	for _, p := range Policies() {
+		label := obs.Label{Key: "policy", Value: p.String()}
+		before := obs.Default.Value("sched_chunks_total", label)
+		handed := drain(New(p, n, workers, chunk), workers)
+		delta := obs.Default.Value("sched_chunks_total", label) - before
+		if delta != handed {
+			t.Fatalf("%v: counter delta %d != chunks handed %d", p, delta, handed)
+		}
+		if handed == 0 {
+			t.Fatalf("%v: no chunks handed out", p)
+		}
+	}
+}
+
+// TestStealCounters forces steals: one worker never drains its own deque, so
+// the other must steal from it.
+func TestStealCounters(t *testing.T) {
+	before := obs.Default.Value("sched_steals_total")
+	s := New(WorkStealing, 100, 2, 10)
+	// Worker 1 drains everything (its own deque, then steals from worker 0).
+	seen := 0
+	for {
+		if _, ok := s.Next(1); !ok {
+			break
+		}
+		seen++
+	}
+	if seen != 10 {
+		t.Fatalf("worker 1 drained %d chunks, want 10", seen)
+	}
+	delta := obs.Default.Value("sched_steals_total") - before
+	if delta < 5 {
+		t.Fatalf("steals delta = %d, want >= 5 (worker 0's half)", delta)
+	}
+}

@@ -15,7 +15,32 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"chapelfreeride/internal/obs"
 )
+
+// Always-on scheduler counters: chunks handed out per policy (split-handling
+// visibility, the first of the paper's §V overhead sources), steal traffic
+// for the work-stealing policy, and lock contention for the mutex-guarded
+// policies. Counters are resolved once in New, never on the Next hot path.
+var (
+	mChunks    = map[Policy]*obs.Counter{}
+	mLockWaits = map[Policy]*obs.Counter{}
+	mSteals    = obs.Default.Counter("sched_steals_total",
+		"chunks stolen from another worker's deque (worksteal policy)")
+	mStealFail = obs.Default.Counter("sched_steal_failures_total",
+		"full victim scans that found nothing to steal (worksteal policy)")
+)
+
+func init() {
+	for _, p := range Policies() {
+		label := obs.Label{Key: "policy", Value: p.String()}
+		mChunks[p] = obs.Default.Counter("sched_chunks_total",
+			"chunks handed to workers", label)
+		mLockWaits[p] = obs.Default.Counter("sched_lock_waits_total",
+			"Next calls that found the scheduler lock held", label)
+	}
+}
 
 // Chunk is a contiguous, half-open index range [Begin, End).
 type Chunk struct {
@@ -91,13 +116,14 @@ func New(p Policy, n, workers, chunkSize int) Scheduler {
 	case Static:
 		return newStatic(n, workers)
 	case Dynamic:
-		return &dynamic{n: int64(n), chunk: int64(chunkSize)}
+		return &dynamic{n: int64(n), chunk: int64(chunkSize), chunkC: mChunks[Dynamic]}
 	case Guided:
-		return &guided{n: int64(n), workers: int64(workers), minChunk: int64(chunkSize)}
+		return &guided{n: int64(n), workers: int64(workers), minChunk: int64(chunkSize),
+			chunkC: mChunks[Guided], lockWaitC: mLockWaits[Guided]}
 	case WorkStealing:
 		return newWorkStealing(n, workers, chunkSize)
 	default:
-		return &dynamic{n: int64(n), chunk: int64(chunkSize)}
+		return &dynamic{n: int64(n), chunk: int64(chunkSize), chunkC: mChunks[Dynamic]}
 	}
 }
 
@@ -105,12 +131,14 @@ func New(p Policy, n, workers, chunkSize int) Scheduler {
 type static struct {
 	blocks []Chunk
 	taken  []atomic.Bool
+	chunkC *obs.Counter
 }
 
 func newStatic(n, workers int) *static {
 	s := &static{
 		blocks: make([]Chunk, workers),
 		taken:  make([]atomic.Bool, workers),
+		chunkC: mChunks[Static],
 	}
 	// Distribute n over workers as evenly as possible: the first n%workers
 	// blocks get one extra element.
@@ -139,6 +167,7 @@ func (s *static) Next(worker int) (Chunk, bool) {
 	if b.Len() == 0 {
 		return Chunk{}, false
 	}
+	s.chunkC.Inc()
 	return b, true
 }
 
@@ -147,6 +176,7 @@ type dynamic struct {
 	cursor atomic.Int64
 	n      int64
 	chunk  int64
+	chunkC *obs.Counter
 }
 
 func (d *dynamic) Next(worker int) (Chunk, bool) {
@@ -158,21 +188,27 @@ func (d *dynamic) Next(worker int) (Chunk, bool) {
 	if end > d.n {
 		end = d.n
 	}
+	d.chunkC.Inc()
 	return Chunk{Begin: int(begin), End: int(end)}, true
 }
 
 // guided hands out geometrically shrinking chunks under a mutex (the chunk
 // size depends on the remaining work, so a single atomic does not suffice).
 type guided struct {
-	mu       sync.Mutex
-	cursor   int64
-	n        int64
-	workers  int64
-	minChunk int64
+	mu        sync.Mutex
+	cursor    int64
+	n         int64
+	workers   int64
+	minChunk  int64
+	chunkC    *obs.Counter
+	lockWaitC *obs.Counter
 }
 
 func (g *guided) Next(worker int) (Chunk, bool) {
-	g.mu.Lock()
+	if !g.mu.TryLock() {
+		g.lockWaitC.Inc()
+		g.mu.Lock()
+	}
 	defer g.mu.Unlock()
 	remaining := g.n - g.cursor
 	if remaining <= 0 {
@@ -187,6 +223,7 @@ func (g *guided) Next(worker int) (Chunk, bool) {
 	}
 	c := Chunk{Begin: int(g.cursor), End: int(g.cursor + size)}
 	g.cursor += size
+	g.chunkC.Inc()
 	return c, true
 }
 
@@ -194,15 +231,20 @@ func (g *guided) Next(worker int) (Chunk, bool) {
 // worker's stack is empty it scans other workers' stacks (FIFO end) for work.
 type workStealing struct {
 	deques []wsDeque
+	chunkC *obs.Counter
 }
 
 type wsDeque struct {
-	mu     sync.Mutex
-	chunks []Chunk // owner pops from the back; thieves steal from the front
+	mu        sync.Mutex
+	chunks    []Chunk // owner pops from the back; thieves steal from the front
+	lockWaitC *obs.Counter
 }
 
 func newWorkStealing(n, workers, chunkSize int) *workStealing {
-	ws := &workStealing{deques: make([]wsDeque, workers)}
+	ws := &workStealing{deques: make([]wsDeque, workers), chunkC: mChunks[WorkStealing]}
+	for w := range ws.deques {
+		ws.deques[w].lockWaitC = mLockWaits[WorkStealing]
+	}
 	// Pre-split the per-worker static block into chunkSize pieces so there
 	// is something to steal.
 	base := n / workers
@@ -232,6 +274,7 @@ func (ws *workStealing) Next(worker int) (Chunk, bool) {
 	}
 	// Pop from our own deque first (back = most recently pushed).
 	if c, ok := ws.deques[worker].popBack(); ok {
+		ws.chunkC.Inc()
 		return c, true
 	}
 	// Steal round-robin starting from the next worker.
@@ -239,14 +282,20 @@ func (ws *workStealing) Next(worker int) (Chunk, bool) {
 	for i := 1; i < n; i++ {
 		victim := (worker + i) % n
 		if c, ok := ws.deques[victim].popFront(); ok {
+			ws.chunkC.Inc()
+			mSteals.Inc()
 			return c, true
 		}
 	}
+	mStealFail.Inc()
 	return Chunk{}, false
 }
 
 func (d *wsDeque) popBack() (Chunk, bool) {
-	d.mu.Lock()
+	if !d.mu.TryLock() {
+		d.lockWaitC.Inc()
+		d.mu.Lock()
+	}
 	defer d.mu.Unlock()
 	if len(d.chunks) == 0 {
 		return Chunk{}, false
@@ -257,7 +306,10 @@ func (d *wsDeque) popBack() (Chunk, bool) {
 }
 
 func (d *wsDeque) popFront() (Chunk, bool) {
-	d.mu.Lock()
+	if !d.mu.TryLock() {
+		d.lockWaitC.Inc()
+		d.mu.Lock()
+	}
 	defer d.mu.Unlock()
 	if len(d.chunks) == 0 {
 		return Chunk{}, false
