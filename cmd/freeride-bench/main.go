@@ -9,12 +9,18 @@
 //	freeride-bench -exp all -threads 1,2,4,8
 //	freeride-bench -exp fig9 -metrics-addr :9090 -metrics-hold 30s
 //	freeride-bench -exp fig9 -trace-out trace.json -max-combine-share 0.25
+//	freeride-bench -exp abl-faults -fault-rate 0.1 -fault-seed 7 -retries 5 -timeout 100ms
 //
 // Observability: -metrics-addr serves live Prometheus-text metrics (plus
 // /report, /trace, expvar, and pprof with per-worker labels), -trace-out
 // dumps the per-phase JSON event log, the obs report printed after the run
 // summarizes every engine counter, and -max-combine-share guards against
 // combination-phase regressions (see README "Observability").
+//
+// Robustness: -fault-rate/-fault-seed inject deterministic transient read
+// faults, -retries bounds the retry/backoff layer absorbing them, and
+// -timeout cancels passes via context; the abl-faults experiment drives all
+// of them through the engine's failure paths (see README "Robustness").
 //
 // Scale 1 reproduces the paper's dataset sizes (12 MB / 1.2 GB k-means
 // inputs, 1000×10,000 / 1000×100,000 PCA matrices); the per-experiment
@@ -45,6 +51,11 @@ func main() {
 		repsFlag    = flag.Int("reps", 1, "repetitions per measurement (fastest kept)")
 		formatFlag  = flag.String("format", "table", "output format: table | csv")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
+
+		faultRate = flag.Float64("fault-rate", 0, "inject seeded transient read faults on this fraction of split reads in fault-aware experiments (abl-faults)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault pattern")
+		retries   = flag.Int("retries", 3, "bounded retry budget (with exponential backoff) for fault-wrapped reads")
+		timeout   = flag.Duration("timeout", 0, "cancel fault-aware experiment passes via context after this long (0 = no timeout)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve the observability endpoint (/metrics Prometheus text, /report, /trace JSON event log, /debug/vars, /debug/pprof) on this address")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the experiments finish")
@@ -112,7 +123,10 @@ func main() {
 
 	guardTripped := false
 	for _, e := range selected {
-		p := bench.Params{Threads: threads, Scale: *scaleFlag, Seed: *seedFlag, Reps: *repsFlag}.WithDefaults(e.DefaultScale)
+		p := bench.Params{
+			Threads: threads, Scale: *scaleFlag, Seed: *seedFlag, Reps: *repsFlag,
+			FaultRate: *faultRate, FaultSeed: *faultSeed, Retries: *retries, Timeout: *timeout,
+		}.WithDefaults(e.DefaultScale)
 		phasesBefore := bench.SnapshotPhases()
 		tbl, err := e.Run(p)
 		if err != nil {

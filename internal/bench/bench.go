@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -20,6 +21,8 @@ import (
 	"strings"
 	"text/tabwriter"
 	"time"
+
+	"chapelfreeride/internal/dataset"
 )
 
 // Params control an experiment run.
@@ -33,6 +36,19 @@ type Params struct {
 	// Reps repeats each (version, threads) measurement and keeps the
 	// fastest, suppressing scheduling noise. Default 1.
 	Reps int
+
+	// FaultRate injects seeded transient read faults on this fraction of
+	// split reads in experiments that wrap their source with WrapSource
+	// (abl-faults). 0 leaves sources clean.
+	FaultRate float64
+	// FaultSeed fixes the fault pattern. Default 1.
+	FaultSeed int64
+	// Retries bounds the retry budget of the RetrySource layer WrapSource
+	// adds. Default 3.
+	Retries int
+	// Timeout cancels fault-aware experiment passes via context when
+	// positive (see RunContext).
+	Timeout time.Duration
 }
 
 // WithDefaults fills unset fields: threads 1,2,4,8 (the paper's sweep —
@@ -52,7 +68,36 @@ func (p Params) WithDefaults(defaultScale float64) Params {
 	if p.Reps < 1 {
 		p.Reps = 1
 	}
+	if p.FaultSeed == 0 {
+		p.FaultSeed = 1
+	}
+	if p.Retries == 0 {
+		p.Retries = 3
+	}
 	return p
+}
+
+// WrapSource applies the fault/retry layers Params configure: a FaultSource
+// injecting seeded transient faults under a RetrySource with the retry
+// budget. With FaultRate 0 the source is returned unchanged.
+func (p Params) WrapSource(src dataset.Source) dataset.Source {
+	if p.FaultRate <= 0 {
+		return src
+	}
+	src = dataset.NewFaultSource(src, dataset.FaultConfig{Rate: p.FaultRate, Seed: p.FaultSeed})
+	if p.Retries > 0 {
+		src = dataset.NewRetrySource(src, p.Retries, time.Millisecond)
+	}
+	return src
+}
+
+// RunContext returns the context fault-aware experiments run engine passes
+// under, honoring Params.Timeout. Callers must invoke the cancel function.
+func (p Params) RunContext() (context.Context, context.CancelFunc) {
+	if p.Timeout > 0 {
+		return context.WithTimeout(context.Background(), p.Timeout)
+	}
+	return context.WithCancel(context.Background())
 }
 
 // Table is an experiment's printable result.

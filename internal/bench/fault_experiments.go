@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/obs"
+	"chapelfreeride/internal/robj"
+)
+
+// ablFaults exercises the engine's failure paths end to end: a clean pass as
+// the reference, a fault-injected pass without retry (the run fails), the
+// same faults behind RetrySource (the run recovers bit-identically), a
+// permanent fault surfacing through the retry layer, and a context-cancelled
+// pass over a slow source measuring how fast RunContext returns. The
+// -fault-rate/-fault-seed/-retries/-timeout flags parameterize it.
+func ablFaults(p Params) (*Table, error) {
+	p = p.WithDefaults(0.05)
+	rate := p.FaultRate
+	if rate <= 0 {
+		rate = 0.05
+	}
+	const dim = 8
+	rows := int(2_000_000 * p.Scale)
+	if rows < 10_000 {
+		rows = 10_000
+	}
+	points, _ := dataset.GaussianMixture(rows, dim, 8, p.Seed)
+	threads := p.Threads[len(p.Threads)-1]
+	cfg := freeride.Config{Threads: threads, SplitRows: 1024}
+
+	// Column-sum spec: cheap, deterministic, order-independent.
+	spec := freeride.Spec{
+		Object: freeride.ObjectSpec{Groups: 1, Elems: dim, Op: robj.OpAdd},
+		Reduction: func(a *freeride.ReductionArgs) error {
+			sums := a.Scratch(0, dim)
+			for i := range sums {
+				sums[i] = 0
+			}
+			for r := 0; r < a.NumRows; r++ {
+				row := a.Row(r)
+				for j, v := range row {
+					sums[j] += v
+				}
+			}
+			for j, v := range sums {
+				a.Accumulate(0, j, v)
+			}
+			return nil
+		},
+	}
+
+	tbl := &Table{
+		ID: "abl-faults",
+		Title: fmt.Sprintf("failure paths — column sums over %d×%d, %d threads, fault rate %g, %d retries",
+			rows, dim, threads, rate, p.Retries),
+		Columns: []string{"mode", "wall(s)", "retries", "gaveup", "outcome"},
+	}
+	retriesBefore := func() int64 { return obs.Default.Value("dataset_read_retries_total") }
+	gaveupBefore := func() int64 { return obs.Default.Value("dataset_read_gaveup_total") }
+
+	type mode struct {
+		name string
+		src  dataset.Source
+		ctx  func() (context.Context, context.CancelFunc)
+	}
+	mem := dataset.NewMemorySource(points)
+	faultCfg := dataset.FaultConfig{Rate: rate, Seed: p.FaultSeed}
+	permCfg := dataset.FaultConfig{Rate: rate, PermanentRate: 1, Seed: p.FaultSeed}
+	slowCfg := dataset.FaultConfig{Latency: 10 * time.Millisecond}
+	cancelTimeout := p.Timeout
+	if cancelTimeout <= 0 {
+		cancelTimeout = 50 * time.Millisecond
+	}
+	bg := func() (context.Context, context.CancelFunc) {
+		return context.WithCancel(context.Background())
+	}
+	modes := []mode{
+		{"clean", mem, bg},
+		{"fault,no-retry", dataset.NewFaultSource(mem, faultCfg), bg},
+		{"fault,retry", dataset.NewRetrySource(dataset.NewFaultSource(mem, faultCfg), p.Retries, time.Millisecond), bg},
+		{"fault,permanent", dataset.NewRetrySource(dataset.NewFaultSource(mem, permCfg), p.Retries, time.Millisecond), bg},
+		{"cancel@" + cancelTimeout.String(), dataset.NewFaultSource(mem, slowCfg), func() (context.Context, context.CancelFunc) {
+			return context.WithTimeout(context.Background(), cancelTimeout)
+		}},
+	}
+
+	var clean []float64
+	for _, m := range modes {
+		ctx, cancel := m.ctx()
+		r0, g0 := retriesBefore(), gaveupBefore()
+		t0 := time.Now()
+		res, err := freeride.New(cfg).RunContext(ctx, spec, m.src)
+		wall := time.Since(t0)
+		cancel()
+		outcome := "ok"
+		switch {
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			outcome = fmt.Sprintf("cancelled after %s", wall.Round(time.Millisecond))
+		case err != nil:
+			outcome = "error: " + truncate(err.Error(), 60)
+		default:
+			snap := res.Object.Snapshot()
+			if m.name == "clean" {
+				clean = snap
+			} else if clean != nil {
+				outcome = "ok, matches clean"
+				for i, v := range snap {
+					if v != clean[i] {
+						outcome = "MISMATCH vs clean"
+						break
+					}
+				}
+			}
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			m.name, secs(wall),
+			fmt.Sprint(retriesBefore() - r0), fmt.Sprint(gaveupBefore() - g0),
+			outcome,
+		})
+	}
+	tbl.Notes = append(tbl.Notes,
+		"failure semantics: first error wins, workers stop draining the scheduler, no partial result; "+
+			"RetrySource absorbs transient faults (retries>0, gaveup=0) while permanent faults surface")
+	return tbl, nil
+}
+
+// truncate shortens s to at most n runes for table cells.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func init() {
+	register(Experiment{ID: "abl-faults", Title: "failure paths: fault injection, retry recovery, cancellation", DefaultScale: 0.05, Run: ablFaults})
+}

@@ -21,9 +21,11 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"chapelfreeride/internal/dataset"
 	"chapelfreeride/internal/freeride"
@@ -88,11 +90,34 @@ type Config struct {
 	Transport Transport
 	// Combine selects the global combination algorithm. Default AllToOne.
 	Combine CombineAlgo
+
+	// DialTimeout bounds each TCP dial during global combination; failed
+	// dials are retried DialRetries times with exponential backoff. Default
+	// 2s.
+	DialTimeout time.Duration
+	// DialRetries is the number of re-dials after a failed dial. Default 2;
+	// pass a negative value for no retries.
+	DialRetries int
+	// IOTimeout bounds each serialized-object exchange (send, accept, and
+	// receive all get this deadline), so a wedged peer fails the combination
+	// instead of hanging it. Default 10s.
+	IOTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
 	if c.Nodes < 1 {
 		c.Nodes = 2
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.DialRetries < 0 {
+		c.DialRetries = 0
+	} else if c.DialRetries == 0 {
+		c.DialRetries = 2
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 10 * time.Second
 	}
 	return c
 }
@@ -148,8 +173,24 @@ func (s *subSource) ReadRows(begin, end int, dst []float64) error {
 	return s.src.ReadRows(s.lo+begin, s.lo+end, dst)
 }
 
-// Rows implements dataset.RowSlicer when the underlying source does.
-func (s *subSource) Rows(begin, end int) []float64 {
+// ReadRowsContext implements dataset.ContextSource, forwarding the caller's
+// context to the underlying source when it supports cancellation.
+func (s *subSource) ReadRowsContext(ctx context.Context, begin, end int, dst []float64) error {
+	if begin < 0 || end > s.rows || begin > end {
+		return fmt.Errorf("cluster: ReadRows range [%d,%d) out of [0,%d)", begin, end, s.rows)
+	}
+	return dataset.ReadRowsContext(ctx, s.src, s.lo+begin, s.lo+end, dst)
+}
+
+// slicingSubSource adds the zero-copy fast path on top of subSource. It is a
+// separate type so that a plain subSource over a non-slicing source (a fault
+// or retry wrapper, a file) does not claim dataset.RowSlicer it cannot honor
+// — the engine type-asserts on the node source, and a false claim panics
+// inside the worker loop.
+type slicingSubSource struct{ *subSource }
+
+// Rows implements dataset.RowSlicer.
+func (s slicingSubSource) Rows(begin, end int) []float64 {
 	return s.src.(dataset.RowSlicer).Rows(s.lo+begin, s.lo+end)
 }
 
@@ -176,10 +217,7 @@ func partition(totalRows, nodes int) [][2]int {
 func nodeSource(src dataset.Source, lo, hi int) dataset.Source {
 	sub := &subSource{src: src, lo: lo, rows: hi - lo}
 	if _, ok := src.(dataset.RowSlicer); ok {
-		return struct {
-			dataset.Source
-			dataset.RowSlicer
-		}{sub, sub}
+		return slicingSubSource{sub}
 	}
 	return sub
 }
@@ -207,6 +245,16 @@ func offsetSpec(spec freeride.Spec, base int) freeride.Spec {
 // LocalInit state are not supported across nodes (the engine-level API
 // covers that case on one node).
 func (c *Cluster) Run(spec freeride.Spec, src dataset.Source) (*Result, error) {
+	return c.RunContext(context.Background(), spec, src)
+}
+
+// RunContext is Run under a context: every node's engine pass inherits ctx
+// (so one cancellation stops all nodes' workers), and a cancelled cluster
+// run returns ctx.Err() without entering global combination.
+func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src dataset.Source) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if spec.Reduction == nil {
 		return nil, freeride.ErrNoReduction
 	}
@@ -231,10 +279,13 @@ func (c *Cluster) Run(spec freeride.Spec, src dataset.Source) (*Result, error) {
 			defer wg.Done()
 			lo, hi := parts[n][0], parts[n][1]
 			eng := freeride.New(cfg.PerNode)
-			results[n], errs[n] = eng.Run(offsetSpec(spec, lo), nodeSource(src, lo, hi))
+			results[n], errs[n] = eng.RunContext(ctx, offsetSpec(spec, lo), nodeSource(src, lo, hi))
 		}(n)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -254,7 +305,7 @@ func (c *Cluster) Run(spec freeride.Spec, src dataset.Source) (*Result, error) {
 	)
 	switch cfg.Transport {
 	case TCP:
-		combined, moved, rounds, err = combineTCP(objects, cfg.Combine)
+		combined, moved, rounds, err = combineTCP(objects, cfg.Combine, cfg)
 	default:
 		combined, moved, rounds, err = combineInProcess(objects, cfg.Combine)
 	}

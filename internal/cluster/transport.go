@@ -5,9 +5,46 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"chapelfreeride/internal/obs"
 	"chapelfreeride/internal/robj"
 )
+
+// Transport robustness counters: dial attempts that had to be retried, and
+// exchanges that timed out against the per-call deadline.
+var (
+	mDialRetries = obs.Default.Counter("cluster_dial_retries_total",
+		"TCP dials retried during global combination")
+	mIOTimeouts = obs.Default.Counter("cluster_io_timeouts_total",
+		"global-combination exchanges that hit the per-call deadline")
+)
+
+// dialRetry dials addr with the configured per-attempt timeout, retrying
+// with exponential backoff up to cfg.DialRetries extra attempts.
+func dialRetry(addr string, cfg Config) (net.Conn, error) {
+	backoff := 5 * time.Millisecond
+	var err error
+	for attempt := 0; ; attempt++ {
+		var conn net.Conn
+		conn, err = net.DialTimeout("tcp", addr, cfg.DialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		if attempt >= cfg.DialRetries {
+			return nil, err
+		}
+		mDialRetries.Inc()
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// isTimeout reports whether err is a network timeout (deadline exceeded).
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
 
 // wireObject is the gob wire format for a merged reduction object: enough
 // to reconstruct and combine it on the receiving node.
@@ -40,7 +77,12 @@ func (c countingConn) Write(p []byte) (int, error) {
 // node 0 folds them in node order (the tree algorithm still moves every
 // non-root object over the wire — the rounds differ only in who folds, so
 // the simulation folds at the root and reports ⌈log2 N⌉ rounds).
-func combineTCP(objects []*robj.Object, algo CombineAlgo) (*robj.Object, int64, int, error) {
+//
+// Every network call is bounded: dials get cfg.DialTimeout with
+// cfg.DialRetries backed-off retries, and each accept/send/receive gets a
+// cfg.IOTimeout deadline, so a dead peer fails the combination promptly
+// instead of wedging it.
+func combineTCP(objects []*robj.Object, algo CombineAlgo, cfg Config) (*robj.Object, int64, int, error) {
 	n := len(objects)
 	if n == 1 {
 		return objects[0], 0, 0, nil
@@ -64,12 +106,13 @@ func combineTCP(objects []*robj.Object, algo CombineAlgo) (*robj.Object, int64, 
 		senders.Add(1)
 		go func(node int) {
 			defer senders.Done()
-			conn, err := net.Dial("tcp", addr)
+			conn, err := dialRetry(addr, cfg)
 			if err != nil {
 				sendErrs[node] = fmt.Errorf("cluster: node %d dial: %w", node, err)
 				return
 			}
 			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(cfg.IOTimeout))
 			o := objects[node]
 			enc := gob.NewEncoder(countingConn{Conn: conn, n: &moved, m: &movedMu})
 			err = enc.Encode(wireObject{
@@ -80,6 +123,9 @@ func combineTCP(objects []*robj.Object, algo CombineAlgo) (*robj.Object, int64, 
 				Cells:  o.Snapshot(),
 			})
 			if err != nil {
+				if isTimeout(err) {
+					mIOTimeouts.Inc()
+				}
 				sendErrs[node] = fmt.Errorf("cluster: node %d send: %w", node, err)
 			}
 		}(node)
@@ -92,9 +138,16 @@ func combineTCP(objects []*robj.Object, algo CombineAlgo) (*robj.Object, int64, 
 	var recvErr error
 	var recvWg sync.WaitGroup
 	var recvMu sync.Mutex
+	deadline := time.Now().Add(cfg.IOTimeout)
 	for i := 1; i < n; i++ {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
 		conn, err := ln.Accept()
 		if err != nil {
+			if isTimeout(err) {
+				mIOTimeouts.Inc()
+			}
 			recvErr = fmt.Errorf("cluster: accept: %w", err)
 			break
 		}
@@ -102,8 +155,12 @@ func combineTCP(objects []*robj.Object, algo CombineAlgo) (*robj.Object, int64, 
 		go func(conn net.Conn) {
 			defer recvWg.Done()
 			defer conn.Close()
+			conn.SetDeadline(deadline)
 			var w wireObject
 			if err := gob.NewDecoder(conn).Decode(&w); err != nil {
+				if isTimeout(err) {
+					mIOTimeouts.Inc()
+				}
 				recvMu.Lock()
 				if recvErr == nil {
 					recvErr = fmt.Errorf("cluster: decode: %w", err)

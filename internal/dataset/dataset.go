@@ -13,6 +13,7 @@ package dataset
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -296,6 +297,33 @@ func (s *MemorySource) Rows(begin, end int) []float64 {
 // contiguous in memory can expose them without copying.
 type RowSlicer interface {
 	Rows(begin, end int) []float64
+}
+
+// ContextSource is an optional Source extension for cancellation: sources
+// that can abandon an in-flight read when the caller's context is cancelled
+// implement it. The engine reads through ReadRowsContext, so layered sources
+// (fault injection, retry, prefetch) propagate cancellation all the way down
+// to the slow operation — a sleeping backoff, an injected latency, a
+// background fetch.
+type ContextSource interface {
+	Source
+	// ReadRowsContext is ReadRows honoring ctx: it returns ctx.Err() (or an
+	// error wrapping it) promptly once the context is cancelled.
+	ReadRowsContext(ctx context.Context, begin, end int, dst []float64) error
+}
+
+// ReadRowsContext reads rows [begin, end) from src honoring ctx. Sources
+// implementing ContextSource receive the context; for plain sources the
+// context is checked once before the (uninterruptible) ReadRows call, which
+// bounds the cancellation latency by one read.
+func ReadRowsContext(ctx context.Context, src Source, begin, end int, dst []float64) error {
+	if cs, ok := src.(ContextSource); ok {
+		return cs.ReadRowsContext(ctx, begin, end, dst)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return src.ReadRows(begin, end, dst)
 }
 
 // FileSource serves rows from a dataset file using positional reads, which

@@ -1,0 +1,221 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"chapelfreeride/internal/obs"
+)
+
+// Fault-injection and retry counters. The retry/gaveup pair is the
+// production-facing signal: a rising retries rate with a flat gaveup rate
+// means the retry layer is absorbing transient faults; any gaveup increment
+// means an error surfaced to the engine.
+var (
+	mFaultsTransient = obs.Default.Counter("dataset_faults_injected_total",
+		"read faults injected by FaultSource", obs.Label{Key: "kind", Value: "transient"})
+	mFaultsPermanent = obs.Default.Counter("dataset_faults_injected_total",
+		"read faults injected by FaultSource", obs.Label{Key: "kind", Value: "permanent"})
+	mReadRetries = obs.Default.Counter("dataset_read_retries_total",
+		"reads retried by RetrySource after a transient failure")
+	mReadGaveup = obs.Default.Counter("dataset_read_gaveup_total",
+		"reads RetrySource abandoned: retry budget exhausted or permanent fault")
+)
+
+// Sentinel errors for injected faults. RetrySource treats ErrPermanentFault
+// as non-retryable and surfaces it immediately; everything else is retried
+// up to the budget.
+var (
+	// ErrInjectedFault marks a seeded transient read failure: retrying the
+	// same range eventually succeeds.
+	ErrInjectedFault = errors.New("dataset: injected transient read fault")
+	// ErrPermanentFault marks a seeded permanent read failure: the range
+	// never becomes readable, so retrying is pointless.
+	ErrPermanentFault = errors.New("dataset: injected permanent read fault")
+)
+
+// IsPermanent reports whether err marks a fault that retrying cannot clear.
+func IsPermanent(err error) bool { return errors.Is(err, ErrPermanentFault) }
+
+// FaultConfig parameterizes FaultSource's deterministic fault injection.
+type FaultConfig struct {
+	// Rate is the fraction of read ranges (keyed by their begin row) that
+	// fault. 0 injects nothing.
+	Rate float64
+	// PermanentRate is the fraction of faulting ranges whose fault never
+	// clears; the rest are transient and heal after FailCount failures.
+	PermanentRate float64
+	// Seed fixes the fault pattern: the same (Seed, begin) always makes the
+	// same transient/permanent/clean decision, independent of call order or
+	// concurrency, so fault tests are reproducible.
+	Seed int64
+	// FailCount is how many times a transient range fails before it heals.
+	// Defaults to 1.
+	FailCount int
+	// Latency is injected before every read (cancellable via
+	// ReadRowsContext), simulating a slow or remote device.
+	Latency time.Duration
+}
+
+// FaultSource wraps a Source and injects deterministic, seeded read faults
+// and latency, standing in for the flaky disks and slow remote reads a
+// runtime that "determines the order in which data instances are read from
+// the disks" (paper §III) must survive. It deliberately does not implement
+// RowSlicer, so engines take the copying ReadRows path where faults apply.
+// Safe for concurrent use.
+type FaultSource struct {
+	src Source
+	cfg FaultConfig
+
+	mu       sync.Mutex
+	attempts map[int]int // begin row → failures already injected
+	injected int64
+}
+
+// NewFaultSource wraps src with the configured fault injection.
+func NewFaultSource(src Source, cfg FaultConfig) *FaultSource {
+	if cfg.FailCount < 1 {
+		cfg.FailCount = 1
+	}
+	return &FaultSource{src: src, cfg: cfg, attempts: map[int]int{}}
+}
+
+// NumRows implements Source.
+func (f *FaultSource) NumRows() int { return f.src.NumRows() }
+
+// Cols implements Source.
+func (f *FaultSource) Cols() int { return f.src.Cols() }
+
+// Injected reports how many faults this source has injected so far.
+func (f *FaultSource) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// mix64 is SplitMix64's finalizer: a cheap, well-distributed 64-bit hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps (seed, begin, salt) to a uniform value in [0, 1).
+func (f *FaultSource) unit(begin int, salt uint64) float64 {
+	h := mix64(uint64(f.cfg.Seed) ^ mix64(uint64(begin)*2654435761+salt))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// ReadRows implements Source.
+func (f *FaultSource) ReadRows(begin, end int, dst []float64) error {
+	return f.ReadRowsContext(context.Background(), begin, end, dst)
+}
+
+// ReadRowsContext implements ContextSource: the injected latency and the
+// delegated read both honor ctx.
+func (f *FaultSource) ReadRowsContext(ctx context.Context, begin, end int, dst []float64) error {
+	if f.cfg.Latency > 0 {
+		t := time.NewTimer(f.cfg.Latency)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	} else if err := ctx.Err(); err != nil {
+		return err
+	}
+	if f.cfg.Rate > 0 && f.unit(begin, 0) < f.cfg.Rate {
+		if f.cfg.PermanentRate > 0 && f.unit(begin, 1) < f.cfg.PermanentRate {
+			f.mu.Lock()
+			f.injected++
+			f.mu.Unlock()
+			mFaultsPermanent.Inc()
+			return fmt.Errorf("%w: rows [%d,%d)", ErrPermanentFault, begin, end)
+		}
+		f.mu.Lock()
+		n := f.attempts[begin]
+		if n < f.cfg.FailCount {
+			f.attempts[begin] = n + 1
+			f.injected++
+			f.mu.Unlock()
+			mFaultsTransient.Inc()
+			return fmt.Errorf("%w: rows [%d,%d), failure %d of %d",
+				ErrInjectedFault, begin, end, n+1, f.cfg.FailCount)
+		}
+		f.mu.Unlock()
+	}
+	return ReadRowsContext(ctx, f.src, begin, end, dst)
+}
+
+// RetrySource wraps a Source with bounded retry and exponential backoff:
+// transient read failures are retried up to the budget with doubling,
+// cancellable sleeps between attempts; permanent faults and exhausted
+// budgets surface to the caller. Safe for concurrent use.
+type RetrySource struct {
+	src        Source
+	maxRetries int
+	base       time.Duration
+	maxBackoff time.Duration
+}
+
+// NewRetrySource wraps src with maxRetries re-attempts after a failed read
+// and an initial backoff of base (doubling per retry, capped at 64×base).
+// base defaults to 1ms when non-positive.
+func NewRetrySource(src Source, maxRetries int, base time.Duration) *RetrySource {
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	return &RetrySource{src: src, maxRetries: maxRetries, base: base, maxBackoff: 64 * base}
+}
+
+// NumRows implements Source.
+func (r *RetrySource) NumRows() int { return r.src.NumRows() }
+
+// Cols implements Source.
+func (r *RetrySource) Cols() int { return r.src.Cols() }
+
+// ReadRows implements Source.
+func (r *RetrySource) ReadRows(begin, end int, dst []float64) error {
+	return r.ReadRowsContext(context.Background(), begin, end, dst)
+}
+
+// ReadRowsContext implements ContextSource with the retry loop. First
+// non-retryable outcome wins: context cancellation returns ctx.Err()
+// immediately, permanent faults and budget exhaustion return the last read
+// error wrapped with the attempt count.
+func (r *RetrySource) ReadRowsContext(ctx context.Context, begin, end int, dst []float64) error {
+	backoff := r.base
+	for attempt := 0; ; attempt++ {
+		err := ReadRowsContext(ctx, r.src, begin, end, dst)
+		if err == nil {
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if IsPermanent(err) || attempt >= r.maxRetries {
+			mReadGaveup.Inc()
+			return fmt.Errorf("dataset: read rows [%d,%d) failed after %d attempt(s): %w",
+				begin, end, attempt+1, err)
+		}
+		mReadRetries.Inc()
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		if backoff < r.maxBackoff {
+			backoff *= 2
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"chapelfreeride/internal/obs"
+)
+
+// faultyRanges scans every SplitRows-aligned range once and returns the begin
+// rows that faulted on first read.
+func faultyRanges(t *testing.T, src Source, step int) []int {
+	t.Helper()
+	dst := make([]float64, step*src.Cols())
+	var faulted []int
+	for lo := 0; lo < src.NumRows(); lo += step {
+		hi := lo + step
+		if hi > src.NumRows() {
+			hi = src.NumRows()
+		}
+		if err := src.ReadRows(lo, hi, dst[:(hi-lo)*src.Cols()]); err != nil {
+			faulted = append(faulted, lo)
+		}
+	}
+	return faulted
+}
+
+func TestFaultSourceDeterministic(t *testing.T) {
+	m := UniformMatrix(4096, 2, 9, 0, 1)
+	cfg := FaultConfig{Rate: 0.25, Seed: 7}
+	a := faultyRanges(t, NewFaultSource(NewMemorySource(m), cfg), 64)
+	b := faultyRanges(t, NewFaultSource(NewMemorySource(m), cfg), 64)
+	if len(a) == 0 {
+		t.Fatal("rate 0.25 over 64 ranges injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different fault pattern at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := faultyRanges(t, NewFaultSource(NewMemorySource(m), FaultConfig{Rate: 0.25, Seed: 8}), 64)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical fault pattern")
+	}
+}
+
+func TestFaultSourceTransientHeals(t *testing.T) {
+	m := UniformMatrix(256, 2, 9, 0, 1)
+	f := NewFaultSource(NewMemorySource(m), FaultConfig{Rate: 1, Seed: 3, FailCount: 2})
+	dst := make([]float64, 128)
+	var failures int
+	for attempt := 0; attempt < 5; attempt++ {
+		if err := f.ReadRows(0, 64, dst); err != nil {
+			if !errors.Is(err, ErrInjectedFault) {
+				t.Fatalf("want ErrInjectedFault, got %v", err)
+			}
+			failures++
+			continue
+		}
+		break
+	}
+	if failures != 2 {
+		t.Fatalf("FailCount=2: want exactly 2 failures before healing, got %d", failures)
+	}
+	for i, v := range dst {
+		if v != m.Data[i] {
+			t.Fatalf("healed read corrupted data at %d", i)
+		}
+	}
+	if f.Injected() != 2 {
+		t.Fatalf("Injected() = %d, want 2", f.Injected())
+	}
+}
+
+func TestRetrySourceRecovers(t *testing.T) {
+	m := UniformMatrix(512, 2, 9, 0, 1)
+	f := NewFaultSource(NewMemorySource(m), FaultConfig{Rate: 1, Seed: 3, FailCount: 2})
+	r := NewRetrySource(f, 4, 100*time.Microsecond)
+	retries0 := obs.Default.Value("dataset_read_retries_total")
+	gaveup0 := obs.Default.Value("dataset_read_gaveup_total")
+	dst := make([]float64, 1024)
+	if err := r.ReadRows(0, 512, dst); err != nil {
+		t.Fatalf("RetrySource should absorb FailCount=2 transients: %v", err)
+	}
+	for i, v := range dst {
+		if v != m.Data[i] {
+			t.Fatalf("recovered read corrupted data at %d", i)
+		}
+	}
+	if d := obs.Default.Value("dataset_read_retries_total") - retries0; d != 2 {
+		t.Fatalf("dataset_read_retries_total delta = %d, want 2", d)
+	}
+	if d := obs.Default.Value("dataset_read_gaveup_total") - gaveup0; d != 0 {
+		t.Fatalf("dataset_read_gaveup_total delta = %d, want 0", d)
+	}
+}
+
+func TestRetrySourceGivesUp(t *testing.T) {
+	m := UniformMatrix(64, 1, 9, 0, 1)
+	dst := make([]float64, 64)
+
+	// Budget exhaustion: the fault outlives the retry budget.
+	f := NewFaultSource(NewMemorySource(m), FaultConfig{Rate: 1, Seed: 3, FailCount: 10})
+	r := NewRetrySource(f, 2, 100*time.Microsecond)
+	gaveup0 := obs.Default.Value("dataset_read_gaveup_total")
+	err := r.ReadRows(0, 64, dst)
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("want wrapped ErrInjectedFault after exhausted budget, got %v", err)
+	}
+	if d := obs.Default.Value("dataset_read_gaveup_total") - gaveup0; d != 1 {
+		t.Fatalf("dataset_read_gaveup_total delta = %d, want 1", d)
+	}
+
+	// Permanent fault: surfaces on the first attempt, no retries burned.
+	p := NewFaultSource(NewMemorySource(m), FaultConfig{Rate: 1, PermanentRate: 1, Seed: 3})
+	retries0 := obs.Default.Value("dataset_read_retries_total")
+	err = NewRetrySource(p, 5, 100*time.Microsecond).ReadRows(0, 64, dst)
+	if !IsPermanent(err) {
+		t.Fatalf("want permanent fault, got %v", err)
+	}
+	if d := obs.Default.Value("dataset_read_retries_total") - retries0; d != 0 {
+		t.Fatalf("permanent fault burned %d retries, want 0", d)
+	}
+}
+
+func TestFaultSourceLatencyCancellable(t *testing.T) {
+	m := UniformMatrix(64, 1, 9, 0, 1)
+	f := NewFaultSource(NewMemorySource(m), FaultConfig{Latency: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	dst := make([]float64, 64)
+	t0 := time.Now()
+	err := f.ReadRowsContext(ctx, 0, 64, dst)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if wall := time.Since(t0); wall > 500*time.Millisecond {
+		t.Fatalf("cancel took %v, want well under the 10s injected latency", wall)
+	}
+}
+
+func TestRetrySourceBackoffCancellable(t *testing.T) {
+	m := UniformMatrix(64, 1, 9, 0, 1)
+	f := NewFaultSource(NewMemorySource(m), FaultConfig{Rate: 1, Seed: 3, FailCount: 100})
+	r := NewRetrySource(f, 100, 10*time.Second) // backoff would dominate
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	dst := make([]float64, 64)
+	t0 := time.Now()
+	err := r.ReadRowsContext(ctx, 0, 64, dst)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if wall := time.Since(t0); wall > 500*time.Millisecond {
+		t.Fatalf("cancel took %v, want well under the 10s backoff", wall)
+	}
+}
+
+func TestReadRowsContextFallback(t *testing.T) {
+	// A plain Source (no ReadRowsContext) still honours a pre-cancelled ctx
+	// through the package helper.
+	m := UniformMatrix(16, 1, 9, 0, 1)
+	src := NewMemorySource(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dst := make([]float64, 16)
+	if err := ReadRowsContext(ctx, src, 0, 16, dst); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled via fallback, got %v", err)
+	}
+	if err := ReadRowsContext(context.Background(), src, 0, 16, dst); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+}

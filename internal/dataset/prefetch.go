@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -77,15 +78,16 @@ func (p *PrefetchSource) blockCount() int {
 	return (p.src.NumRows() + p.blockRows - 1) / p.blockRows
 }
 
-// fetchBlock loads block b from the underlying source (no locks held).
-func (p *PrefetchSource) fetchBlock(b int) ([]float64, error) {
+// fetchBlock loads block b from the underlying source (no locks held),
+// honoring ctx when the source supports cancellation.
+func (p *PrefetchSource) fetchBlock(ctx context.Context, b int) ([]float64, error) {
 	lo := b * p.blockRows
 	hi := lo + p.blockRows
 	if hi > p.src.NumRows() {
 		hi = p.src.NumRows()
 	}
 	buf := make([]float64, (hi-lo)*p.src.Cols())
-	if err := p.src.ReadRows(lo, hi, buf); err != nil {
+	if err := ReadRowsContext(ctx, p.src, lo, hi, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -106,8 +108,10 @@ func (p *PrefetchSource) install(b int, payload []float64) {
 }
 
 // getBlock returns block b's payload, fetching on miss and scheduling a
-// background prefetch of block b+1.
-func (p *PrefetchSource) getBlock(b int) ([]float64, error) {
+// background prefetch of block b+1. Both the synchronous fetch and the
+// background lookahead run under ctx, so cancelling a run also abandons its
+// in-flight read-ahead instead of leaving it to finish against a dead run.
+func (p *PrefetchSource) getBlock(ctx context.Context, b int) ([]float64, error) {
 	p.mu.Lock()
 	if payload, ok := p.blocks[b]; ok {
 		p.hits++
@@ -128,7 +132,7 @@ func (p *PrefetchSource) getBlock(b int) ([]float64, error) {
 		}
 		p.mu.Unlock()
 		// The background fetch failed; fall through to a direct fetch.
-		payload, err := p.fetchBlock(b)
+		payload, err := p.fetchBlock(ctx, b)
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +147,7 @@ func (p *PrefetchSource) getBlock(b int) ([]float64, error) {
 	mPrefMisses.Inc()
 	p.mu.Unlock()
 
-	payload, err := p.fetchBlock(b)
+	payload, err := p.fetchBlock(ctx, b)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +166,7 @@ func (p *PrefetchSource) getBlock(b int) ([]float64, error) {
 				mPrefIssued.Inc()
 				go func() {
 					defer wg.Done()
-					pl, err := p.fetchBlock(next)
+					pl, err := p.fetchBlock(ctx, next)
 					p.mu.Lock()
 					defer p.mu.Unlock()
 					delete(p.pending, next)
@@ -179,6 +183,12 @@ func (p *PrefetchSource) getBlock(b int) ([]float64, error) {
 
 // ReadRows implements Source, assembling from cached blocks.
 func (p *PrefetchSource) ReadRows(begin, end int, dst []float64) error {
+	return p.ReadRowsContext(context.Background(), begin, end, dst)
+}
+
+// ReadRowsContext implements ContextSource, assembling from cached blocks
+// with cancellable fetches.
+func (p *PrefetchSource) ReadRowsContext(ctx context.Context, begin, end int, dst []float64) error {
 	if begin < 0 || end > p.src.NumRows() || begin > end {
 		return fmt.Errorf("dataset: ReadRows range [%d,%d) out of [0,%d)", begin, end, p.src.NumRows())
 	}
@@ -188,7 +198,7 @@ func (p *PrefetchSource) ReadRows(begin, end int, dst []float64) error {
 	}
 	for row := begin; row < end; {
 		b := row / p.blockRows
-		payload, err := p.getBlock(b)
+		payload, err := p.getBlock(ctx, b)
 		if err != nil {
 			return err
 		}

@@ -1,12 +1,14 @@
 package dataset
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"path/filepath"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestPrefetchMatchesUnderlying(t *testing.T) {
@@ -142,6 +144,81 @@ func TestPrefetchErrors(t *testing.T) {
 	q := NewPrefetchSource(NewMemorySource(m), 0, 0)
 	if q.blockRows != 4096 || q.max != 8 {
 		t.Fatalf("defaults: %d %d", q.blockRows, q.max)
+	}
+}
+
+// flakeOnceSource fails the first read starting at failBegin, signalling
+// started when that read is in flight and holding it until release closes.
+// Every later read of the same range succeeds.
+type flakeOnceSource struct {
+	Source
+	failBegin int
+	started   chan struct{}
+	release   chan struct{}
+
+	mu       sync.Mutex
+	attempts int
+}
+
+func (s *flakeOnceSource) ReadRows(begin, end int, dst []float64) error {
+	if begin == s.failBegin {
+		s.mu.Lock()
+		s.attempts++
+		first := s.attempts == 1
+		s.mu.Unlock()
+		if first {
+			close(s.started)
+			<-s.release
+			return errors.New("flaky: first read of block failed")
+		}
+	}
+	return s.Source.ReadRows(begin, end, dst)
+}
+
+func TestPrefetchBackgroundFailureFallsThrough(t *testing.T) {
+	m := UniformMatrix(200, 2, 11, 0, 1)
+	src := &flakeOnceSource{
+		Source:    NewMemorySource(m),
+		failBegin: 100,
+		started:   make(chan struct{}),
+		release:   make(chan struct{}),
+	}
+	p := NewPrefetchSource(src, 100, 4)
+	dst := make([]float64, 200)
+	// Reading block 0 schedules the background prefetch of block 1, whose
+	// first read is rigged to fail.
+	if err := p.ReadRows(0, 100, dst); err != nil {
+		t.Fatal(err)
+	}
+	<-src.started
+	done := make(chan error, 1)
+	go func() { done <- p.ReadRows(100, 200, dst) }()
+	time.Sleep(10 * time.Millisecond) // let the reader block on the in-flight fetch
+	close(src.release)
+	if err := <-done; err != nil {
+		t.Fatalf("background-fetch failure must fall through to a direct fetch: %v", err)
+	}
+	for i := range dst {
+		if dst[i] != m.Data[100*2+i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	src.mu.Lock()
+	attempts := src.attempts
+	src.mu.Unlock()
+	if attempts != 2 {
+		t.Fatalf("block 1 read attempts = %d, want 2 (failed background + direct)", attempts)
+	}
+}
+
+func TestPrefetchReadRowsContextCancelled(t *testing.T) {
+	m := UniformMatrix(100, 1, 11, 0, 1)
+	p := NewPrefetchSource(NewMemorySource(m), 10, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dst := make([]float64, 100)
+	if err := p.ReadRowsContext(ctx, 0, 100, dst); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chapelfreeride/internal/cputime"
@@ -61,9 +62,13 @@ func Phases() []string {
 	return []string{PhaseSplit, PhaseReduce, PhaseLocalCombine, PhaseCombine, PhaseFinalize, PhaseGlobalCombine}
 }
 
-// Always-on engine counters.
+// Always-on engine counters. Failed and cancelled passes are counted
+// disjointly: a pass that returned ctx.Err() increments only the cancelled
+// counter, every other error only the failed one.
 var (
-	mRuns = obs.Default.Counter("freeride_runs_total", "engine passes executed")
+	mRuns          = obs.Default.Counter("freeride_runs_total", "engine passes executed")
+	mRunsFailed    = obs.Default.Counter("freeride_runs_failed_total", "engine passes that returned a non-cancellation error")
+	mRunsCancelled = obs.Default.Counter("freeride_runs_cancelled_total", "engine passes cancelled or timed out via context")
 	// phaseNS accumulates per-phase wall time in nanoseconds, resolved once
 	// at init so the engine never does registry lookups mid-run.
 	phaseNS = func() map[string]*obs.Counter {
@@ -366,7 +371,17 @@ var ErrNoReduction = errors.New("freeride: Spec.Reduction is required")
 // combination, user combination, finalize. The returned Result's Object is
 // merged and ready for Get/Snapshot.
 func (e *Engine) Run(spec Spec, src dataset.Source) (*Result, error) {
-	return e.run(spec, src, nil)
+	return e.run(context.Background(), spec, src, nil)
+}
+
+// RunContext is Run under a context: workers check for cancellation between
+// splits and stop draining the scheduler, in-flight reads through
+// context-aware sources (dataset.ContextSource) are abandoned, and the call
+// returns ctx.Err() promptly — even while a worker is still blocked inside a
+// slow source read. First error wins; a cancelled run returns no partial
+// result.
+func (e *Engine) RunContext(ctx context.Context, spec Spec, src dataset.Source) (*Result, error) {
+	return e.run(ctx, spec, src, nil)
 }
 
 // RunInto is Run reusing the reduction object of a previous Result: reuse
@@ -375,6 +390,13 @@ func (e *Engine) Run(spec Spec, src dataset.Source) (*Result, error) {
 // pay for large objects. reuse must have been produced by a prior Run with
 // the same object shape, operator, sharing strategy, and thread count.
 func (e *Engine) RunInto(spec Spec, src dataset.Source, reuse *robj.Object) (*Result, error) {
+	return e.RunIntoContext(context.Background(), spec, src, reuse)
+}
+
+// RunIntoContext is RunInto under a context, with RunContext's cancellation
+// semantics. A cancelled or failed pass leaves reuse partially filled; Reset
+// it (or hand it back to RunInto, which Resets) before reusing.
+func (e *Engine) RunIntoContext(ctx context.Context, spec Spec, src dataset.Source, reuse *robj.Object) (*Result, error) {
 	if reuse == nil {
 		return nil, errors.New("freeride: RunInto needs a reduction object to reuse")
 	}
@@ -389,10 +411,13 @@ func (e *Engine) RunInto(spec Spec, src dataset.Source, reuse *robj.Object) (*Re
 			reuse.Strategy(), reuse.Workers(), e.cfg.Strategy, e.cfg.Threads)
 	}
 	reuse.Reset()
-	return e.run(spec, src, reuse)
+	return e.run(ctx, spec, src, reuse)
 }
 
-func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, error) {
+func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *robj.Object) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if spec.Reduction == nil {
 		return nil, ErrNoReduction
 	}
@@ -413,11 +438,35 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 	if obj == nil && spec.LocalInit == nil {
 		return nil, errors.New("freeride: spec declares neither a reduction object shape nor LocalInit")
 	}
+	if spec.Combine != nil && obj == nil {
+		// Combine receives the merged cell-based object; with a zero-shaped
+		// ObjectSpec it would be handed nil. Reject up front instead of
+		// letting user code dereference it.
+		return nil, errors.New("freeride: Spec.Combine requires a cell-based reduction object " +
+			"(set Object.Groups/Elems); LocalInit-only state is merged by LocalCombine and " +
+			"post-processed in Finalize")
+	}
 	res := &Result{Object: obj}
 	res.Stats.Threads = cfg.Threads
 	mRuns.Inc()
 	tr := obs.NewTrace()
 	runSpan := tr.Start("run")
+	// fail finishes the run on an error path: any still-open child spans are
+	// ended, the run span closes, and the partial trace is flushed to obs.Log
+	// so failed runs stay visible in the event log instead of vanishing.
+	fail := func(err error, open ...*obs.Span) (*Result, error) {
+		for _, s := range open {
+			s.End()
+		}
+		runSpan.End()
+		obs.Log.Add(tr.Records())
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			mRunsCancelled.Inc()
+		} else {
+			mRunsFailed.Inc()
+		}
+		return nil, err
+	}
 
 	// Split phase.
 	splitSpan := runSpan.Child(PhaseSplit)
@@ -428,15 +477,19 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 	}
 	units := (src.NumRows() + cfg.SplitRows - 1) / cfg.SplitRows
 	splits := splitter(src.NumRows(), units)
-	if err := validateSplits(splits, src.NumRows()); err != nil {
-		return nil, err
-	}
+	splitErr := validateSplits(splits, src.NumRows())
 	res.Stats.SplitTime = time.Since(t0)
 	splitSpan.End()
 	phaseNS[PhaseSplit].Add(int64(res.Stats.SplitTime))
+	if splitErr != nil {
+		return fail(splitErr)
+	}
 	res.Stats.Splits = len(splits)
 
-	// Parallel local reduction: the scheduler hands out split indices.
+	// Parallel local reduction: the scheduler hands out split indices. The
+	// first error (or cancellation) flips the stop flag, so the surviving
+	// workers park at their next split boundary instead of draining the
+	// whole scheduler against a run that has already failed.
 	reduceSpan := runSpan.Child(PhaseReduce)
 	t0 = time.Now()
 	s := sched.New(cfg.Scheduler, len(splits), cfg.Threads, 1)
@@ -444,7 +497,13 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
+		stop     atomic.Bool
 	)
+	setErr := func(err error) {
+		stop.Store(true)
+		errOnce.Do(func() { firstErr = err })
+	}
+	done := ctx.Done()
 	slicer, hasSlicer := src.(dataset.RowSlicer)
 	cols := src.Cols()
 	locals := make([]any, cfg.Threads)
@@ -459,7 +518,7 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 			defer wg.Done()
 			// Label the worker goroutine so CPU/heap profiles taken from
 			// the metrics endpoint attribute samples per worker.
-			pprof.Do(context.Background(),
+			pprof.Do(ctx,
 				pprof.Labels("subsystem", "freeride", "worker", strconv.Itoa(w)),
 				func(context.Context) {
 					if measureCPU {
@@ -489,11 +548,23 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 						defer func() { locals[w] = args.Local }()
 					}
 					for {
+						if stop.Load() {
+							return
+						}
+						select {
+						case <-done:
+							setErr(ctx.Err())
+							return
+						default:
+						}
 						ci, ok := s.Next(w)
 						if !ok {
 							return
 						}
 						for si := ci.Begin; si < ci.End; si++ {
+							if stop.Load() {
+								return
+							}
 							sp := splits[si]
 							n := sp.Len()
 							splitStart := time.Now()
@@ -505,8 +576,8 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 									buf = make([]float64, need)
 								}
 								buf = buf[:need]
-								if err := src.ReadRows(sp.Begin, sp.End, buf); err != nil {
-									errOnce.Do(func() { firstErr = err })
+								if err := dataset.ReadRowsContext(ctx, src, sp.Begin, sp.End, buf); err != nil {
+									setErr(err)
 									return
 								}
 								args.Data = buf
@@ -514,7 +585,7 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 							args.NumRows = n
 							args.Begin = sp.Begin
 							if err := spec.Reduction(&args); err != nil {
-								errOnce.Do(func() { firstErr = err })
+								setErr(err)
 								return
 							}
 							workerBusy[w] += time.Since(splitStart)
@@ -525,7 +596,29 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 				})
 		}(w)
 	}
-	wg.Wait()
+	workersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+	case <-done:
+		// Cancelled mid-phase: flag the stop and give the workers a short
+		// grace to observe it. If one is still blocked inside a slow source
+		// read after that, return ctx.Err() promptly anyway — the straggler
+		// exits at its next cancellation check and touches only worker-local
+		// state the abandoned pass never reads.
+		setErr(ctx.Err())
+		grace := time.NewTimer(50 * time.Millisecond)
+		select {
+		case <-workersDone:
+			grace.Stop()
+		case <-grace.C:
+			phaseNS[PhaseReduce].Add(int64(time.Since(t0)))
+			return fail(ctx.Err(), reduceSpan)
+		}
+	}
 	res.Stats.ReduceTime = time.Since(t0)
 	reduceSpan.End()
 	phaseNS[PhaseReduce].Add(int64(res.Stats.ReduceTime))
@@ -539,7 +632,7 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 		countersForWorker(w).idleNS.Add(int64(res.Stats.WorkerIdle(w)))
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return fail(firstErr)
 	}
 
 	// Local combination (default combination function) + user combination.
@@ -564,7 +657,7 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 		cSpan.End()
 		phaseNS[PhaseCombine].Add(int64(time.Since(tc)))
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	res.Stats.CombineTime = time.Since(t0)
@@ -578,7 +671,7 @@ func (e *Engine) run(spec Spec, src dataset.Source, obj *robj.Object) (*Result, 
 		res.Stats.FinalizeTime = time.Since(t0)
 		phaseNS[PhaseFinalize].Add(int64(res.Stats.FinalizeTime))
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	runSpan.End()
@@ -606,18 +699,60 @@ func validateSplits(splits []sched.Chunk, totalRows int) error {
 
 // GlobalCombine merges the reduction objects produced by several engine runs
 // (e.g. one per node in a cluster) into the first, using the all-to-one
-// combination the paper describes for the global phase.
+// combination the paper describes for the global phase. Results that carry
+// only user-managed Local state (LocalInit-only specs leave Object nil) are
+// rejected with a descriptive error — merge those with GlobalCombineLocal.
 func GlobalCombine(results []*Result) (*Result, error) {
 	if len(results) == 0 {
 		return nil, errors.New("freeride: GlobalCombine of no results")
 	}
 	t0 := time.Now()
 	out := results[0]
-	for _, r := range results[1:] {
+	if out == nil || out.Object == nil {
+		return nil, errors.New("freeride: GlobalCombine needs cell-based reduction objects; " +
+			"results carrying only LocalInit state are merged with GlobalCombineLocal")
+	}
+	for i, r := range results[1:] {
+		if r == nil || r.Object == nil {
+			return nil, fmt.Errorf("freeride: GlobalCombine: result %d has no reduction object", i+1)
+		}
 		if err := out.Object.CombineFrom(r.Object); err != nil {
 			return nil, err
 		}
 	}
+	phaseNS[PhaseGlobalCombine].Add(int64(time.Since(t0)))
+	return out, nil
+}
+
+// GlobalCombineLocal merges results carrying user-managed LocalInit state:
+// combine (the spec's LocalCombine) folds every Local into the first
+// result's, in result order. When the results also carry cell-based objects
+// those are folded too, so mixed specs need only one call.
+func GlobalCombineLocal(results []*Result, combine func(dst, src any) any) (*Result, error) {
+	if len(results) == 0 {
+		return nil, errors.New("freeride: GlobalCombineLocal of no results")
+	}
+	if combine == nil {
+		return nil, errors.New("freeride: GlobalCombineLocal needs the spec's LocalCombine function")
+	}
+	t0 := time.Now()
+	out := results[0]
+	if out == nil {
+		return nil, errors.New("freeride: GlobalCombineLocal: nil result 0")
+	}
+	merged := out.Local
+	for i, r := range results[1:] {
+		if r == nil {
+			return nil, fmt.Errorf("freeride: GlobalCombineLocal: nil result %d", i+1)
+		}
+		merged = combine(merged, r.Local)
+		if out.Object != nil && r.Object != nil {
+			if err := out.Object.CombineFrom(r.Object); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out.Local = merged
 	phaseNS[PhaseGlobalCombine].Add(int64(time.Since(t0)))
 	return out, nil
 }
