@@ -15,9 +15,14 @@
 //     generalized-reduction engine with explicit reduction objects.
 //   - The Map-Reduce baseline (mapreduce) and data layer (dataset).
 //
+// An Engine is a session: its worker pool and object/scheduler pools
+// persist across Runs (hand finished results back with Release to recycle
+// their reduction objects) until Close tears it down.
+//
 // Quick start (see examples/quickstart for the runnable version):
 //
 //	eng := chapelfreeride.NewEngine(chapelfreeride.EngineConfig{Threads: 4})
+//	defer eng.Close()
 //	spec := chapelfreeride.Spec{
 //	    Object: chapelfreeride.ObjectSpec{Groups: 1, Elems: 1, Op: chapelfreeride.OpAdd},
 //	    Reduction: func(args *chapelfreeride.ReductionArgs) error {

@@ -10,6 +10,7 @@
 //	freeride-bench -exp fig9 -metrics-addr :9090 -metrics-hold 30s
 //	freeride-bench -exp fig9 -trace-out trace.json -max-combine-share 0.25
 //	freeride-bench -exp abl-faults -fault-rate 0.1 -fault-seed 7 -retries 5 -timeout 100ms
+//	freeride-bench -exp abl-session -session-passes 50 -session-jobs 2,4,8
 //
 // Observability: -metrics-addr serves live Prometheus-text metrics (plus
 // /report, /trace, expvar, and pprof with per-worker labels), -trace-out
@@ -21,6 +22,12 @@
 // faults, -retries bounds the retry/backoff layer absorbing them, and
 // -timeout cancels passes via context; the abl-faults experiment drives all
 // of them through the engine's failure paths (see README "Robustness").
+//
+// Sessions: the abl-session experiment compares the one-shot engine
+// lifecycle (new engine, one pass, close) with a persistent session (one
+// engine, pooled workers/schedulers/objects across passes). -session-passes
+// sets the passes per lifecycle mode and -session-jobs the sweep of
+// concurrent jobs submitted to one session's pool.
 //
 // Scale 1 reproduces the paper's dataset sizes (12 MB / 1.2 GB k-means
 // inputs, 1000×10,000 / 1000×100,000 PCA matrices); the per-experiment
@@ -56,6 +63,9 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault pattern")
 		retries   = flag.Int("retries", 3, "bounded retry budget (with exponential backoff) for fault-wrapped reads")
 		timeout   = flag.Duration("timeout", 0, "cancel fault-aware experiment passes via context after this long (0 = no timeout)")
+
+		sessionPasses = flag.Int("session-passes", 0, "abl-session: reduction passes per lifecycle mode (0 = default 30)")
+		sessionJobs   = flag.String("session-jobs", "", "abl-session: comma-separated concurrent-job sweep on one session (default 2,4)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve the observability endpoint (/metrics Prometheus text, /report, /trace JSON event log, /debug/vars, /debug/pprof) on this address")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the experiments finish")
@@ -93,6 +103,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "freeride-bench:", err)
 		os.Exit(2)
 	}
+	jobSweep, err := parseThreads(*sessionJobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freeride-bench:", err)
+		os.Exit(2)
+	}
 
 	var selected []bench.Experiment
 	switch *expFlag {
@@ -126,6 +141,7 @@ func main() {
 		p := bench.Params{
 			Threads: threads, Scale: *scaleFlag, Seed: *seedFlag, Reps: *repsFlag,
 			FaultRate: *faultRate, FaultSeed: *faultSeed, Retries: *retries, Timeout: *timeout,
+			SessionPasses: *sessionPasses, SessionJobs: jobSweep,
 		}.WithDefaults(e.DefaultScale)
 		phasesBefore := bench.SnapshotPhases()
 		tbl, err := e.Run(p)

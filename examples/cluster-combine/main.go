@@ -38,10 +38,12 @@ func main() {
 	}
 
 	// Reference: one node (the plain engine).
-	ref, err := cf.NewEngine(cf.EngineConfig{Threads: 2}).Run(spec, cf.NewMemorySource(m))
+	refEng := cf.NewEngine(cf.EngineConfig{Threads: 2})
+	ref, err := refEng.Run(spec, cf.NewMemorySource(m))
 	if err != nil {
 		log.Fatal(err)
 	}
+	refEng.Close()
 
 	fmt.Printf("%6s %-11s %-10s %12s %7s\n", "nodes", "transport", "combine", "bytes moved", "rounds")
 	for _, nodes := range []int{1, 2, 4, 8} {
@@ -60,6 +62,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			c.Close()
 			// Every configuration must reproduce the single-engine result.
 			for g := 0; g < groups; g++ {
 				for e := 0; e < elems; e++ {

@@ -60,6 +60,7 @@ func main() {
 	}
 
 	eng := cf.NewEngine(cf.EngineConfig{Threads: 4})
+	defer eng.Close()
 	var baseline []float64
 	for _, opt := range []core.OptLevel{cf.OptNone, cf.Opt1, cf.Opt2} {
 		t0 := time.Now()

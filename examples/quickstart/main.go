@@ -17,7 +17,10 @@ func main() {
 	// 2. FREERIDE: declare a 10-bucket reduction object and a reduction
 	// function that processes each data instance and updates it in place —
 	// map and reduce fused, no intermediate pairs.
+	// The engine is a session: its worker pool persists across Runs until
+	// Close.
 	eng := cf.NewEngine(cf.EngineConfig{Threads: 4})
+	defer eng.Close()
 	spec := cf.Spec{
 		Object: cf.ObjectSpec{Groups: 10, Elems: 1, Op: cf.OpAdd},
 		Reduction: func(args *cf.ReductionArgs) error {

@@ -164,6 +164,7 @@ func AprioriManualFR(tx *dataset.Matrix, cfg AprioriConfig) (*AprioriResult, err
 		return nil, err
 	}
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	var timing Timing
 	timing.Threads = eng.Config().Threads
 	src := dataset.NewMemorySource(tx)

@@ -197,51 +197,44 @@ func EMManualFR(points, init *dataset.Matrix, cfg EMConfig) (*EMResult, error) {
 	k, dim := cfg.K, points.Cols
 	st := emInitState(init, k, dim)
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	var timing Timing
 	timing.Threads = eng.Config().Threads
 	src := dataset.NewMemorySource(points)
 	var weights []float64
-	var reuse *robj.Object // reduction object reused across iterations
-	for it := 0; it < cfg.Iterations; it++ {
-		cur := st
-		spec := freeride.Spec{
-			Object: freeride.ObjectSpec{Groups: k, Elems: dim + 2, Op: robj.OpAdd},
-			Reduction: func(args *freeride.ReductionArgs) error {
-				resp := args.Scratch(0, k)
-				local := args.Scratch(1, k*(dim+2))
-				for i := range local {
-					local[i] = 0
-				}
-				for i := 0; i < args.NumRows; i++ {
-					row := args.Row(i)
-					emResponsibilities(row, cur, k, dim, resp)
-					emAccumulate(row, resp, k, dim, local, cur)
-				}
-				for c := 0; c < k; c++ {
-					for e := 0; e < dim+2; e++ {
-						args.Accumulate(c, e, local[c*(dim+2)+e])
+	err := runSessionLoop(eng, src, &timing, loopSpec{
+		Iterations: cfg.Iterations,
+		Spec: func(int) freeride.Spec {
+			cur := st
+			return freeride.Spec{
+				Object: freeride.ObjectSpec{Groups: k, Elems: dim + 2, Op: robj.OpAdd},
+				Reduction: func(args *freeride.ReductionArgs) error {
+					resp := args.Scratch(0, k)
+					local := args.Scratch(1, k*(dim+2))
+					for i := range local {
+						local[i] = 0
 					}
-				}
-				return nil
-			},
-		}
-		t0 := time.Now()
-		var res *freeride.Result
-		var err error
-		if reuse == nil {
-			res, err = eng.Run(spec, src)
-		} else {
-			res, err = eng.RunInto(spec, src, reuse)
-		}
-		if err != nil {
-			return nil, err
-		}
-		reuse = res.Object
-		timing.Reduce += time.Since(t0)
-		timing.addReduceStats(res.Stats.CPUTotal(), res.Stats.CPUMax())
-		t0 = time.Now()
-		st, weights = emUpdate(res.Object.Snapshot(), st, k, dim)
-		timing.Update += time.Since(t0)
+					for i := 0; i < args.NumRows; i++ {
+						row := args.Row(i)
+						emResponsibilities(row, cur, k, dim, resp)
+						emAccumulate(row, resp, k, dim, local, cur)
+					}
+					for c := 0; c < k; c++ {
+						for e := 0; e < dim+2; e++ {
+							args.Accumulate(c, e, local[c*(dim+2)+e])
+						}
+					}
+					return nil
+				},
+			}
+		},
+		Fold: func(_ int, obj *robj.Object) error {
+			st, weights = emUpdate(obj.Snapshot(), st, k, dim)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return emResult(st, weights, k, dim, timing), nil
 }
@@ -301,41 +294,37 @@ func EMTranslated(boxedPoints *chapel.Array, init *dataset.Matrix, opt core.OptL
 		return nil, err
 	}
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	src := tr.Source()
 	var timing Timing
 	timing.Threads = eng.Config().Threads
 	timing.Linearize = tr.LinearizeTime
 	var weights []float64
-	var reuse *robj.Object // reduction object reused across iterations
-	for it := 0; it < cfg.Iterations; it++ {
-		t0 := time.Now()
-		var res *freeride.Result
-		var err error
-		if reuse == nil {
-			res, err = eng.Run(tr.Spec(), src)
-		} else {
-			res, err = eng.RunInto(tr.Spec(), src, reuse)
-		}
-		if err != nil {
-			return nil, err
-		}
-		reuse = res.Object
-		timing.Reduce += time.Since(t0)
-		timing.addReduceStats(res.Stats.CPUTotal(), res.Stats.CPUMax())
-		t0 = time.Now()
-		st, weights = emUpdate(res.Object.Snapshot(), st, k, dim)
-		// Write the new model back into the boxed hot variables.
-		for c := 0; c < k; c++ {
-			coords := boxedMeans.At(c + 1).(*chapel.Record).Field("coords").(*chapel.Array)
-			for j := 0; j < dim; j++ {
-				coords.SetAt(j+1, &chapel.Real{Val: st.means[c*dim+j]})
+	err = runSessionLoop(eng, src, &timing, loopSpec{
+		Iterations: cfg.Iterations,
+		Spec:       func(int) freeride.Spec { return tr.Spec() },
+		Fold: func(_ int, obj *robj.Object) error {
+			st, weights = emUpdate(obj.Snapshot(), st, k, dim)
+			// Write the new model back into the boxed hot variables so Post
+			// can re-linearize them.
+			for c := 0; c < k; c++ {
+				coords := boxedMeans.At(c + 1).(*chapel.Record).Field("coords").(*chapel.Array)
+				for j := 0; j < dim; j++ {
+					coords.SetAt(j+1, &chapel.Real{Val: st.means[c*dim+j]})
+				}
+				boxedVars.SetAt(c+1, &chapel.Real{Val: st.variances[c]})
 			}
-			boxedVars.SetAt(c+1, &chapel.Real{Val: st.variances[c]})
-		}
-		timing.Update += time.Since(t0)
-		hotBefore := tr.HotLinearizeTime
-		tr.RefreshHotVars()
-		timing.HotVar += tr.HotLinearizeTime - hotBefore
+			return nil
+		},
+		Post: func(int) error {
+			hotBefore := tr.HotLinearizeTime
+			tr.RefreshHotVars()
+			timing.HotVar += tr.HotLinearizeTime - hotBefore
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return emResult(st, weights, k, dim, timing), nil
 }

@@ -77,6 +77,7 @@ func HistogramManualFR(data *dataset.Matrix, cfg HistogramConfig) (*HistogramRes
 		return nil, err
 	}
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	spec := freeride.Spec{
 		Object: freeride.ObjectSpec{Groups: cfg.Bins, Elems: 1, Op: robj.OpAdd},
 		Reduction: func(args *freeride.ReductionArgs) error {
@@ -173,6 +174,7 @@ func HistogramTranslated(data *dataset.Matrix, opt core.OptLevel, cfg HistogramC
 		return nil, err
 	}
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	t0 := time.Now()
 	res, err := eng.Run(tr.Spec(), tr.Source())
 	if err != nil {

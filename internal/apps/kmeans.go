@@ -258,42 +258,37 @@ func KMeansTranslated(boxedPoints *chapel.Array, init *dataset.Matrix, opt core.
 		return nil, err
 	}
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	src := tr.Source()
 
 	var counts []float64
 	var timing Timing
 	timing.Threads = eng.Config().Threads
 	timing.Linearize = tr.LinearizeTime
-	var reuse *robj.Object // reduction object reused across iterations
-	for it := 0; it < cfg.Iterations; it++ {
-		t0 := time.Now()
-		var res *freeride.Result
-		var err error
-		if reuse == nil {
-			res, err = eng.Run(tr.Spec(), src)
-		} else {
-			res, err = eng.RunInto(tr.Spec(), src, reuse)
-		}
-		if err != nil {
-			return nil, err
-		}
-		reuse = res.Object
-		timing.Reduce += time.Since(t0)
-		timing.addReduceStats(res.Stats.CPUTotal(), res.Stats.CPUMax())
-		t0 = time.Now()
-		cents, counts = updateCentroids(res.Object.Snapshot(), cents, k, dim)
-		// Write the new centroids back into the boxed hot variable and
-		// re-linearize it for opt-2.
-		for c := 0; c < k; c++ {
-			coords := boxedCents.At(c + 1).(*chapel.Record).Field("coords").(*chapel.Array)
-			for j := 0; j < dim; j++ {
-				coords.SetAt(j+1, &chapel.Real{Val: cents.At(c, j)})
+	err = runSessionLoop(eng, src, &timing, loopSpec{
+		Iterations: cfg.Iterations,
+		Spec:       func(int) freeride.Spec { return tr.Spec() },
+		Fold: func(_ int, obj *robj.Object) error {
+			cents, counts = updateCentroids(obj.Snapshot(), cents, k, dim)
+			// Write the new centroids back into the boxed hot variable so
+			// Post can re-linearize it for opt-2.
+			for c := 0; c < k; c++ {
+				coords := boxedCents.At(c + 1).(*chapel.Record).Field("coords").(*chapel.Array)
+				for j := 0; j < dim; j++ {
+					coords.SetAt(j+1, &chapel.Real{Val: cents.At(c, j)})
+				}
 			}
-		}
-		timing.Update += time.Since(t0)
-		hotBefore := tr.HotLinearizeTime
-		tr.RefreshHotVars()
-		timing.HotVar += tr.HotLinearizeTime - hotBefore
+			return nil
+		},
+		Post: func(int) error {
+			hotBefore := tr.HotLinearizeTime
+			tr.RefreshHotVars()
+			timing.HotVar += tr.HotLinearizeTime - hotBefore
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &KMeansResult{Centroids: cents, Counts: counts, Timing: timing}, nil
 }
@@ -308,45 +303,38 @@ func KMeansManualFR(points, init *dataset.Matrix, cfg KMeansConfig) (*KMeansResu
 	k, dim := cfg.K, points.Cols
 	cents := init.Clone()
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	src := dataset.NewMemorySource(points)
 
 	var counts []float64
 	var timing Timing
 	timing.Threads = eng.Config().Threads
-	var reuse *robj.Object // reduction object reused across iterations
-	for it := 0; it < cfg.Iterations; it++ {
-		flat := cents.Data
-		spec := freeride.Spec{
-			Object: freeride.ObjectSpec{Groups: k, Elems: dim + 1, Op: robj.OpAdd},
-			Reduction: func(args *freeride.ReductionArgs) error {
-				for i := 0; i < args.NumRows; i++ {
-					row := args.Row(i)
-					c := nearest(row, flat, k, dim)
-					for j := 0; j < dim; j++ {
-						args.Accumulate(c, j, row[j])
+	err := runSessionLoop(eng, src, &timing, loopSpec{
+		Iterations: cfg.Iterations,
+		Spec: func(int) freeride.Spec {
+			flat := cents.Data
+			return freeride.Spec{
+				Object: freeride.ObjectSpec{Groups: k, Elems: dim + 1, Op: robj.OpAdd},
+				Reduction: func(args *freeride.ReductionArgs) error {
+					for i := 0; i < args.NumRows; i++ {
+						row := args.Row(i)
+						c := nearest(row, flat, k, dim)
+						for j := 0; j < dim; j++ {
+							args.Accumulate(c, j, row[j])
+						}
+						args.Accumulate(c, dim, 1)
 					}
-					args.Accumulate(c, dim, 1)
-				}
-				return nil
-			},
-		}
-		t0 := time.Now()
-		var res *freeride.Result
-		var err error
-		if reuse == nil {
-			res, err = eng.Run(spec, src)
-		} else {
-			res, err = eng.RunInto(spec, src, reuse)
-		}
-		if err != nil {
-			return nil, err
-		}
-		reuse = res.Object
-		timing.Reduce += time.Since(t0)
-		timing.addReduceStats(res.Stats.CPUTotal(), res.Stats.CPUMax())
-		t0 = time.Now()
-		cents, counts = updateCentroids(res.Object.Snapshot(), cents, k, dim)
-		timing.Update += time.Since(t0)
+					return nil
+				},
+			}
+		},
+		Fold: func(_ int, obj *robj.Object) error {
+			cents, counts = updateCentroids(obj.Snapshot(), cents, k, dim)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &KMeansResult{Centroids: cents, Counts: counts, Timing: timing}, nil
 }

@@ -60,6 +60,7 @@ func KMeansCluster(points, init *dataset.Matrix, cfg KMeansClusterConfig) (*KMea
 		Transport: cfg.Transport,
 		Combine:   cfg.Combine,
 	})
+	defer cl.Close()
 	src := dataset.NewMemorySource(points)
 	var (
 		counts []float64
@@ -92,6 +93,9 @@ func KMeansCluster(points, init *dataset.Matrix, cfg KMeansClusterConfig) (*KMea
 		t0 = time.Now()
 		cents, counts = updateCentroids(res.Object.Snapshot(), cents, k, dim)
 		timing.Update += time.Since(t0)
+		if err := cl.Release(res); err != nil {
+			return nil, err
+		}
 	}
 	return &KMeansClusterResult{
 		Centroids:  cents,

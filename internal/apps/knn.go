@@ -126,6 +126,7 @@ func KNNManualFR(train, queries *dataset.Matrix, cfg KNNConfig) (*KNNResult, err
 	}
 	dim := queries.Cols
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	spec := freeride.Spec{
 		LocalInit: func() any { return make([]knnState, queries.Rows) },
 		Reduction: func(args *freeride.ReductionArgs) error {

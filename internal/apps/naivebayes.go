@@ -164,6 +164,7 @@ func NaiveBayesTrainFR(train *dataset.Matrix, cfg NaiveBayesConfig) (*NaiveBayes
 		},
 	}
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	var timing Timing
 	timing.Threads = eng.Config().Threads
 	t0 := time.Now()

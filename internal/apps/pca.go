@@ -143,67 +143,77 @@ func PCATranslated(boxedData *chapel.Array, opt core.OptLevel, cfg PCAConfig) (*
 	}
 	dim := boxedData.At(boxedData.Ty.Lo).(*chapel.Array).Len()
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	var timing Timing
 	timing.Threads = eng.Config().Threads
 
-	// Phase 1: mean vector.
+	// Phase 1 translates the dataset once; phase 2 reuses its linearized
+	// words (same dataset), so no second input linearization is charged. The
+	// two phases run as one two-iteration session loop: iteration 0 is the
+	// mean, its Post builds the covariance spec with the mean vector as hot
+	// variable, iteration 1 is the covariance.
 	tr1, err := core.TranslateWith(PCAMeanClass(dim), boxedData, opt,
 		core.TranslateOptions{LinearizeWorkers: cfg.LinearizeWorkers})
 	if err != nil {
 		return nil, err
 	}
 	timing.Linearize += tr1.LinearizeTime
-	t0 := time.Now()
-	res1, err := eng.Run(tr1.Spec(), tr1.Source())
+	var (
+		mean  []float64
+		cov   *dataset.Matrix
+		spec2 freeride.Spec
+	)
+	err = runSessionLoop(eng, tr1.Source(), &timing, loopSpec{
+		Iterations: 2,
+		Spec: func(it int) freeride.Spec {
+			if it == 0 {
+				return tr1.Spec()
+			}
+			return spec2
+		},
+		Fold: func(it int, obj *robj.Object) error {
+			if it == 0 {
+				mean = make([]float64, dim)
+				for j := 0; j < dim; j++ {
+					mean[j] = obj.Get(0, j) / float64(n)
+				}
+				return nil
+			}
+			cov = dataset.NewMatrix(dim, dim)
+			copy(cov.Data, obj.Snapshot())
+			covNormalize(cov, n)
+			return nil
+		},
+		Post: func(it int) error {
+			if it != 0 {
+				return nil
+			}
+			boxedMean := BoxVector(mean)
+			cls2 := PCACovClass(dim, boxedMean)
+			var hot []*core.StateVec
+			t0 := time.Now()
+			switch opt {
+			case core.Opt2:
+				sv, err := core.NewWordStateVec(boxedMean, nil)
+				if err != nil {
+					return err
+				}
+				hot = []*core.StateVec{sv}
+			default:
+				sv, err := core.NewBoxedStateVec(boxedMean, nil)
+				if err != nil {
+					return err
+				}
+				hot = []*core.StateVec{sv}
+			}
+			timing.HotVar += time.Since(t0)
+			spec2 = core.SpecFromWords(cls2, tr1.Words(), tr1.Meta(), hot, opt)
+			return nil
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	timing.Reduce += time.Since(t0)
-	timing.addReduceStats(res1.Stats.CPUTotal(), res1.Stats.CPUMax())
-	t0 = time.Now()
-	mean := make([]float64, dim)
-	for j := 0; j < dim; j++ {
-		mean[j] = res1.Object.Get(0, j) / float64(n)
-	}
-	timing.Update += time.Since(t0)
-
-	// Phase 2: covariance matrix, with the mean vector as hot variable.
-	// The phase reuses phase 1's linearized words (same dataset), so no
-	// second input linearization is charged.
-	boxedMean := BoxVector(mean)
-	cls2 := PCACovClass(dim, boxedMean)
-	var hot []*core.StateVec
-	var hotTime time.Duration
-	t0 = time.Now()
-	switch opt {
-	case core.Opt2:
-		sv, err := core.NewWordStateVec(boxedMean, nil)
-		if err != nil {
-			return nil, err
-		}
-		hot = []*core.StateVec{sv}
-	default:
-		sv, err := core.NewBoxedStateVec(boxedMean, nil)
-		if err != nil {
-			return nil, err
-		}
-		hot = []*core.StateVec{sv}
-	}
-	hotTime = time.Since(t0)
-	timing.HotVar += hotTime
-	spec := core.SpecFromWords(cls2, tr1.Words(), tr1.Meta(), hot, opt)
-	t0 = time.Now()
-	res2, err := eng.Run(spec, tr1.Source())
-	if err != nil {
-		return nil, err
-	}
-	timing.Reduce += time.Since(t0)
-	timing.addReduceStats(res2.Stats.CPUTotal(), res2.Stats.CPUMax())
-	t0 = time.Now()
-	cov := dataset.NewMatrix(dim, dim)
-	copy(cov.Data, res2.Object.Snapshot())
-	covNormalize(cov, n)
-	timing.Update += time.Since(t0)
 	return &PCAResult{Mean: mean, Cov: cov, Timing: timing}, nil
 }
 
@@ -215,63 +225,67 @@ func PCAManualFR(data *dataset.Matrix, cfg PCAConfig) (*PCAResult, error) {
 		return nil, fmt.Errorf("apps: PCA needs a non-empty matrix, got %dx%d", n, dim)
 	}
 	eng := freeride.New(cfg.Engine)
+	defer eng.Close()
 	src := dataset.NewMemorySource(data)
 	var timing Timing
 	timing.Threads = eng.Config().Threads
 
-	// Phase 1: mean vector.
-	spec1 := freeride.Spec{
-		Object: freeride.ObjectSpec{Groups: 1, Elems: dim, Op: robj.OpAdd},
-		Reduction: func(args *freeride.ReductionArgs) error {
-			for i := 0; i < args.NumRows; i++ {
-				row := args.Row(i)
-				for j := 0; j < dim; j++ {
-					args.Accumulate(0, j, row[j])
+	// Both phases on one session: iteration 0 sums features for the mean,
+	// iteration 1 accumulates the centered outer products.
+	var (
+		mean []float64
+		cov  *dataset.Matrix
+	)
+	err := runSessionLoop(eng, src, &timing, loopSpec{
+		Iterations: 2,
+		Spec: func(it int) freeride.Spec {
+			if it == 0 {
+				return freeride.Spec{
+					Object: freeride.ObjectSpec{Groups: 1, Elems: dim, Op: robj.OpAdd},
+					Reduction: func(args *freeride.ReductionArgs) error {
+						for i := 0; i < args.NumRows; i++ {
+							row := args.Row(i)
+							for j := 0; j < dim; j++ {
+								args.Accumulate(0, j, row[j])
+							}
+						}
+						return nil
+					},
 				}
 			}
-			return nil
-		},
-	}
-	t0 := time.Now()
-	res1, err := eng.Run(spec1, src)
-	if err != nil {
-		return nil, err
-	}
-	timing.Reduce += time.Since(t0)
-	timing.addReduceStats(res1.Stats.CPUTotal(), res1.Stats.CPUMax())
-	mean := make([]float64, dim)
-	for j := 0; j < dim; j++ {
-		mean[j] = res1.Object.Get(0, j) / float64(n)
-	}
-
-	// Phase 2: covariance matrix.
-	spec2 := freeride.Spec{
-		Object: freeride.ObjectSpec{Groups: dim, Elems: dim, Op: robj.OpAdd},
-		Reduction: func(args *freeride.ReductionArgs) error {
-			for i := 0; i < args.NumRows; i++ {
-				row := args.Row(i)
-				for a := 0; a < dim; a++ {
-					ca := row[a] - mean[a]
-					for b := 0; b < dim; b++ {
-						args.Accumulate(a, b, ca*(row[b]-mean[b]))
+			return freeride.Spec{
+				Object: freeride.ObjectSpec{Groups: dim, Elems: dim, Op: robj.OpAdd},
+				Reduction: func(args *freeride.ReductionArgs) error {
+					for i := 0; i < args.NumRows; i++ {
+						row := args.Row(i)
+						for a := 0; a < dim; a++ {
+							ca := row[a] - mean[a]
+							for b := 0; b < dim; b++ {
+								args.Accumulate(a, b, ca*(row[b]-mean[b]))
+							}
+						}
 					}
-				}
+					return nil
+				},
 			}
+		},
+		Fold: func(it int, obj *robj.Object) error {
+			if it == 0 {
+				mean = make([]float64, dim)
+				for j := 0; j < dim; j++ {
+					mean[j] = obj.Get(0, j) / float64(n)
+				}
+				return nil
+			}
+			cov = dataset.NewMatrix(dim, dim)
+			copy(cov.Data, obj.Snapshot())
+			covNormalize(cov, n)
 			return nil
 		},
-	}
-	t0 = time.Now()
-	res2, err := eng.Run(spec2, src)
+	})
 	if err != nil {
 		return nil, err
 	}
-	timing.Reduce += time.Since(t0)
-	timing.addReduceStats(res2.Stats.CPUTotal(), res2.Stats.CPUMax())
-	t0 = time.Now()
-	cov := dataset.NewMatrix(dim, dim)
-	copy(cov.Data, res2.Object.Snapshot())
-	covNormalize(cov, n)
-	timing.Update += time.Since(t0)
 	return &PCAResult{Mean: mean, Cov: cov, Timing: timing}, nil
 }
 

@@ -67,6 +67,7 @@ func RegressionManualFR(data *dataset.Matrix, cfg freeride.Config) (*RegressionR
 		return nil, err
 	}
 	eng := freeride.New(cfg)
+	defer eng.Close()
 	spec := freeride.Spec{
 		Object: freeride.ObjectSpec{Groups: 1, Elems: 5, Op: robj.OpAdd},
 		Reduction: func(args *freeride.ReductionArgs) error {

@@ -49,6 +49,13 @@ type Params struct {
 	// Timeout cancels fault-aware experiment passes via context when
 	// positive (see RunContext).
 	Timeout time.Duration
+
+	// SessionPasses is how many reduction passes abl-session repeats per
+	// lifecycle mode. Default 30.
+	SessionPasses int
+	// SessionJobs is abl-session's sweep of concurrent jobs submitted to
+	// one session's worker pool. Default 2,4 (1 is the plain session row).
+	SessionJobs []int
 }
 
 // WithDefaults fills unset fields: threads 1,2,4,8 (the paper's sweep —
@@ -73,6 +80,12 @@ func (p Params) WithDefaults(defaultScale float64) Params {
 	}
 	if p.Retries == 0 {
 		p.Retries = 3
+	}
+	if p.SessionPasses < 1 {
+		p.SessionPasses = 30
+	}
+	if len(p.SessionJobs) == 0 {
+		p.SessionJobs = []int{2, 4}
 	}
 	return p
 }

@@ -19,7 +19,7 @@ func TestRegistryContents(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"fig9", "fig10", "fig11", "fig12", "fig13",
-		"abl-cluster", "abl-stream",
+		"abl-cluster", "abl-stream", "abl-session",
 		"abl-robj", "abl-sched", "abl-pipe", "abl-mr", "abl-mr-stats", "abl-chunk"} {
 		if !ids[want] {
 			t.Fatalf("missing experiment %q", want)

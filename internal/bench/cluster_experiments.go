@@ -49,9 +49,11 @@ func ablCluster(p Params) (*Table, error) {
 				t0 := time.Now()
 				res, err := c.Run(spec, dataset.NewMemorySource(m))
 				if err != nil {
+					c.Close()
 					return nil, err
 				}
 				elapsed := time.Since(t0)
+				c.Close()
 				tbl.Rows = append(tbl.Rows, []string{
 					fmt.Sprint(nodes), tr.String(), algo.String(),
 					secs(elapsed), fmt.Sprint(res.Stats.BytesMoved), fmt.Sprint(res.Stats.Rounds),

@@ -93,10 +93,12 @@ func ablFaults(p Params) (*Table, error) {
 	for _, m := range modes {
 		ctx, cancel := m.ctx()
 		r0, g0 := retriesBefore(), gaveupBefore()
+		eng := freeride.New(cfg)
 		t0 := time.Now()
-		res, err := freeride.New(cfg).RunContext(ctx, spec, m.src)
+		res, err := eng.RunContext(ctx, spec, m.src)
 		wall := time.Since(t0)
 		cancel()
+		eng.Close()
 		outcome := "ok"
 		switch {
 		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):

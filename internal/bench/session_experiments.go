@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+)
+
+// ablSession quantifies what the persistent-session architecture amortizes
+// away: the same reduction pass is repeated Params.SessionPasses times
+// one-shot (a fresh engine per pass, Run, Close — the pre-session
+// lifecycle) and on a single session (one engine, Run + Release per pass,
+// pooled schedulers, split tables, and reduction objects), reporting
+// per-pass wall time and heap allocations per pass. A final sweep submits
+// Params.SessionJobs concurrent jobs to one session's worker pool and
+// reports aggregate throughput — the multiplexing the one-shot engine
+// could not express at all.
+func ablSession(p Params) (*Table, error) {
+	const groups, dim = 64, 16
+	rows := maxInt(4096, int(float64(1<<18)*p.Scale))
+	m, _ := dataset.GaussianMixture(rows, dim, groups, p.Seed)
+	src := dataset.NewMemorySource(m)
+	spec := freeride.Spec{
+		Object: freeride.ObjectSpec{Groups: groups, Elems: dim, Op: robj.OpAdd},
+		Reduction: func(a *freeride.ReductionArgs) error {
+			for i := 0; i < a.NumRows; i++ {
+				row := a.Row(i)
+				g := int(row[0]*float64(groups)) % groups
+				if g < 0 {
+					g += groups
+				}
+				for j := 0; j < dim; j++ {
+					a.Accumulate(g, j, row[j])
+				}
+			}
+			return nil
+		},
+	}
+	passes := p.SessionPasses
+	if passes < 1 {
+		passes = 30
+	}
+	jobSweep := p.SessionJobs
+	if len(jobSweep) == 0 {
+		jobSweep = []int{2, 4}
+	}
+
+	// cells sums a pass's merged object — equal sums across modes witness
+	// the deterministic-results invariant without allocating a copy.
+	cells := func(o *robj.Object) float64 {
+		var s float64
+		for _, v := range o.Snapshot() {
+			s += v
+		}
+		return s
+	}
+
+	tbl := &Table{
+		ID: "abl-session",
+		Title: fmt.Sprintf("one-shot vs session engine lifecycle — %d passes of %d rows × %d dims",
+			passes, rows, dim),
+		Columns: []string{"threads", "mode", "ms/pass", "allocs/pass", "passes/s"},
+	}
+	for _, threads := range p.Threads {
+		cfg := freeride.Config{Threads: threads, SplitRows: splitRowsFor(rows, threads)}
+		var ms runtime.MemStats
+
+		// One-shot: the full pre-session lifecycle every pass.
+		runtime.ReadMemStats(&ms)
+		mallocs0 := ms.Mallocs
+		t0 := time.Now()
+		var oneShotSum float64
+		for pass := 0; pass < passes; pass++ {
+			eng := freeride.New(cfg)
+			res, err := eng.Run(spec, src)
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			oneShotSum = cells(res.Object)
+			eng.Close()
+		}
+		oneShotWall := time.Since(t0)
+		runtime.ReadMemStats(&ms)
+		oneShotAllocs := (ms.Mallocs - mallocs0) / uint64(passes)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(threads), "one-shot",
+			msPerPass(oneShotWall, passes), fmt.Sprint(oneShotAllocs),
+			passesPerSec(passes, oneShotWall),
+		})
+
+		// Session: one engine, pooled everything, Run + Release per pass.
+		eng := freeride.New(cfg)
+		if err := eng.Start(); err != nil {
+			return nil, err
+		}
+		// One warm-up pass populates the session pools so the measured
+		// passes show the steady state.
+		if res, err := eng.Run(spec, src); err != nil {
+			eng.Close()
+			return nil, err
+		} else if err := eng.Release(res); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		runtime.ReadMemStats(&ms)
+		mallocs0 = ms.Mallocs
+		t0 = time.Now()
+		var sessionSum float64
+		for pass := 0; pass < passes; pass++ {
+			res, err := eng.Run(spec, src)
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			sessionSum = cells(res.Object)
+			if err := eng.Release(res); err != nil {
+				eng.Close()
+				return nil, err
+			}
+		}
+		sessionWall := time.Since(t0)
+		runtime.ReadMemStats(&ms)
+		sessionAllocs := (ms.Mallocs - mallocs0) / uint64(passes)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(threads), "session",
+			msPerPass(sessionWall, passes), fmt.Sprint(sessionAllocs),
+			passesPerSec(passes, sessionWall),
+		})
+		if sessionSum != oneShotSum {
+			tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+				"MISMATCH at %d threads: session sum %g != one-shot sum %g", threads, sessionSum, oneShotSum))
+		}
+
+		// Concurrent jobs: J submitters share the session's worker pool.
+		for _, jobs := range jobSweep {
+			if jobs < 2 {
+				continue // jobs=1 is the session row above
+			}
+			per := passes / jobs
+			if per < 1 {
+				per = 1
+			}
+			total := per * jobs
+			var wg sync.WaitGroup
+			jobErrs := make([]error, jobs)
+			sums := make([]float64, jobs)
+			t0 = time.Now()
+			for j := 0; j < jobs; j++ {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					for pass := 0; pass < per; pass++ {
+						res, err := eng.Run(spec, src)
+						if err != nil {
+							jobErrs[j] = err
+							return
+						}
+						sums[j] = cells(res.Object)
+						if err := eng.Release(res); err != nil {
+							jobErrs[j] = err
+							return
+						}
+					}
+				}(j)
+			}
+			wg.Wait()
+			wall := time.Since(t0)
+			for _, err := range jobErrs {
+				if err != nil {
+					eng.Close()
+					return nil, err
+				}
+			}
+			for _, s := range sums {
+				if s != oneShotSum {
+					tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+						"MISMATCH at %d threads, %d jobs: concurrent sum %g != one-shot sum %g",
+						threads, jobs, s, oneShotSum))
+					break
+				}
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				fmt.Sprint(threads), fmt.Sprintf("session ×%d jobs", jobs),
+				msPerPass(wall, total), "-",
+				passesPerSec(total, wall),
+			})
+		}
+		eng.Close()
+	}
+	tbl.Notes = append(tbl.Notes,
+		"one-shot pays worker spin-up, scheduler, split table, and reduction-object allocation every "+
+			"pass; the session pools all four, so the gap is the per-pass setup cost the refactor removes")
+	return tbl, nil
+}
+
+// msPerPass formats wall/passes in milliseconds.
+func msPerPass(wall time.Duration, passes int) string {
+	return fmt.Sprintf("%.3f", wall.Seconds()*1000/float64(passes))
+}
+
+// passesPerSec formats aggregate throughput.
+func passesPerSec(passes int, wall time.Duration) string {
+	if wall <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f", float64(passes)/wall.Seconds())
+}
+
+func init() {
+	register(Experiment{
+		ID:           "abl-session",
+		Title:        "persistent session vs one-shot engine lifecycle",
+		DefaultScale: 0.25,
+		Run:          ablSession,
+	})
+}

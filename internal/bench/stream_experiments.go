@@ -42,6 +42,7 @@ func ablStream(p Params) (*Table, error) {
 		eng := freeride.New(engCfg)
 		res, err := eng.Run(tr.Spec(), tr.Source())
 		if err != nil {
+			eng.Close()
 			return nil, err
 		}
 		eagerWall := time.Since(t0)
@@ -59,6 +60,7 @@ func ablStream(p Params) (*Table, error) {
 		}
 		resS, err := eng.Run(str.Spec(), str.Source())
 		if err != nil {
+			eng.Close()
 			return nil, err
 		}
 		streamWall := time.Since(t0)
@@ -72,6 +74,7 @@ func ablStream(p Params) (*Table, error) {
 			fmt.Sprint(threads), "pipelined", secs(streamWall), secs(linDur), secs(streamEst),
 			fmt.Sprint(st.Waits()),
 		})
+		eng.Close()
 	}
 	tbl.Notes = append(tbl.Notes,
 		"pipelined est-total = max(linearize, reduce/threads): the overlap the paper proposes (§V) "+

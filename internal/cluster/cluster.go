@@ -141,21 +141,108 @@ type Result struct {
 	Stats Stats
 }
 
-// Cluster executes FREERIDE specs across simulated nodes.
+// ErrClusterClosed reports a Run on a cluster whose session has been closed.
+var ErrClusterClosed = errors.New("cluster: cluster is closed")
+
+// Cluster executes FREERIDE specs across simulated nodes. Like the engine it
+// is built on, a Cluster is a session: each node's freeride.Engine (and its
+// worker pool, scheduler pool, and reduction-object pool) is created on the
+// first Run and reused by every subsequent pass, and with the TCP transport
+// the global-combination connections are dialed once and kept for the
+// cluster's lifetime. Close releases all of it; a closed cluster rejects
+// further Runs.
 type Cluster struct {
 	cfg Config
+
+	mu      sync.Mutex
+	closed  bool
+	engines []*freeride.Engine
+
+	meshMu sync.Mutex
+	mesh   *tcpMesh
 }
 
-// New creates a cluster.
+// New creates a cluster session. Node engines start lazily on the first Run.
 func New(cfg Config) *Cluster { return &Cluster{cfg: cfg.withDefaults()} }
 
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
+// nodeEngines returns the session's per-node engines, creating them on
+// first use.
+func (c *Cluster) nodeEngines() ([]*freeride.Engine, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClusterClosed
+	}
+	if c.engines == nil {
+		c.engines = make([]*freeride.Engine, c.cfg.Nodes)
+		for n := range c.engines {
+			c.engines[n] = freeride.New(c.cfg.PerNode)
+		}
+	}
+	return c.engines, nil
+}
+
+// Close ends the cluster session: every node engine's worker pool is drained
+// and the persistent combination connections are torn down. Close is
+// idempotent and safe on a cluster that never ran.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	engines := c.engines
+	c.mu.Unlock()
+	var first error
+	for _, eng := range engines {
+		if err := eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.meshMu.Lock()
+	mesh := c.mesh
+	c.mesh = nil
+	c.meshMu.Unlock()
+	if mesh != nil {
+		mesh.close()
+	}
+	return first
+}
+
+// Release returns a finished cluster Result's combined reduction object to
+// the root node engine's session pool, mirroring freeride.Engine.Release.
+// After Release the caller must not touch the object; releasing a nil result
+// (or one without an object) is a no-op.
+func (c *Cluster) Release(res *Result) error {
+	if res == nil || res.Object == nil {
+		return nil
+	}
+	c.mu.Lock()
+	var root *freeride.Engine
+	if len(c.engines) > 0 {
+		root = c.engines[0]
+	}
+	c.mu.Unlock()
+	if root == nil {
+		// No session engines exist, so there is no pool to return to.
+		res.Object = nil
+		return nil
+	}
+	fr := &freeride.Result{Object: res.Object}
+	res.Object = nil
+	return root.Release(fr)
+}
+
 // subSource exposes a contiguous row range of an underlying source as a
-// node's local dataset.
+// node's local dataset. Reads route through a Reader resolved once at
+// construction instead of re-probing the source's capabilities per call.
 type subSource struct {
 	src      dataset.Source
+	rd       dataset.Reader
 	lo, rows int
 }
 
@@ -179,7 +266,7 @@ func (s *subSource) ReadRowsContext(ctx context.Context, begin, end int, dst []f
 	if begin < 0 || end > s.rows || begin > end {
 		return fmt.Errorf("cluster: ReadRows range [%d,%d) out of [0,%d)", begin, end, s.rows)
 	}
-	return dataset.ReadRowsContext(ctx, s.src, s.lo+begin, s.lo+end, dst)
+	return s.rd.ReadInto(ctx, s.lo+begin, s.lo+end, dst)
 }
 
 // slicingSubSource adds the zero-copy fast path on top of subSource. It is a
@@ -215,7 +302,7 @@ func partition(totalRows, nodes int) [][2]int {
 // nodeSource wraps the node's row range, preserving the zero-copy fast
 // path when available.
 func nodeSource(src dataset.Source, lo, hi int) dataset.Source {
-	sub := &subSource{src: src, lo: lo, rows: hi - lo}
+	sub := &subSource{src: src, rd: dataset.NewReader(src), lo: lo, rows: hi - lo}
 	if _, ok := src.(dataset.RowSlicer); ok {
 		return slicingSubSource{sub}
 	}
@@ -265,9 +352,13 @@ func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src datase
 		return nil, errors.New("cluster: nil data source")
 	}
 	cfg := c.cfg
+	engines, err := c.nodeEngines()
+	if err != nil {
+		return nil, err
+	}
 	parts := partition(src.NumRows(), cfg.Nodes)
 
-	// Per-node local reduction (each node is an independent engine).
+	// Per-node local reduction on the session's persistent node engines.
 	finalize := spec.Finalize
 	spec.Finalize = nil
 	results := make([]*freeride.Result, cfg.Nodes)
@@ -278,8 +369,7 @@ func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src datase
 		go func(n int) {
 			defer wg.Done()
 			lo, hi := parts[n][0], parts[n][1]
-			eng := freeride.New(cfg.PerNode)
-			results[n], errs[n] = eng.RunContext(ctx, offsetSpec(spec, lo), nodeSource(src, lo, hi))
+			results[n], errs[n] = engines[n].RunContext(ctx, offsetSpec(spec, lo), nodeSource(src, lo, hi))
 		}(n)
 	}
 	wg.Wait()
@@ -301,16 +391,22 @@ func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src datase
 		combined *robj.Object
 		moved    int64
 		rounds   int
-		err      error
 	)
 	switch cfg.Transport {
 	case TCP:
-		combined, moved, rounds, err = combineTCP(objects, cfg.Combine, cfg)
+		combined, moved, rounds, err = c.combineOverMesh(objects)
 	default:
 		combined, moved, rounds, err = combineInProcess(objects, cfg.Combine)
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Both algorithms fold into the root's object, so the non-root objects
+	// are spent; return them to their node engines' pools for the next pass.
+	for n := 1; n < cfg.Nodes; n++ {
+		if rerr := engines[n].Release(results[n]); rerr != nil {
+			return nil, rerr
+		}
 	}
 
 	res := &Result{Object: combined}
@@ -327,6 +423,41 @@ func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src datase
 		}
 	}
 	return res, nil
+}
+
+// combineOverMesh performs the TCP global combination on the session's
+// persistent connection mesh, establishing it on the first pass. A failed
+// combine leaves the per-connection gob streams in an undefined state, so
+// the mesh is discarded and the next pass re-dials from scratch — PR 2's
+// per-call timeout and dial-retry semantics apply to that re-dial as they
+// did to the original.
+func (c *Cluster) combineOverMesh(objects []*robj.Object) (*robj.Object, int64, int, error) {
+	if len(objects) == 1 {
+		return objects[0], 0, 0, nil
+	}
+	c.meshMu.Lock()
+	mesh := c.mesh
+	if mesh == nil {
+		var err error
+		mesh, err = newTCPMesh(len(objects), c.cfg)
+		if err != nil {
+			c.meshMu.Unlock()
+			return nil, 0, 0, err
+		}
+		c.mesh = mesh
+	}
+	c.meshMu.Unlock()
+	combined, moved, rounds, err := mesh.combine(objects, c.cfg.Combine, c.cfg)
+	if err != nil {
+		c.meshMu.Lock()
+		if c.mesh == mesh {
+			c.mesh = nil
+		}
+		c.meshMu.Unlock()
+		mesh.close()
+		return nil, 0, 0, err
+	}
+	return combined, moved, rounds, nil
 }
 
 // combineInProcess folds the objects without serialization.

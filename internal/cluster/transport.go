@@ -11,13 +11,19 @@ import (
 	"chapelfreeride/internal/robj"
 )
 
-// Transport robustness counters: dial attempts that had to be retried, and
-// exchanges that timed out against the per-call deadline.
+// Transport robustness and session counters: dial attempts that had to be
+// retried, exchanges that timed out against the per-call deadline, mesh
+// connections dialed, and combines served over already-established
+// connections (dialed vs reused quantifies what the persistent mesh saves).
 var (
 	mDialRetries = obs.Default.Counter("cluster_dial_retries_total",
 		"TCP dials retried during global combination")
 	mIOTimeouts = obs.Default.Counter("cluster_io_timeouts_total",
 		"global-combination exchanges that hit the per-call deadline")
+	mConnsDialed = obs.Default.Counter("cluster_conns_dialed_total",
+		"TCP connections dialed for the global-combination mesh")
+	mConnReuses = obs.Default.Counter("cluster_conn_reuses_total",
+		"global-combination exchanges served over an already-established connection")
 )
 
 // dialRetry dials addr with the configured per-attempt timeout, retrying
@@ -46,6 +52,12 @@ func isTimeout(err error) bool {
 	return ok && ne.Timeout()
 }
 
+// meshHello identifies a sender connection to the root when the mesh is
+// established; it is the first frame on each connection's gob stream.
+type meshHello struct {
+	Node int
+}
+
 // wireObject is the gob wire format for a merged reduction object: enough
 // to reconstruct and combine it on the receiving node.
 type wireObject struct {
@@ -72,50 +84,173 @@ func (c countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// combineTCP performs the global combination over loopback TCP: node 0
-// listens; every other node dials in and streams its serialized object;
-// node 0 folds them in node order (the tree algorithm still moves every
-// non-root object over the wire — the rounds differ only in who folds, so
-// the simulation folds at the root and reports ⌈log2 N⌉ rounds).
-//
-// Every network call is bounded: dials get cfg.DialTimeout with
-// cfg.DialRetries backed-off retries, and each accept/send/receive gets a
-// cfg.IOTimeout deadline, so a dead peer fails the combination promptly
-// instead of wedging it.
-func combineTCP(objects []*robj.Object, algo CombineAlgo, cfg Config) (*robj.Object, int64, int, error) {
-	n := len(objects)
-	if n == 1 {
-		return objects[0], 0, 0, nil
-	}
+// tcpMesh is the persistent global-combination fabric for a TCP cluster
+// session: node 0 listens once, every other node dials in once, and the
+// resulting connections — with their gob streams, so type descriptors cross
+// the wire a single time — are reused by every combination the session
+// performs. The one-shot engine re-listened and re-dialed per pass; for
+// iterative algorithms that connection setup dominated small-object
+// combines. Each exchange still gets a fresh cfg.IOTimeout deadline, so a
+// wedged peer fails the pass promptly; a failed combine tears the mesh down
+// and the next pass re-dials from scratch.
+type tcpMesh struct {
+	n int
+
+	// mu serializes combines: the per-connection gob streams carry one
+	// frame per pass, so two concurrent combines must not interleave.
+	mu   sync.Mutex
+	used bool
+
+	// Sender side (simulated nodes 1..n-1) and root side of each
+	// connection, indexed by node id; slot 0 is unused.
+	send []net.Conn
+	encs []*gob.Encoder
+	recv []net.Conn
+	decs []*gob.Decoder
+
+	moved   int64
+	movedMu sync.Mutex
+}
+
+// newTCPMesh establishes the session's combination fabric: a loopback
+// listener on the root, one dial per non-root node (with the configured
+// retry budget), and a hello frame per connection so the root maps
+// connections to node ids regardless of accept order. The listener closes
+// once the mesh is fully connected — a lost connection is repaired by
+// rebuilding the whole mesh, not by re-accepting.
+func newTCPMesh(n int, cfg Config) (*tcpMesh, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, 0, 0, fmt.Errorf("cluster: listen: %w", err)
+		return nil, fmt.Errorf("cluster: listen: %w", err)
 	}
 	defer ln.Close()
 	addr := ln.Addr().String()
 
-	var (
-		moved   int64
-		movedMu sync.Mutex
-	)
+	m := &tcpMesh{
+		n:    n,
+		send: make([]net.Conn, n),
+		encs: make([]*gob.Encoder, n),
+		recv: make([]net.Conn, n),
+		decs: make([]*gob.Decoder, n),
+	}
 
-	// Senders: nodes 1..n-1 dial the root and stream their object.
+	var dialers sync.WaitGroup
+	dialErrs := make([]error, n)
+	for node := 1; node < n; node++ {
+		dialers.Add(1)
+		go func(node int) {
+			defer dialers.Done()
+			conn, err := dialRetry(addr, cfg)
+			if err != nil {
+				dialErrs[node] = fmt.Errorf("cluster: node %d dial: %w", node, err)
+				return
+			}
+			mConnsDialed.Inc()
+			conn.SetDeadline(time.Now().Add(cfg.IOTimeout))
+			enc := gob.NewEncoder(countingConn{Conn: conn, n: &m.moved, m: &m.movedMu})
+			if err := enc.Encode(meshHello{Node: node}); err != nil {
+				conn.Close()
+				dialErrs[node] = fmt.Errorf("cluster: node %d hello: %w", node, err)
+				return
+			}
+			conn.SetDeadline(time.Time{})
+			m.send[node] = conn
+			m.encs[node] = enc
+		}(node)
+	}
+
+	var acceptErr error
+	deadline := time.Now().Add(cfg.IOTimeout)
+	for i := 1; i < n; i++ {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			if isTimeout(err) {
+				mIOTimeouts.Inc()
+			}
+			acceptErr = fmt.Errorf("cluster: accept: %w", err)
+			break
+		}
+		conn.SetDeadline(deadline)
+		dec := gob.NewDecoder(conn)
+		var hello meshHello
+		if err := dec.Decode(&hello); err != nil {
+			conn.Close()
+			acceptErr = fmt.Errorf("cluster: hello decode: %w", err)
+			break
+		}
+		if hello.Node < 1 || hello.Node >= n || m.recv[hello.Node] != nil {
+			conn.Close()
+			acceptErr = fmt.Errorf("cluster: unexpected hello from node %d", hello.Node)
+			break
+		}
+		conn.SetDeadline(time.Time{})
+		m.recv[hello.Node] = conn
+		m.decs[hello.Node] = dec
+	}
+	dialers.Wait()
+	if acceptErr == nil {
+		for _, err := range dialErrs {
+			if err != nil {
+				acceptErr = err
+				break
+			}
+		}
+	}
+	if acceptErr != nil {
+		m.close()
+		return nil, acceptErr
+	}
+	return m, nil
+}
+
+// close tears down every mesh connection. Safe on a partially built mesh.
+func (m *tcpMesh) close() {
+	for _, conn := range m.send {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	for _, conn := range m.recv {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+// combine performs one global combination over the established mesh: every
+// non-root node streams its serialized object to the root concurrently, and
+// the root folds the received cells into objects[0] in node order, so the
+// floating-point result is deterministic regardless of arrival order (the
+// tree algorithm moves the same non-root objects over the wire — the rounds
+// differ only in who folds, so the simulation folds at the root and reports
+// ⌈log2 N⌉ rounds). An error leaves the gob streams in an undefined state;
+// the caller must discard the mesh.
+func (m *tcpMesh) combine(objects []*robj.Object, algo CombineAlgo, cfg Config) (*robj.Object, int64, int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.n
+	if m.used {
+		mConnReuses.Add(int64(n - 1))
+	}
+	m.used = true
+
+	m.movedMu.Lock()
+	movedStart := m.moved
+	m.movedMu.Unlock()
+	deadline := time.Now().Add(cfg.IOTimeout)
+
 	var senders sync.WaitGroup
 	sendErrs := make([]error, n)
 	for node := 1; node < n; node++ {
 		senders.Add(1)
 		go func(node int) {
 			defer senders.Done()
-			conn, err := dialRetry(addr, cfg)
-			if err != nil {
-				sendErrs[node] = fmt.Errorf("cluster: node %d dial: %w", node, err)
-				return
-			}
-			defer conn.Close()
-			conn.SetDeadline(time.Now().Add(cfg.IOTimeout))
 			o := objects[node]
-			enc := gob.NewEncoder(countingConn{Conn: conn, n: &moved, m: &movedMu})
-			err = enc.Encode(wireObject{
+			m.send[node].SetDeadline(deadline)
+			err := m.encs[node].Encode(wireObject{
 				Node:   node,
 				Groups: o.Groups(),
 				Elems:  o.ElemsPerGroup(),
@@ -127,75 +262,50 @@ func combineTCP(objects []*robj.Object, algo CombineAlgo, cfg Config) (*robj.Obj
 					mIOTimeouts.Inc()
 				}
 				sendErrs[node] = fmt.Errorf("cluster: node %d send: %w", node, err)
+				return
 			}
+			m.send[node].SetDeadline(time.Time{})
 		}(node)
 	}
 
-	// Root: accept n-1 connections, decode, fold in node order. Out-of-
-	// order arrival is buffered so the combination order (and therefore
-	// floating-point results) is deterministic.
 	received := make([]*wireObject, n)
-	var recvErr error
-	var recvWg sync.WaitGroup
-	var recvMu sync.Mutex
-	deadline := time.Now().Add(cfg.IOTimeout)
-	for i := 1; i < n; i++ {
-		if tl, ok := ln.(*net.TCPListener); ok {
-			tl.SetDeadline(deadline)
-		}
-		conn, err := ln.Accept()
-		if err != nil {
-			if isTimeout(err) {
-				mIOTimeouts.Inc()
-			}
-			recvErr = fmt.Errorf("cluster: accept: %w", err)
-			break
-		}
-		recvWg.Add(1)
-		go func(conn net.Conn) {
-			defer recvWg.Done()
-			defer conn.Close()
-			conn.SetDeadline(deadline)
+	recvErrs := make([]error, n)
+	var receivers sync.WaitGroup
+	for node := 1; node < n; node++ {
+		receivers.Add(1)
+		go func(node int) {
+			defer receivers.Done()
+			m.recv[node].SetDeadline(deadline)
 			var w wireObject
-			if err := gob.NewDecoder(conn).Decode(&w); err != nil {
+			if err := m.decs[node].Decode(&w); err != nil {
 				if isTimeout(err) {
 					mIOTimeouts.Inc()
 				}
-				recvMu.Lock()
-				if recvErr == nil {
-					recvErr = fmt.Errorf("cluster: decode: %w", err)
-				}
-				recvMu.Unlock()
+				recvErrs[node] = fmt.Errorf("cluster: node %d receive: %w", node, err)
 				return
 			}
-			recvMu.Lock()
-			if w.Node < 1 || w.Node >= n || received[w.Node] != nil {
-				if recvErr == nil {
-					recvErr = fmt.Errorf("cluster: unexpected wire object for node %d", w.Node)
-				}
-			} else {
-				received[w.Node] = &w
+			if w.Node != node {
+				recvErrs[node] = fmt.Errorf("cluster: connection for node %d carried object for node %d", node, w.Node)
+				return
 			}
-			recvMu.Unlock()
-		}(conn)
+			m.recv[node].SetDeadline(time.Time{})
+			received[node] = &w
+		}(node)
 	}
-	recvWg.Wait()
+	receivers.Wait()
 	senders.Wait()
-	for _, err := range sendErrs {
-		if err != nil {
-			return nil, 0, 0, err
+	for node := 1; node < n; node++ {
+		if recvErrs[node] != nil {
+			return nil, 0, 0, recvErrs[node]
 		}
-	}
-	if recvErr != nil {
-		return nil, 0, 0, recvErr
+		if sendErrs[node] != nil {
+			return nil, 0, 0, sendErrs[node]
+		}
 	}
 
 	dst := objects[0]
 	for node := 1; node < n; node++ {
 		w := received[node]
-		if w == nil {
-			return nil, 0, 0, fmt.Errorf("cluster: missing object from node %d", node)
-		}
 		if w.Groups != dst.Groups() || w.Elems != dst.ElemsPerGroup() || w.Op != dst.Op() {
 			return nil, 0, 0, fmt.Errorf("cluster: node %d object shape/op mismatch", node)
 		}
@@ -204,6 +314,9 @@ func combineTCP(objects []*robj.Object, algo CombineAlgo, cfg Config) (*robj.Obj
 		}
 	}
 
+	m.movedMu.Lock()
+	moved := m.moved - movedStart
+	m.movedMu.Unlock()
 	rounds := 1
 	if algo == Tree {
 		rounds = 0

@@ -28,6 +28,7 @@ var (
 // multiple fetches. Safe for concurrent use.
 type PrefetchSource struct {
 	src       Source
+	rd        Reader // capability-resolved view of src, shared by all fetches
 	blockRows int
 
 	mu     sync.Mutex
@@ -52,6 +53,7 @@ func NewPrefetchSource(src Source, blockRows, maxBlocks int) *PrefetchSource {
 	}
 	return &PrefetchSource{
 		src:       src,
+		rd:        NewReader(src),
 		blockRows: blockRows,
 		blocks:    map[int][]float64{},
 		pending:   map[int]*sync.WaitGroup{},
@@ -87,7 +89,7 @@ func (p *PrefetchSource) fetchBlock(ctx context.Context, b int) ([]float64, erro
 		hi = p.src.NumRows()
 	}
 	buf := make([]float64, (hi-lo)*p.src.Cols())
-	if err := ReadRowsContext(ctx, p.src, lo, hi, buf); err != nil {
+	if err := p.rd.ReadInto(ctx, lo, hi, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil

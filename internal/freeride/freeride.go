@@ -22,21 +22,22 @@
 //	reduction_object_alloc  → Spec.Object{Groups,Elems,Op} allocated by the engine
 //	accumulate              → ReductionArgs.Accumulate
 //	get_intermediate_result → Result.Object.Get / Result.Object.Snapshot
+//
+// The package is organized as a persistent execution service: an Engine is a
+// session owning a long-lived worker pool plus pooled schedulers and
+// reduction objects (engine.go), and each Run submits one job to that pool
+// (job.go). This file holds the API surface shared by both: specs, stats,
+// splitters, and the global combination helpers.
 package freeride
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"chapelfreeride/internal/cputime"
-	"chapelfreeride/internal/dataset"
 	"chapelfreeride/internal/obs"
 	"chapelfreeride/internal/robj"
 	"chapelfreeride/internal/sched"
@@ -326,22 +327,21 @@ type Result struct {
 	Stats Stats
 }
 
-// Engine executes reduction Specs over data Sources.
-type Engine struct {
-	cfg Config
-}
-
-// New creates an engine with the given configuration.
-func New(cfg Config) *Engine { return &Engine{cfg: cfg.withDefaults()} }
-
-// Config returns the engine's effective configuration.
-func (e *Engine) Config() Config { return e.cfg }
-
 // DefaultSplitter partitions [0, totalRows) into requestedUnits contiguous
 // chunks of near-equal size. It is the middleware-provided splitter_t.
 func DefaultSplitter(totalRows, requestedUnits int) []sched.Chunk {
 	if totalRows <= 0 {
 		return nil
+	}
+	return appendSplits(nil, totalRows, requestedUnits)
+}
+
+// appendSplits is DefaultSplitter appending into buf (reset to length 0),
+// so session engines can reuse one split table across passes.
+func appendSplits(buf []sched.Chunk, totalRows, requestedUnits int) []sched.Chunk {
+	buf = buf[:0]
+	if totalRows <= 0 {
+		return buf
 	}
 	if requestedUnits < 1 {
 		requestedUnits = 1
@@ -349,7 +349,6 @@ func DefaultSplitter(totalRows, requestedUnits int) []sched.Chunk {
 	if requestedUnits > totalRows {
 		requestedUnits = totalRows
 	}
-	chunks := make([]sched.Chunk, 0, requestedUnits)
 	base := totalRows / requestedUnits
 	extra := totalRows % requestedUnits
 	begin := 0
@@ -358,327 +357,14 @@ func DefaultSplitter(totalRows, requestedUnits int) []sched.Chunk {
 		if u < extra {
 			size++
 		}
-		chunks = append(chunks, sched.Chunk{Begin: begin, End: begin + size})
+		buf = append(buf, sched.Chunk{Begin: begin, End: begin + size})
 		begin += size
 	}
-	return chunks
+	return buf
 }
 
 // ErrNoReduction reports a Spec without a Reduction function.
 var ErrNoReduction = errors.New("freeride: Spec.Reduction is required")
-
-// Run executes one reduction pass: split, parallel local reduction, local
-// combination, user combination, finalize. The returned Result's Object is
-// merged and ready for Get/Snapshot.
-func (e *Engine) Run(spec Spec, src dataset.Source) (*Result, error) {
-	return e.run(context.Background(), spec, src, nil)
-}
-
-// RunContext is Run under a context: workers check for cancellation between
-// splits and stop draining the scheduler, in-flight reads through
-// context-aware sources (dataset.ContextSource) are abandoned, and the call
-// returns ctx.Err() promptly — even while a worker is still blocked inside a
-// slow source read. First error wins; a cancelled run returns no partial
-// result.
-func (e *Engine) RunContext(ctx context.Context, spec Spec, src dataset.Source) (*Result, error) {
-	return e.run(ctx, spec, src, nil)
-}
-
-// RunInto is Run reusing the reduction object of a previous Result: reuse
-// is Reset and refilled in place, avoiding the per-pass allocation that
-// iterative algorithms (k-means' outer loop, EM rounds) would otherwise
-// pay for large objects. reuse must have been produced by a prior Run with
-// the same object shape, operator, sharing strategy, and thread count.
-func (e *Engine) RunInto(spec Spec, src dataset.Source, reuse *robj.Object) (*Result, error) {
-	return e.RunIntoContext(context.Background(), spec, src, reuse)
-}
-
-// RunIntoContext is RunInto under a context, with RunContext's cancellation
-// semantics. A cancelled or failed pass leaves reuse partially filled; Reset
-// it (or hand it back to RunInto, which Resets) before reusing.
-func (e *Engine) RunIntoContext(ctx context.Context, spec Spec, src dataset.Source, reuse *robj.Object) (*Result, error) {
-	if reuse == nil {
-		return nil, errors.New("freeride: RunInto needs a reduction object to reuse")
-	}
-	if reuse.Groups() != spec.Object.Groups || reuse.ElemsPerGroup() != spec.Object.Elems ||
-		reuse.Op() != spec.Object.Op {
-		return nil, fmt.Errorf("freeride: RunInto object %dx%d/%v does not match spec %dx%d/%v",
-			reuse.Groups(), reuse.ElemsPerGroup(), reuse.Op(),
-			spec.Object.Groups, spec.Object.Elems, spec.Object.Op)
-	}
-	if reuse.Strategy() != e.cfg.Strategy || reuse.Workers() != e.cfg.Threads {
-		return nil, fmt.Errorf("freeride: RunInto object built for %v/%d workers, engine uses %v/%d",
-			reuse.Strategy(), reuse.Workers(), e.cfg.Strategy, e.cfg.Threads)
-	}
-	reuse.Reset()
-	return e.run(ctx, spec, src, reuse)
-}
-
-func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *robj.Object) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if spec.Reduction == nil {
-		return nil, ErrNoReduction
-	}
-	if src == nil {
-		return nil, errors.New("freeride: nil data source")
-	}
-	if spec.LocalInit != nil && spec.LocalCombine == nil {
-		return nil, errors.New("freeride: LocalInit requires LocalCombine")
-	}
-	cfg := e.cfg
-	if obj == nil && (spec.Object.Groups != 0 || spec.Object.Elems != 0) {
-		var err error
-		obj, err = robj.Alloc(cfg.Strategy, spec.Object.Op, spec.Object.Groups, spec.Object.Elems, cfg.Threads)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if obj == nil && spec.LocalInit == nil {
-		return nil, errors.New("freeride: spec declares neither a reduction object shape nor LocalInit")
-	}
-	if spec.Combine != nil && obj == nil {
-		// Combine receives the merged cell-based object; with a zero-shaped
-		// ObjectSpec it would be handed nil. Reject up front instead of
-		// letting user code dereference it.
-		return nil, errors.New("freeride: Spec.Combine requires a cell-based reduction object " +
-			"(set Object.Groups/Elems); LocalInit-only state is merged by LocalCombine and " +
-			"post-processed in Finalize")
-	}
-	res := &Result{Object: obj}
-	res.Stats.Threads = cfg.Threads
-	mRuns.Inc()
-	tr := obs.NewTrace()
-	runSpan := tr.Start("run")
-	// fail finishes the run on an error path: any still-open child spans are
-	// ended, the run span closes, and the partial trace is flushed to obs.Log
-	// so failed runs stay visible in the event log instead of vanishing.
-	fail := func(err error, open ...*obs.Span) (*Result, error) {
-		for _, s := range open {
-			s.End()
-		}
-		runSpan.End()
-		obs.Log.Add(tr.Records())
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			mRunsCancelled.Inc()
-		} else {
-			mRunsFailed.Inc()
-		}
-		return nil, err
-	}
-
-	// Split phase.
-	splitSpan := runSpan.Child(PhaseSplit)
-	t0 := time.Now()
-	splitter := spec.Splitter
-	if splitter == nil {
-		splitter = DefaultSplitter
-	}
-	units := (src.NumRows() + cfg.SplitRows - 1) / cfg.SplitRows
-	splits := splitter(src.NumRows(), units)
-	splitErr := validateSplits(splits, src.NumRows())
-	res.Stats.SplitTime = time.Since(t0)
-	splitSpan.End()
-	phaseNS[PhaseSplit].Add(int64(res.Stats.SplitTime))
-	if splitErr != nil {
-		return fail(splitErr)
-	}
-	res.Stats.Splits = len(splits)
-
-	// Parallel local reduction: the scheduler hands out split indices. The
-	// first error (or cancellation) flips the stop flag, so the surviving
-	// workers park at their next split boundary instead of draining the
-	// whole scheduler against a run that has already failed.
-	reduceSpan := runSpan.Child(PhaseReduce)
-	t0 = time.Now()
-	s := sched.New(cfg.Scheduler, len(splits), cfg.Threads, 1)
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		stop     atomic.Bool
-	)
-	setErr := func(err error) {
-		stop.Store(true)
-		errOnce.Do(func() { firstErr = err })
-	}
-	done := ctx.Done()
-	slicer, hasSlicer := src.(dataset.RowSlicer)
-	cols := src.Cols()
-	locals := make([]any, cfg.Threads)
-	workerCPU := make([]time.Duration, cfg.Threads)
-	workerSplits := make([]int64, cfg.Threads)
-	workerRows := make([]int64, cfg.Threads)
-	workerBusy := make([]time.Duration, cfg.Threads)
-	measureCPU := cputime.Supported()
-	for w := 0; w < cfg.Threads; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Label the worker goroutine so CPU/heap profiles taken from
-			// the metrics endpoint attribute samples per worker.
-			pprof.Do(ctx,
-				pprof.Labels("subsystem", "freeride", "worker", strconv.Itoa(w)),
-				func(context.Context) {
-					if measureCPU {
-						runtime.LockOSThread()
-						start := cputime.ThreadCPU()
-						defer func() {
-							workerCPU[w] = cputime.ThreadCPU() - start
-							runtime.UnlockOSThread()
-						}()
-					}
-					wSpan := reduceSpan.Child("worker")
-					wSpan.SetWorker(w)
-					defer wSpan.End()
-					defer func() {
-						wc := countersForWorker(w)
-						wc.splits.Add(workerSplits[w])
-						wc.rows.Add(workerRows[w])
-						wc.busyNS.Add(int64(workerBusy[w]))
-					}()
-					var buf []float64 // per-worker read buffer, reused across splits
-					args := ReductionArgs{Cols: cols, worker: w, object: obj}
-					if spec.LocalInit != nil {
-						args.Local = spec.LocalInit()
-						// The reduction function may replace args.Local (e.g. to
-						// grow a slice); capture the final value when the worker
-						// finishes.
-						defer func() { locals[w] = args.Local }()
-					}
-					for {
-						if stop.Load() {
-							return
-						}
-						select {
-						case <-done:
-							setErr(ctx.Err())
-							return
-						default:
-						}
-						ci, ok := s.Next(w)
-						if !ok {
-							return
-						}
-						for si := ci.Begin; si < ci.End; si++ {
-							if stop.Load() {
-								return
-							}
-							sp := splits[si]
-							n := sp.Len()
-							splitStart := time.Now()
-							if hasSlicer {
-								args.Data = slicer.Rows(sp.Begin, sp.End)
-							} else {
-								need := n * cols
-								if cap(buf) < need {
-									buf = make([]float64, need)
-								}
-								buf = buf[:need]
-								if err := dataset.ReadRowsContext(ctx, src, sp.Begin, sp.End, buf); err != nil {
-									setErr(err)
-									return
-								}
-								args.Data = buf
-							}
-							args.NumRows = n
-							args.Begin = sp.Begin
-							if err := spec.Reduction(&args); err != nil {
-								setErr(err)
-								return
-							}
-							workerBusy[w] += time.Since(splitStart)
-							workerSplits[w]++
-							workerRows[w] += int64(n)
-						}
-					}
-				})
-		}(w)
-	}
-	workersDone := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(workersDone)
-	}()
-	select {
-	case <-workersDone:
-	case <-done:
-		// Cancelled mid-phase: flag the stop and give the workers a short
-		// grace to observe it. If one is still blocked inside a slow source
-		// read after that, return ctx.Err() promptly anyway — the straggler
-		// exits at its next cancellation check and touches only worker-local
-		// state the abandoned pass never reads.
-		setErr(ctx.Err())
-		grace := time.NewTimer(50 * time.Millisecond)
-		select {
-		case <-workersDone:
-			grace.Stop()
-		case <-grace.C:
-			phaseNS[PhaseReduce].Add(int64(time.Since(t0)))
-			return fail(ctx.Err(), reduceSpan)
-		}
-	}
-	res.Stats.ReduceTime = time.Since(t0)
-	reduceSpan.End()
-	phaseNS[PhaseReduce].Add(int64(res.Stats.ReduceTime))
-	if measureCPU {
-		res.Stats.WorkerCPU = workerCPU
-	}
-	res.Stats.WorkerSplits = workerSplits
-	res.Stats.WorkerRows = workerRows
-	res.Stats.WorkerBusy = workerBusy
-	for w := 0; w < cfg.Threads; w++ {
-		countersForWorker(w).idleNS.Add(int64(res.Stats.WorkerIdle(w)))
-	}
-	if firstErr != nil {
-		return fail(firstErr)
-	}
-
-	// Local combination (default combination function) + user combination.
-	t0 = time.Now()
-	lcSpan := runSpan.Child(PhaseLocalCombine)
-	if obj != nil {
-		obj.Merge()
-	}
-	if spec.LocalInit != nil {
-		merged := locals[0]
-		for _, l := range locals[1:] {
-			merged = spec.LocalCombine(merged, l)
-		}
-		res.Local = merged
-	}
-	lcSpan.End()
-	phaseNS[PhaseLocalCombine].Add(int64(time.Since(t0)))
-	if spec.Combine != nil {
-		tc := time.Now()
-		cSpan := runSpan.Child(PhaseCombine)
-		err := spec.Combine(obj)
-		cSpan.End()
-		phaseNS[PhaseCombine].Add(int64(time.Since(tc)))
-		if err != nil {
-			return fail(err)
-		}
-	}
-	res.Stats.CombineTime = time.Since(t0)
-
-	// Finalize.
-	if spec.Finalize != nil {
-		t0 = time.Now()
-		fSpan := runSpan.Child(PhaseFinalize)
-		err := spec.Finalize(res)
-		fSpan.End()
-		res.Stats.FinalizeTime = time.Since(t0)
-		phaseNS[PhaseFinalize].Add(int64(res.Stats.FinalizeTime))
-		if err != nil {
-			return fail(err)
-		}
-	}
-	runSpan.End()
-	res.Stats.Spans = tr.Records()
-	obs.Log.Add(res.Stats.Spans)
-	return res, nil
-}
 
 // validateSplits checks that the split table exactly tiles [0, totalRows).
 func validateSplits(splits []sched.Chunk, totalRows int) error {

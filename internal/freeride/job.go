@@ -1,0 +1,409 @@
+package freeride
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chapelfreeride/internal/cputime"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/obs"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/sched"
+)
+
+// job is one reduction pass in flight on the engine's worker pool. The
+// submitting goroutine builds it, enqueues one ticket per worker slot, and
+// waits on done; pool workers execute runSlot per ticket. All per-slot
+// fields are indexed by slot id, so concurrent slots never share an element.
+type job struct {
+	ctx        context.Context
+	spec       Spec
+	reader     dataset.Reader
+	splits     []sched.Chunk
+	sched      sched.Scheduler
+	obj        *robj.Object
+	cols       int
+	threads    int
+	measureCPU bool
+
+	stop     atomic.Bool
+	errOnce  sync.Once
+	firstErr error
+
+	locals       []any
+	workerCPU    []time.Duration
+	workerSplits []int64
+	workerRows   []int64
+	workerBusy   []time.Duration
+
+	// pending counts tickets not yet finished; the last finisher closes
+	// done, which is the submitter's happens-before barrier for every
+	// per-slot write above.
+	pending atomic.Int32
+	done    chan struct{}
+
+	reduceSpan *obs.Span
+}
+
+func (j *job) setErr(err error) {
+	j.stop.Store(true)
+	j.errOnce.Do(func() { j.firstErr = err })
+}
+
+// finishTickets retires n tickets; the final one completes the job.
+func (j *job) finishTickets(n int32) {
+	if j.pending.Add(-n) == 0 {
+		close(j.done)
+	}
+}
+
+// runSlot executes worker slot `slot` of the job on a pool worker: drain the
+// scheduler, read each split through the job's Reader into the worker's
+// persistent buffer, and run the user reduction. The finishTickets defer is
+// registered first so it runs last — after every other per-slot write — and
+// closing done publishes them to the submitter.
+func (j *job) runSlot(slot int, ws *workerState) {
+	defer j.finishTickets(1)
+	if j.measureCPU {
+		start := cputime.ThreadCPU()
+		defer func() { j.workerCPU[slot] = cputime.ThreadCPU() - start }()
+	}
+	wSpan := j.reduceSpan.Child("worker")
+	wSpan.SetWorker(slot)
+	defer wSpan.End()
+	defer func() {
+		wc := countersForWorker(slot)
+		wc.splits.Add(j.workerSplits[slot])
+		wc.rows.Add(j.workerRows[slot])
+		wc.busyNS.Add(int64(j.workerBusy[slot]))
+	}()
+	args := ReductionArgs{Cols: j.cols, worker: slot, object: j.obj, scratch: ws.scratch}
+	// Keep whatever scratch growth the kernel caused for the next pass.
+	defer func() { ws.scratch = args.scratch }()
+	if j.spec.LocalInit != nil {
+		args.Local = j.spec.LocalInit()
+		// The reduction function may replace args.Local (e.g. to grow a
+		// slice); capture the final value when the slot finishes.
+		defer func() { j.locals[slot] = args.Local }()
+	}
+	done := j.ctx.Done()
+	for {
+		if j.stop.Load() {
+			return
+		}
+		select {
+		case <-done:
+			j.setErr(j.ctx.Err())
+			return
+		default:
+		}
+		ci, ok := j.sched.Next(slot)
+		if !ok {
+			return
+		}
+		for si := ci.Begin; si < ci.End; si++ {
+			if j.stop.Load() {
+				return
+			}
+			sp := j.splits[si]
+			n := sp.Len()
+			splitStart := time.Now()
+			data, err := j.reader.Read(j.ctx, sp.Begin, sp.End, &ws.buf)
+			if err != nil {
+				j.setErr(err)
+				return
+			}
+			args.Data = data
+			args.NumRows = n
+			args.Begin = sp.Begin
+			if err := j.spec.Reduction(&args); err != nil {
+				j.setErr(err)
+				return
+			}
+			j.workerBusy[slot] += time.Since(splitStart)
+			j.workerSplits[slot]++
+			j.workerRows[slot] += int64(n)
+		}
+	}
+}
+
+// Run executes one reduction pass: split, parallel local reduction, local
+// combination, user combination, finalize. The returned Result's Object is
+// merged and ready for Get/Snapshot; hand it back with Engine.Release when
+// done to let the next pass reuse the allocation.
+func (e *Engine) Run(spec Spec, src dataset.Source) (*Result, error) {
+	return e.run(context.Background(), spec, src, nil)
+}
+
+// RunContext is Run under a context: workers check for cancellation between
+// splits and stop draining the scheduler, in-flight reads through
+// context-aware sources (dataset.ContextSource) are abandoned, and the call
+// returns ctx.Err() promptly — even while a worker is still blocked inside a
+// slow source read. First error wins; a cancelled run returns no partial
+// result.
+func (e *Engine) RunContext(ctx context.Context, spec Spec, src dataset.Source) (*Result, error) {
+	return e.run(ctx, spec, src, nil)
+}
+
+// RunInto is Run reusing the reduction object of a previous Result: reuse
+// is Reset and refilled in place. It predates the engine's session pool —
+// new code can simply Run and Release, which pools objects without manual
+// plumbing — but remains for callers that want explicit control. reuse must
+// have been produced by a prior Run with the same object shape, operator,
+// sharing strategy, and thread count.
+func (e *Engine) RunInto(spec Spec, src dataset.Source, reuse *robj.Object) (*Result, error) {
+	return e.RunIntoContext(context.Background(), spec, src, reuse)
+}
+
+// RunIntoContext is RunInto under a context, with RunContext's cancellation
+// semantics. A cancelled or failed pass leaves reuse partially filled; Reset
+// it (or hand it back to RunInto, which Resets) before reusing.
+func (e *Engine) RunIntoContext(ctx context.Context, spec Spec, src dataset.Source, reuse *robj.Object) (*Result, error) {
+	if reuse == nil {
+		return nil, errors.New("freeride: RunInto needs a reduction object to reuse")
+	}
+	if reuse.Groups() != spec.Object.Groups || reuse.ElemsPerGroup() != spec.Object.Elems ||
+		reuse.Op() != spec.Object.Op {
+		return nil, fmt.Errorf("freeride: RunInto object %dx%d/%v does not match spec %dx%d/%v",
+			reuse.Groups(), reuse.ElemsPerGroup(), reuse.Op(),
+			spec.Object.Groups, spec.Object.Elems, spec.Object.Op)
+	}
+	if reuse.Strategy() != e.cfg.Strategy || reuse.Workers() != e.cfg.Threads {
+		return nil, fmt.Errorf("freeride: RunInto object built for %v/%d workers, engine uses %v/%d — "+
+			"objects are engine-scoped; instead of carrying one across engines, use the session pool: "+
+			"Run on the target engine and hand finished results back with Release",
+			reuse.Strategy(), reuse.Workers(), e.cfg.Strategy, e.cfg.Threads)
+	}
+	reuse.Reset()
+	return e.run(ctx, spec, src, reuse)
+}
+
+// run validates the spec, submits one job to the worker pool, waits for it,
+// and assembles the Result, preserving the one-shot engine's semantics:
+// first error wins, cancellation returns promptly even past a blocked
+// straggler, failed and cancelled passes are counted disjointly, and a
+// source with zero rows yields an identity-valued reduction object (no
+// splits are scheduled, so the merged object holds the Op's identity in
+// every cell).
+func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *robj.Object) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if spec.Reduction == nil {
+		return nil, ErrNoReduction
+	}
+	if src == nil {
+		return nil, errors.New("freeride: nil data source")
+	}
+	if spec.LocalInit != nil && spec.LocalCombine == nil {
+		return nil, errors.New("freeride: LocalInit requires LocalCombine")
+	}
+	cfg := e.cfg
+	if obj == nil && (spec.Object.Groups != 0 || spec.Object.Elems != 0) {
+		var err error
+		obj, err = e.objects.Get(cfg.Strategy, spec.Object.Op, spec.Object.Groups, spec.Object.Elems, cfg.Threads)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if obj == nil && spec.LocalInit == nil {
+		return nil, errors.New("freeride: spec declares neither a reduction object shape nor LocalInit")
+	}
+	if spec.Combine != nil && obj == nil {
+		// Combine receives the merged cell-based object; with a zero-shaped
+		// ObjectSpec it would be handed nil. Reject up front instead of
+		// letting user code dereference it.
+		return nil, errors.New("freeride: Spec.Combine requires a cell-based reduction object " +
+			"(set Object.Groups/Elems); LocalInit-only state is merged by LocalCombine and " +
+			"post-processed in Finalize")
+	}
+	if err := e.Start(); err != nil {
+		return nil, err
+	}
+	res := &Result{Object: obj}
+	res.Stats.Threads = cfg.Threads
+	mRuns.Inc()
+	mJobs.Inc()
+	jobsInflight.Add(1)
+	defer jobsInflight.Add(-1)
+	tr := obs.NewTrace()
+	runSpan := tr.Start("run")
+	// fail finishes the run on an error path: any still-open child spans are
+	// ended, the run span closes, and the partial trace is flushed to obs.Log
+	// so failed runs stay visible in the event log instead of vanishing.
+	fail := func(err error, open ...*obs.Span) (*Result, error) {
+		for _, s := range open {
+			s.End()
+		}
+		runSpan.End()
+		obs.Log.Add(tr.Records())
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			mRunsCancelled.Inc()
+		} else {
+			mRunsFailed.Inc()
+		}
+		return nil, err
+	}
+
+	// Split phase. The default splitter fills a pooled per-engine table;
+	// custom splitters own their return value, so theirs is not pooled.
+	splitSpan := runSpan.Child(PhaseSplit)
+	t0 := time.Now()
+	units := (src.NumRows() + cfg.SplitRows - 1) / cfg.SplitRows
+	var splits []sched.Chunk
+	pooledSplits := spec.Splitter == nil
+	if pooledSplits {
+		splits = appendSplits(e.takeSplitBuf(), src.NumRows(), units)
+	} else {
+		splits = spec.Splitter(src.NumRows(), units)
+	}
+	splitErr := validateSplits(splits, src.NumRows())
+	res.Stats.SplitTime = time.Since(t0)
+	splitSpan.End()
+	phaseNS[PhaseSplit].Add(int64(res.Stats.SplitTime))
+	if splitErr != nil {
+		return fail(splitErr)
+	}
+	res.Stats.Splits = len(splits)
+
+	// Parallel local reduction: submit one ticket per worker slot to the
+	// pool. The first error (or cancellation) flips the stop flag, so the
+	// surviving slots park at their next split boundary instead of draining
+	// the whole scheduler against a run that has already failed.
+	reduceSpan := runSpan.Child(PhaseReduce)
+	t0 = time.Now()
+	j := &job{
+		ctx:          ctx,
+		spec:         spec,
+		reader:       dataset.NewReader(src),
+		splits:       splits,
+		sched:        e.acquireSched(len(splits)),
+		obj:          obj,
+		cols:         src.Cols(),
+		threads:      cfg.Threads,
+		measureCPU:   cputime.Supported(),
+		locals:       make([]any, cfg.Threads),
+		workerCPU:    make([]time.Duration, cfg.Threads),
+		workerSplits: make([]int64, cfg.Threads),
+		workerRows:   make([]int64, cfg.Threads),
+		workerBusy:   make([]time.Duration, cfg.Threads),
+		done:         make(chan struct{}),
+		reduceSpan:   reduceSpan,
+	}
+	j.pending.Store(int32(cfg.Threads))
+	e.enqueue(ctx, j)
+
+	abandoned := false
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		// Cancelled mid-phase: flag the stop and give the slots a short
+		// grace to observe it. If one is still blocked inside a slow source
+		// read after that, return ctx.Err() promptly anyway — the straggler
+		// exits at its next cancellation check and touches only job-local
+		// state the abandoned pass never reads.
+		j.setErr(ctx.Err())
+		grace := time.NewTimer(50 * time.Millisecond)
+		select {
+		case <-j.done:
+			grace.Stop()
+		case <-grace.C:
+			abandoned = true
+		}
+	}
+	if abandoned {
+		// The straggler still holds the scheduler and split table, so they
+		// are dropped for the GC instead of returned to the pools.
+		phaseNS[PhaseReduce].Add(int64(time.Since(t0)))
+		return fail(ctx.Err(), reduceSpan)
+	}
+	e.releaseSched(j.sched)
+	if pooledSplits {
+		e.putSplitBuf(splits)
+	}
+	res.Stats.ReduceTime = time.Since(t0)
+	reduceSpan.End()
+	phaseNS[PhaseReduce].Add(int64(res.Stats.ReduceTime))
+	if j.measureCPU {
+		res.Stats.WorkerCPU = j.workerCPU
+	}
+	res.Stats.WorkerSplits = j.workerSplits
+	res.Stats.WorkerRows = j.workerRows
+	res.Stats.WorkerBusy = j.workerBusy
+	for w := 0; w < cfg.Threads; w++ {
+		countersForWorker(w).idleNS.Add(int64(res.Stats.WorkerIdle(w)))
+	}
+	if j.firstErr != nil {
+		return fail(j.firstErr)
+	}
+
+	// Local combination (default combination function) + user combination.
+	t0 = time.Now()
+	lcSpan := runSpan.Child(PhaseLocalCombine)
+	if obj != nil {
+		obj.Merge()
+	}
+	if spec.LocalInit != nil {
+		merged := j.locals[0]
+		for _, l := range j.locals[1:] {
+			merged = spec.LocalCombine(merged, l)
+		}
+		res.Local = merged
+	}
+	lcSpan.End()
+	phaseNS[PhaseLocalCombine].Add(int64(time.Since(t0)))
+	if spec.Combine != nil {
+		tc := time.Now()
+		cSpan := runSpan.Child(PhaseCombine)
+		err := spec.Combine(obj)
+		cSpan.End()
+		phaseNS[PhaseCombine].Add(int64(time.Since(tc)))
+		if err != nil {
+			return fail(err)
+		}
+	}
+	res.Stats.CombineTime = time.Since(t0)
+
+	// Finalize.
+	if spec.Finalize != nil {
+		t0 = time.Now()
+		fSpan := runSpan.Child(PhaseFinalize)
+		err := spec.Finalize(res)
+		fSpan.End()
+		res.Stats.FinalizeTime = time.Since(t0)
+		phaseNS[PhaseFinalize].Add(int64(res.Stats.FinalizeTime))
+		if err != nil {
+			return fail(err)
+		}
+	}
+	runSpan.End()
+	res.Stats.Spans = tr.Records()
+	obs.Log.Add(res.Stats.Spans)
+	return res, nil
+}
+
+// enqueue sends the job's tickets to the pool. Tickets not sent — because
+// the engine closed underneath us or the context was cancelled while the
+// channel was full — are retired immediately so the job still completes.
+func (e *Engine) enqueue(ctx context.Context, j *job) {
+	e.submitMu.RLock()
+	defer e.submitMu.RUnlock()
+	if e.isClosed() {
+		j.setErr(ErrEngineClosed)
+		j.finishTickets(int32(j.threads))
+		return
+	}
+	for slot := 0; slot < j.threads; slot++ {
+		select {
+		case e.tickets <- ticket{j: j, slot: slot}:
+		case <-ctx.Done():
+			j.setErr(ctx.Err())
+			j.finishTickets(int32(j.threads - slot))
+			return
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package freeride
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/sched"
+)
+
+// TestRunEmptySourceIdentity: a source with zero rows yields a merged
+// reduction object holding the operator's identity in every cell, for every
+// operator, without ever calling the reduction function.
+func TestRunEmptySourceIdentity(t *testing.T) {
+	empty := dataset.NewMemorySource(dataset.NewMatrix(0, 3))
+	for _, op := range []robj.Op{robj.OpAdd, robj.OpMin, robj.OpMax} {
+		eng := New(Config{Threads: 2, SplitRows: 16})
+		spec := Spec{
+			Object: ObjectSpec{Groups: 2, Elems: 2, Op: op},
+			Reduction: func(a *ReductionArgs) error {
+				t.Error("reduction called on empty source")
+				return nil
+			},
+		}
+		res, err := eng.Run(spec, empty)
+		if err != nil {
+			t.Fatalf("op %v: %v", op, err)
+		}
+		want := op.Identity()
+		for g := 0; g < 2; g++ {
+			for e := 0; e < 2; e++ {
+				if got := res.Object.Get(g, e); got != want && !(math.IsInf(want, 0) && got == want) {
+					t.Fatalf("op %v cell (%d,%d) = %v, want identity %v", op, g, e, got, want)
+				}
+			}
+		}
+		if res.Stats.Splits != 0 {
+			t.Fatalf("op %v: %d splits on empty source", op, res.Stats.Splits)
+		}
+		eng.Close()
+	}
+}
+
+// TestRunEmptySourceLocalState: LocalInit-only specs on an empty source
+// merge the per-worker initial locals without running the reduction.
+func TestRunEmptySourceLocalState(t *testing.T) {
+	eng := New(Config{Threads: 3, SplitRows: 16})
+	defer eng.Close()
+	spec := Spec{
+		LocalInit:    func() any { return 1 },
+		LocalCombine: func(a, b any) any { return a.(int) + b.(int) },
+		Reduction:    func(a *ReductionArgs) error { return errors.New("must not run") },
+	}
+	res, err := eng.Run(spec, dataset.NewMemorySource(dataset.NewMatrix(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Local.(int) != 3 {
+		t.Fatalf("merged local = %v, want 3 (one per worker slot)", res.Local)
+	}
+}
+
+// TestClosedEngineRejectsWork: after Close, Start and Run return
+// ErrEngineClosed; Close stays idempotent.
+func TestClosedEngineRejectsWork(t *testing.T) {
+	m := dataset.UniformMatrix(100, 1, 1, 0, 1)
+	eng := New(Config{Threads: 2, SplitRows: 10})
+	if _, err := eng.Run(sumSpec(), dataset.NewMemorySource(m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := eng.Start(); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Start after Close = %v, want ErrEngineClosed", err)
+	}
+	if _, err := eng.Run(sumSpec(), dataset.NewMemorySource(m)); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Run after Close = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestReleasePoolsObject: a released result's object is reused by the next
+// same-shaped Run instead of allocating, and res.Object is nilled so stale
+// access fails fast.
+func TestReleasePoolsObject(t *testing.T) {
+	m := dataset.UniformMatrix(500, 1, 2, 0, 1)
+	src := dataset.NewMemorySource(m)
+	eng := New(Config{Threads: 2, SplitRows: 50})
+	defer eng.Close()
+	res1, err := eng.Run(sumSpec(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res1.Object
+	want := first.Get(0, 0)
+	if err := eng.Release(res1); err != nil {
+		t.Fatal(err)
+	}
+	if res1.Object != nil {
+		t.Fatal("Release left res.Object set")
+	}
+	res2, err := eng.Run(sumSpec(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Object != first {
+		t.Fatal("second Run did not reuse the released object")
+	}
+	if got := res2.Object.Get(0, 0); got != want {
+		t.Fatalf("pooled rerun sum = %v, want %v", got, want)
+	}
+	// Releasing a nil result or an object-less result is a no-op.
+	if err := eng.Release(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Release(&Result{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReleaseWrongEngine: pooled objects are session-scoped — releasing a
+// result to an engine with a different strategy/thread shape is rejected
+// with an error that says so.
+func TestReleaseWrongEngine(t *testing.T) {
+	m := dataset.UniformMatrix(100, 1, 3, 0, 1)
+	a := New(Config{Threads: 2, SplitRows: 10})
+	defer a.Close()
+	b := New(Config{Threads: 3, SplitRows: 10})
+	defer b.Close()
+	res, err := a.Run(sumSpec(), dataset.NewMemorySource(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = b.Release(res)
+	if err == nil {
+		t.Fatal("cross-engine Release succeeded")
+	}
+	if !strings.Contains(err.Error(), "session-scoped") {
+		t.Fatalf("error %q does not explain session scoping", err)
+	}
+	if res.Object == nil {
+		t.Fatal("failed Release must not consume the object")
+	}
+	if err := a.Release(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunIntoMismatchNamesPool: the workers/strategy mismatch error points
+// at the session pool (Run + Release) as the remedy.
+func TestRunIntoMismatchNamesPool(t *testing.T) {
+	m := dataset.UniformMatrix(100, 1, 4, 0, 1)
+	a := New(Config{Threads: 2, SplitRows: 10})
+	defer a.Close()
+	b := New(Config{Threads: 3, SplitRows: 10})
+	defer b.Close()
+	res, err := a.Run(sumSpec(), dataset.NewMemorySource(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.RunInto(sumSpec(), dataset.NewMemorySource(m), res.Object)
+	if err == nil {
+		t.Fatal("cross-engine RunInto succeeded")
+	}
+	for _, want := range []string{"workers", "Release"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestPropertySessionMatchesOneShot: across schedulers, strategies, and
+// thread counts, a pass on a warm session (pooled scheduler, split table,
+// and reduction object) is bit-identical to a fresh one-shot engine run of
+// the same spec — integer-valued data makes float addition exact, so the
+// comparison is ==, not within-epsilon.
+func TestPropertySessionMatchesOneShot(t *testing.T) {
+	policies := []sched.Policy{sched.Static, sched.Dynamic, sched.Guided, sched.WorkStealing}
+	strategies := []robj.Strategy{
+		robj.FullReplication, robj.FullLocking, robj.OptimizedFullLocking,
+		robj.FixedLocking, robj.AtomicCAS,
+	}
+	histSpec := func(groups int) Spec {
+		return Spec{
+			Object: ObjectSpec{Groups: groups, Elems: 2, Op: robj.OpAdd},
+			Reduction: func(a *ReductionArgs) error {
+				for i := 0; i < a.NumRows; i++ {
+					row := a.Row(i)
+					g := int(row[0]) % groups
+					if g < 0 {
+						g += groups
+					}
+					a.Accumulate(g, 0, 1)
+					a.Accumulate(g, 1, row[1])
+				}
+				return nil
+			},
+		}
+	}
+	prop := func(seed int64, pick uint8, threadsRaw uint8, rowsRaw uint16) bool {
+		threads := 1 + int(threadsRaw)%4
+		rows := 16 + int(rowsRaw)%400
+		policy := policies[int(pick)%len(policies)]
+		strategy := strategies[int(pick/8)%len(strategies)]
+		const groups = 5
+		m := dataset.NewMatrix(rows, 2)
+		r := seed
+		for i := range m.Data {
+			r = r*6364136223846793005 + 1442695040888963407
+			m.Data[i] = float64((r >> 33) % 100)
+		}
+		src := dataset.NewMemorySource(m)
+		cfg := Config{Threads: threads, SplitRows: 1 + rows/7, Scheduler: policy, Strategy: strategy}
+		spec := histSpec(groups)
+
+		session := New(cfg)
+		defer session.Close()
+		// Two warm-up passes populate the session pools, then the measured
+		// pass runs entirely on reused state.
+		for i := 0; i < 2; i++ {
+			res, err := session.Run(spec, src)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if err := session.Release(res); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		warm, err := session.Run(spec, src)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer session.Release(warm)
+
+		oneShot := New(cfg)
+		defer oneShot.Close()
+		fresh, err := oneShot.Run(spec, src)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		a, b := warm.Object.Snapshot(), fresh.Object.Snapshot()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("cell %d: session %v != one-shot %v (policy %v, strategy %v, threads %d)",
+					i, a[i], b[i], policy, strategy, threads)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentJobsOnOnePool: independent jobs with different object
+// shapes run concurrently on one session's worker pool and each produces
+// its own correct result. CI runs this under -race.
+func TestConcurrentJobsOnOnePool(t *testing.T) {
+	eng := New(Config{Threads: 4, SplitRows: 64})
+	defer eng.Close()
+	m := dataset.UniformMatrix(4000, 2, 9, 0, 1)
+	src := dataset.NewMemorySource(m)
+	want := seqSum(m)
+
+	const jobs = 8
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for pass := 0; pass < 5; pass++ {
+				if j%2 == 0 {
+					res, err := eng.Run(sumSpec(), src)
+					if err != nil {
+						errs[j] = err
+						return
+					}
+					if got := res.Object.Get(0, 0); math.Abs(got-want) > 1e-6 {
+						errs[j] = errors.New("sum job diverged")
+						return
+					}
+					errs[j] = eng.Release(res)
+				} else {
+					spec := Spec{
+						Object: ObjectSpec{Groups: 4, Elems: 1, Op: robj.OpAdd},
+						Reduction: func(a *ReductionArgs) error {
+							for i := 0; i < a.NumRows; i++ {
+								a.Accumulate((a.Begin+i)%4, 0, 1)
+							}
+							return nil
+						},
+					}
+					res, err := eng.Run(spec, src)
+					if err != nil {
+						errs[j] = err
+						return
+					}
+					var rows float64
+					for g := 0; g < 4; g++ {
+						rows += res.Object.Get(g, 0)
+					}
+					if rows != float64(m.Rows) {
+						errs[j] = errors.New("count job diverged")
+						return
+					}
+					errs[j] = eng.Release(res)
+				}
+				if errs[j] != nil {
+					return
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", j, err)
+		}
+	}
+}
+
+// TestCancelOneJobLeavesOthers: cancelling one in-flight job must not
+// disturb a concurrent job on the same pool — the other job completes with
+// the correct result.
+func TestCancelOneJobLeavesOthers(t *testing.T) {
+	eng := New(Config{Threads: 4, SplitRows: 32})
+	defer eng.Close()
+	m := dataset.UniformMatrix(2000, 1, 11, 0, 1)
+	src := dataset.NewMemorySource(m)
+	want := seqSum(m)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	blockedErr := make(chan error, 1)
+	go func() {
+		_, err := eng.RunContext(ctx, sumSpec(), &blockedSource{rows: 100, cols: 1})
+		blockedErr <- err
+	}()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+
+	// The healthy job keeps running passes while the blocked one is
+	// cancelled out from under it.
+	for pass := 0; pass < 10; pass++ {
+		res, err := eng.Run(sumSpec(), src)
+		if err != nil {
+			t.Fatalf("healthy job pass %d: %v", pass, err)
+		}
+		if got := res.Object.Get(0, 0); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("healthy job pass %d: sum %v, want %v", pass, got, want)
+		}
+		if err := eng.Release(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-blockedErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked job returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled job did not return")
+	}
+}

@@ -1,0 +1,131 @@
+package robj
+
+import (
+	"strings"
+	"testing"
+)
+
+// finish runs a tiny accumulate+merge cycle so the object is in the state a
+// real pass leaves it in before Release hands it to the pool.
+func finish(t *testing.T, o *Object) {
+	t.Helper()
+	o.Accumulate(0, 0, 0, 7)
+	o.Merge()
+	if !o.Merged() {
+		t.Fatal("Merge did not mark object merged")
+	}
+}
+
+func TestPoolGetMissThenHit(t *testing.T) {
+	p := NewPool()
+	o1, err := p.Get(FullLocking, OpAdd, 3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish(t, o1)
+	if o1.Get(0, 0) != 7 {
+		t.Fatalf("merged value = %v, want 7", o1.Get(0, 0))
+	}
+	if err := p.Put(o1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("pool holds %d objects, want 1", p.Len())
+	}
+	o2, err := p.Get(FullLocking, OpAdd, 3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2 != o1 {
+		t.Fatal("matching Get did not reuse the retired object")
+	}
+	if p.Len() != 0 {
+		t.Fatalf("pool holds %d objects after hit, want 0", p.Len())
+	}
+	// The hit must come back reset and ready for a fresh cycle: the old 7
+	// at (0,0) is gone, only the new accumulation survives.
+	o2.Accumulate(1, 2, 1, 3)
+	o2.Merge()
+	if o2.Get(0, 0) != 0 {
+		t.Fatalf("reused cell (0,0) = %v, want identity 0 (stale value survived Reset)", o2.Get(0, 0))
+	}
+	if o2.Get(2, 1) != 3 {
+		t.Fatalf("reused object second pass = %v, want 3", o2.Get(2, 1))
+	}
+}
+
+func TestPoolRejectsNilAndUnmerged(t *testing.T) {
+	p := NewPool()
+	if err := p.Put(nil); err == nil {
+		t.Fatal("Put(nil) succeeded")
+	}
+	o, err := Alloc(FullReplication, OpAdd, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Accumulate(0, 0, 0, 1) // mid-flight: accumulated but never merged
+	err = p.Put(o)
+	if err == nil {
+		t.Fatal("Put of un-merged object succeeded")
+	}
+	if !strings.Contains(err.Error(), "un-merged") {
+		t.Fatalf("error %q does not name the un-merged state", err)
+	}
+	if p.Len() != 0 {
+		t.Fatal("rejected object entered the pool")
+	}
+}
+
+// TestPoolKeysDoNotCrossServe: a retired object only serves Gets with the
+// identical (strategy, op, shape, workers) layout — every differing field
+// forces a fresh allocation.
+func TestPoolKeysDoNotCrossServe(t *testing.T) {
+	base := [5]int{int(FullLocking), int(OpAdd), 3, 2, 4}
+	variants := [][5]int{
+		{int(AtomicCAS), int(OpAdd), 3, 2, 4}, // strategy differs
+		{int(FullLocking), int(OpMax), 3, 2, 4},
+		{int(FullLocking), int(OpAdd), 4, 2, 4},
+		{int(FullLocking), int(OpAdd), 3, 3, 4},
+		{int(FullLocking), int(OpAdd), 3, 2, 2},
+	}
+	for _, v := range variants {
+		p := NewPool()
+		o, err := p.Get(Strategy(base[0]), Op(base[1]), base[2], base[3], base[4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		finish(t, o)
+		if err := p.Put(o); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Get(Strategy(v[0]), Op(v[1]), v[2], v[3], v[4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == o {
+			t.Fatalf("layout %v cross-served an object retired under %v", v, base)
+		}
+		if p.Len() != 1 {
+			t.Fatalf("mismatched Get drained the pool (len %d)", p.Len())
+		}
+	}
+}
+
+// TestPoolCapBoundsRetention: Put beyond poolKeyCap per key silently drops
+// the object instead of growing without bound.
+func TestPoolCapBoundsRetention(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < poolKeyCap+5; i++ {
+		o, err := Alloc(FullLocking, OpAdd, 2, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		finish(t, o)
+		if err := p.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != poolKeyCap {
+		t.Fatalf("pool holds %d objects, want cap %d", p.Len(), poolKeyCap)
+	}
+}

@@ -179,6 +179,7 @@ type Object struct {
 	bits   []atomic.Uint64 // AtomicCAS
 
 	merged []float64 // final values after Merge
+	spare  []float64 // retired merged buffer, reused by the next Merge
 	done   bool
 
 	// updates holds one padded per-worker update count, flushed to the
@@ -359,7 +360,14 @@ func (o *Object) Merge() {
 	}
 	o.updatesC.Add(updated)
 	cells := o.groups * o.elems
-	out := make([]float64, cells)
+	// Reuse the buffer retired by the last Reset when present; every branch
+	// below overwrites all cells, so no clearing is needed.
+	out := o.spare
+	o.spare = nil
+	if cap(out) < cells {
+		out = make([]float64, cells)
+	}
+	out = out[:cells]
 	switch o.strategy {
 	case FullReplication:
 		copy(out, o.replicas[0])
@@ -429,11 +437,16 @@ func (o *Object) Snapshot() []float64 {
 // EM rounds) can reuse the allocation instead of allocating a fresh object
 // per pass. Reset panics if Merge has not run (resetting an un-merged
 // object mid-flight would race with accumulators).
+//
+// Reset retires the merged buffer for reuse by the next Merge, so slices
+// previously returned by Snapshot are invalidated: copy out any values that
+// must survive the reset.
 func (o *Object) Reset() {
 	if !o.done {
 		panic("robj: Reset before Merge")
 	}
 	o.done = false
+	o.spare = o.merged
 	o.merged = nil
 	id := o.op.Identity()
 	switch o.strategy {

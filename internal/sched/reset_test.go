@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestResetCoverageAllPolicies: after draining a scheduler, Reset re-arms it
+// over a new (larger, smaller, and equal) index space and a sequential drain
+// covers exactly [0, m) once — for every policy.
+func TestResetCoverageAllPolicies(t *testing.T) {
+	const workers = 3
+	for _, p := range Policies() {
+		s := New(p, 40, workers, 4)
+		coverage(t, drainSequential(s, workers), 40)
+		for _, m := range []int{100, 7, 40, 0, 13} {
+			s.Reset(m)
+			coverage(t, drainSequential(s, workers), m)
+			// Exhaustion is sticky until the next Reset.
+			for w := 0; w < workers; w++ {
+				if _, ok := s.Next(w); ok {
+					t.Fatalf("%v: Next after drain (reset to %d) returned a chunk", p, m)
+				}
+			}
+		}
+	}
+}
+
+// TestResetConcurrentCoverage: a reset scheduler drained by concurrent
+// workers still covers the new space exactly once (the session engine drains
+// every pass this way).
+func TestResetConcurrentCoverage(t *testing.T) {
+	const workers = 4
+	for _, p := range Policies() {
+		s := New(p, 64, workers, 4)
+		coverage(t, drainSequential(s, workers), 64)
+		for pass := 0; pass < 3; pass++ {
+			s.Reset(97)
+			var mu sync.Mutex
+			var all []Chunk
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						c, ok := s.Next(w)
+						if !ok {
+							return
+						}
+						mu.Lock()
+						all = append(all, c)
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			coverage(t, all, 97)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 var (
 	mChunks    = map[Policy]*obs.Counter{}
 	mLockWaits = map[Policy]*obs.Counter{}
+	mResets    = map[Policy]*obs.Counter{}
 	mSteals    = obs.Default.Counter("sched_steals_total",
 		"chunks stolen from another worker's deque (worksteal policy)")
 	mStealFail = obs.Default.Counter("sched_steal_failures_total",
@@ -39,6 +40,8 @@ func init() {
 			"chunks handed to workers", label)
 		mLockWaits[p] = obs.Default.Counter("sched_lock_waits_total",
 			"Next calls that found the scheduler lock held", label)
+		mResets[p] = obs.Default.Counter("sched_resets_total",
+			"schedulers re-armed over a new index space instead of reallocated", label)
 	}
 }
 
@@ -55,9 +58,18 @@ func (c Chunk) Len() int { return c.End - c.Begin }
 //
 // Next is safe for concurrent use. It returns ok=false once the index space
 // is exhausted; after that every subsequent call also returns ok=false.
+//
+// Reset re-arms the scheduler over a new index space [0, n) with the same
+// policy, worker count, and chunk size, reusing internal allocations so
+// iterative callers (an engine session running many passes) pay no per-pass
+// scheduler allocation. Reset must not be called while Next calls are in
+// flight.
 type Scheduler interface {
 	// Next returns the next chunk for the calling worker.
 	Next(worker int) (c Chunk, ok bool)
+	// Reset re-arms the scheduler over [0, n). A non-positive n yields a
+	// scheduler that is immediately exhausted.
+	Reset(n int)
 }
 
 // Policy selects a scheduling algorithm.
@@ -140,8 +152,14 @@ func newStatic(n, workers int) *static {
 		taken:  make([]atomic.Bool, workers),
 		chunkC: mChunks[Static],
 	}
-	// Distribute n over workers as evenly as possible: the first n%workers
-	// blocks get one extra element.
+	s.fill(n)
+	return s
+}
+
+// fill distributes n over the workers as evenly as possible: the first
+// n%workers blocks get one extra element.
+func (s *static) fill(n int) {
+	workers := len(s.blocks)
 	base := n / workers
 	extra := n % workers
 	begin := 0
@@ -153,7 +171,18 @@ func newStatic(n, workers int) *static {
 		s.blocks[w] = Chunk{Begin: begin, End: begin + size}
 		begin += size
 	}
-	return s
+}
+
+// Reset implements Scheduler, recomputing the per-worker blocks in place.
+func (s *static) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.fill(n)
+	for w := range s.taken {
+		s.taken[w].Store(false)
+	}
+	mResets[Static].Inc()
 }
 
 func (s *static) Next(worker int) (Chunk, bool) {
@@ -192,6 +221,16 @@ func (d *dynamic) Next(worker int) (Chunk, bool) {
 	return Chunk{Begin: int(begin), End: int(end)}, true
 }
 
+// Reset implements Scheduler: rewind the shared cursor over a new range.
+func (d *dynamic) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.n = int64(n)
+	d.cursor.Store(0)
+	mResets[Dynamic].Inc()
+}
+
 // guided hands out geometrically shrinking chunks under a mutex (the chunk
 // size depends on the remaining work, so a single atomic does not suffice).
 type guided struct {
@@ -227,26 +266,46 @@ func (g *guided) Next(worker int) (Chunk, bool) {
 	return c, true
 }
 
+// Reset implements Scheduler: rewind the cursor over a new range.
+func (g *guided) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.mu.Lock()
+	g.n = int64(n)
+	g.cursor = 0
+	g.mu.Unlock()
+	mResets[Guided].Inc()
+}
+
 // workStealing gives each worker a private LIFO stack of chunks; when a
 // worker's stack is empty it scans other workers' stacks (FIFO end) for work.
 type workStealing struct {
-	deques []wsDeque
-	chunkC *obs.Counter
+	deques    []wsDeque
+	chunkSize int
+	chunkC    *obs.Counter
 }
 
 type wsDeque struct {
 	mu        sync.Mutex
 	chunks    []Chunk // owner pops from the back; thieves steal from the front
+	head      int     // chunks[:head] have been stolen; keeps the backing array reusable by Reset
 	lockWaitC *obs.Counter
 }
 
 func newWorkStealing(n, workers, chunkSize int) *workStealing {
-	ws := &workStealing{deques: make([]wsDeque, workers), chunkC: mChunks[WorkStealing]}
+	ws := &workStealing{deques: make([]wsDeque, workers), chunkSize: chunkSize, chunkC: mChunks[WorkStealing]}
 	for w := range ws.deques {
 		ws.deques[w].lockWaitC = mLockWaits[WorkStealing]
 	}
-	// Pre-split the per-worker static block into chunkSize pieces so there
-	// is something to steal.
+	ws.fill(n)
+	return ws
+}
+
+// fill pre-splits each worker's static block into chunkSize pieces so there
+// is something to steal, reusing each deque's backing array.
+func (ws *workStealing) fill(n int) {
+	workers := len(ws.deques)
 	base := n / workers
 	extra := n % workers
 	begin := 0
@@ -256,16 +315,27 @@ func newWorkStealing(n, workers, chunkSize int) *workStealing {
 			size++
 		}
 		end := begin + size
-		for b := begin; b < end; b += chunkSize {
-			e := b + chunkSize
+		d := &ws.deques[w]
+		d.chunks = d.chunks[:0]
+		d.head = 0
+		for b := begin; b < end; b += ws.chunkSize {
+			e := b + ws.chunkSize
 			if e > end {
 				e = end
 			}
-			ws.deques[w].chunks = append(ws.deques[w].chunks, Chunk{Begin: b, End: e})
+			d.chunks = append(d.chunks, Chunk{Begin: b, End: e})
 		}
 		begin = end
 	}
-	return ws
+}
+
+// Reset implements Scheduler, refilling the deques in place.
+func (ws *workStealing) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	ws.fill(n)
+	mResets[WorkStealing].Inc()
 }
 
 func (ws *workStealing) Next(worker int) (Chunk, bool) {
@@ -297,7 +367,7 @@ func (d *wsDeque) popBack() (Chunk, bool) {
 		d.mu.Lock()
 	}
 	defer d.mu.Unlock()
-	if len(d.chunks) == 0 {
+	if len(d.chunks) <= d.head {
 		return Chunk{}, false
 	}
 	c := d.chunks[len(d.chunks)-1]
@@ -311,10 +381,10 @@ func (d *wsDeque) popFront() (Chunk, bool) {
 		d.mu.Lock()
 	}
 	defer d.mu.Unlock()
-	if len(d.chunks) == 0 {
+	if len(d.chunks) <= d.head {
 		return Chunk{}, false
 	}
-	c := d.chunks[0]
-	d.chunks = d.chunks[1:]
+	c := d.chunks[d.head]
+	d.head++
 	return c, true
 }
