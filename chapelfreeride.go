@@ -59,6 +59,8 @@ type (
 	ObjectSpec = freeride.ObjectSpec
 	// ReductionArgs is reduction_args_t: one split plus the accumulate handle.
 	ReductionArgs = freeride.ReductionArgs
+	// BlockArgs is the fused (opt-3) split-granular variant of ReductionArgs.
+	BlockArgs = freeride.BlockArgs
 	// RunResult carries the merged reduction object and stats.
 	RunResult = freeride.Result
 	// RunStats is the engine's timing breakdown.
@@ -175,6 +177,7 @@ const (
 	OptNone = core.OptNone
 	Opt1    = core.Opt1
 	Opt2    = core.Opt2
+	Opt3    = core.Opt3
 )
 
 // Translator entry points.
@@ -255,6 +258,7 @@ const (
 	VersionGenerated    = apps.Generated
 	VersionOpt1         = apps.Opt1
 	VersionOpt2         = apps.Opt2
+	VersionOpt3         = apps.Opt3
 	VersionManualFR     = apps.ManualFR
 	VersionMapReduce    = apps.MapReduce
 )

@@ -11,6 +11,7 @@
 //	freeride-bench -exp fig9 -trace-out trace.json -max-combine-share 0.25
 //	freeride-bench -exp abl-faults -fault-rate 0.1 -fault-seed 7 -retries 5 -timeout 100ms
 //	freeride-bench -exp abl-session -session-passes 50 -session-jobs 2,4,8
+//	freeride-bench -exp abl-fuse -json .     # fused vs per-element + BENCH_abl_fuse.json
 //
 // Observability: -metrics-addr serves live Prometheus-text metrics (plus
 // /report, /trace, expvar, and pprof with per-worker labels), -trace-out
@@ -41,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -57,6 +59,7 @@ func main() {
 		seedFlag    = flag.Int64("seed", 42, "dataset generation seed")
 		repsFlag    = flag.Int("reps", 1, "repetitions per measurement (fastest kept)")
 		formatFlag  = flag.String("format", "table", "output format: table | csv")
+		jsonDir     = flag.String("json", "", "also write a machine-readable BENCH_<exp>.json report per experiment into this directory")
 		listFlag    = flag.Bool("list", false, "list experiments and exit")
 
 		faultRate = flag.Float64("fault-rate", 0, "inject seeded transient read faults on this fraction of split reads in fault-aware experiments (abl-faults)")
@@ -161,6 +164,14 @@ func main() {
 			guardTripped = true
 			fmt.Fprintf(os.Stderr, "freeride-bench: %s: %s\n", e.ID, diag)
 		}
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_"+strings.ReplaceAll(e.ID, "-", "_")+".json")
+			if err := writeReport(path, bench.NewReport(tbl, p, time.Now())); err != nil {
+				fmt.Fprintln(os.Stderr, "freeride-bench: json:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "freeride-bench: wrote %s\n", path)
+		}
 	}
 
 	if *obsReport {
@@ -186,6 +197,19 @@ func main() {
 	if guardTripped && *guardFail {
 		os.Exit(1)
 	}
+}
+
+// writeReport writes one experiment's JSON report to path.
+func writeReport(path string, r *bench.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = r.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -141,7 +141,7 @@ func loadDataset(path string) (*dataset.Matrix, error) {
 
 func parseVersion(s string) (apps.Version, error) {
 	for _, v := range []apps.Version{apps.Seq, apps.ChapelNative, apps.Generated,
-		apps.Opt1, apps.Opt2, apps.ManualFR, apps.MapReduce} {
+		apps.Opt1, apps.Opt2, apps.Opt3, apps.ManualFR, apps.MapReduce} {
 		if v.String() == s {
 			return v, nil
 		}

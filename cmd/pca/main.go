@@ -96,7 +96,7 @@ func main() {
 }
 
 func parseVersion(s string) (apps.Version, error) {
-	for _, v := range []apps.Version{apps.Seq, apps.Generated, apps.Opt1, apps.Opt2, apps.ManualFR} {
+	for _, v := range []apps.Version{apps.Seq, apps.Generated, apps.Opt1, apps.Opt2, apps.Opt3, apps.ManualFR} {
 		if v.String() == s {
 			return v, nil
 		}

@@ -12,6 +12,7 @@
 //	Generated    — Chapel translated to FREERIDE, no optimizations (OptNone)
 //	Opt1         — + strength reduction of ComputeIndex
 //	Opt2         — + hot-variable linearization
+//	Opt3         — + split-granular kernel fusion (beyond the paper)
 //	ManualFR     — hand-written against the FREERIDE API (the paper's
 //	               "manual FR")
 //	MapReduce    — the Phoenix-style Map-Reduce baseline (Fig. 4, right)
@@ -44,6 +45,11 @@ const (
 	Opt1
 	// Opt2 adds hot-variable linearization.
 	Opt2
+	// Opt3 adds split-granular kernel fusion (beyond the paper: the engine
+	// runs a devirtualized block kernel per split instead of the per-element
+	// callback, flushing worker-local buffers into the reduction object once
+	// per split).
+	Opt3
 	// ManualFR is hand-written FREERIDE code.
 	ManualFR
 	// MapReduce is the Map-Reduce baseline.
@@ -63,6 +69,8 @@ func (v Version) String() string {
 		return "opt-1"
 	case Opt2:
 		return "opt-2"
+	case Opt3:
+		return "opt-3"
 	case ManualFR:
 		return "manual FR"
 	case MapReduce:

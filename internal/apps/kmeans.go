@@ -238,6 +238,47 @@ func KMeansClass(k, dim int, centroids *chapel.Array) *core.ReductionClass {
 			}
 			args.Accumulate(best, dim, 1)
 		},
+		// The opt-3 fused body: one call per split, walking the linearized
+		// words and the dense centroid block directly — no Vec branch, no
+		// interface dispatch, no lock per point. Same distance logic and
+		// tie-breaking as every other version (bit-identical on integer
+		// data), with accumulation into the worker-local buffer.
+		BlockKernel: func(args *freeride.BlockArgs, view core.BlockView, hot []*core.StateVec) error {
+			cents, ok := hot[0].Dense()
+			if !ok {
+				// Non-dense hot layout: materialize a flat k×dim copy once
+				// per split (never hit for kmeans' contiguous centroids).
+				buf := args.Scratch(2, k*dim)
+				for c := 1; c <= k; c++ {
+					copy(buf[(c-1)*dim:(c-1)*dim+dim], hot[0].Row(c, args.Scratch(1, dim)))
+				}
+				cents = buf
+			}
+			acc := args.Acc()
+			base := view.RowStride*args.Begin + view.RunOff
+			for i := 0; i < args.NumRows; i++ {
+				pt := view.Words[base : base+dim]
+				best, bestDist := 0, math.Inf(1)
+				for c := 0; c < k; c++ {
+					cc := cents[c*dim : c*dim+dim]
+					var d float64
+					for j := 0; j < dim; j++ {
+						diff := pt[j] - cc[j]
+						d += diff * diff
+					}
+					if d < bestDist {
+						best, bestDist = c, d
+					}
+				}
+				out := acc[best*(dim+1) : best*(dim+1)+dim+1]
+				for j := 0; j < dim; j++ {
+					out[j] += pt[j]
+				}
+				out[dim]++
+				base += view.RowStride
+			}
+			return nil
+		},
 	}
 }
 
@@ -415,6 +456,8 @@ func KMeans(v Version, points, init *dataset.Matrix, cfg KMeansConfig) (*KMeansR
 		return KMeansTranslated(BoxPoints(points), init, core.Opt1, cfg)
 	case Opt2:
 		return KMeansTranslated(BoxPoints(points), init, core.Opt2, cfg)
+	case Opt3:
+		return KMeansTranslated(BoxPoints(points), init, core.Opt3, cfg)
 	case ManualFR:
 		return KMeansManualFR(points, init, cfg)
 	case MapReduce:

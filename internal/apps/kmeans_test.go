@@ -9,6 +9,8 @@ import (
 	"chapelfreeride/internal/cluster"
 	"chapelfreeride/internal/dataset"
 	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/sched"
 )
 
 // intPoints builds an n×dim matrix of small integer-valued floats so that
@@ -31,7 +33,7 @@ func initCentroids(points *dataset.Matrix, k int) *dataset.Matrix {
 }
 
 func allKMeansVersions() []Version {
-	return []Version{Seq, ChapelNative, Generated, Opt1, Opt2, ManualFR, MapReduce}
+	return []Version{Seq, ChapelNative, Generated, Opt1, Opt2, Opt3, ManualFR, MapReduce}
 }
 
 func TestKMeansAllVersionsAgree(t *testing.T) {
@@ -144,7 +146,7 @@ func TestKMeansValidation(t *testing.T) {
 func TestVersionStrings(t *testing.T) {
 	want := map[Version]string{
 		Seq: "sequential", ChapelNative: "chapel-native", Generated: "generated",
-		Opt1: "opt-1", Opt2: "opt-2", ManualFR: "manual FR", MapReduce: "map-reduce",
+		Opt1: "opt-1", Opt2: "opt-2", Opt3: "opt-3", ManualFR: "manual FR", MapReduce: "map-reduce",
 	}
 	for v, s := range want {
 		if v.String() != s {
@@ -200,10 +202,58 @@ func TestBoxUnboxRoundTrip(t *testing.T) {
 	}
 }
 
+// Property: the fused opt-3 version is bit-identical to per-element opt-2
+// and to manual FREERIDE across schedulers × sharing strategies ×
+// 1/2/4/8 threads (integer inputs keep float addition exact). This is the
+// invariant the fused path must defend: batching accumulation into
+// worker-local buffers flushed once per split must not change a single bit
+// of the result under any execution configuration.
+func TestPropertyFusedKMeansMatchesOpt2AndManual(t *testing.T) {
+	policies := []sched.Policy{sched.Static, sched.Dynamic, sched.Guided, sched.WorkStealing}
+	strategies := []robj.Strategy{
+		robj.FullReplication, robj.FullLocking, robj.OptimizedFullLocking,
+		robj.FixedLocking, robj.AtomicCAS,
+	}
+	threadChoices := []int{1, 2, 4, 8}
+	f := func(seed int64, pick uint8, nRaw, thrRaw uint8) bool {
+		n := int(nRaw%150) + 20
+		threads := threadChoices[int(thrRaw)%len(threadChoices)]
+		policy := policies[int(pick)%len(policies)]
+		strategy := strategies[int(pick/8)%len(strategies)]
+		const k = 3
+		points := intPoints(n, 2, seed)
+		init := initCentroids(points, k)
+		cfg := KMeansConfig{K: k, Iterations: 2, Engine: freeride.Config{
+			Threads: threads, SplitRows: 16, Scheduler: policy, Strategy: strategy,
+		}}
+		fused, err := KMeans(Opt3, points, init, cfg)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, v := range []Version{Opt2, ManualFR} {
+			ref, err := KMeans(v, points, init, cfg)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if !fused.Centroids.Equal(ref.Centroids) {
+				t.Logf("opt-3 diverges from %v (policy %v, strategy %v, threads %d, n %d)",
+					v, policy, strategy, threads, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(52))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: every version matches the sequential reference for random
 // integer inputs across random thread counts.
 func TestPropertyKMeansVersionsMatchSeq(t *testing.T) {
-	versions := []Version{ChapelNative, Generated, Opt1, Opt2, ManualFR, MapReduce}
+	versions := []Version{ChapelNative, Generated, Opt1, Opt2, Opt3, ManualFR, MapReduce}
 	f := func(seed int64, nRaw, kRaw, thrRaw uint8) bool {
 		n := int(nRaw%150) + 20
 		k := int(kRaw%4) + 1

@@ -105,6 +105,20 @@ func PCAMeanClass(dim int) *core.ReductionClass {
 				args.Accumulate(0, j, row[j])
 			}
 		},
+		// Opt-3 fused body: sum the whole split's rows straight off the
+		// linearized words into the worker-local buffer.
+		BlockKernel: func(args *freeride.BlockArgs, view core.BlockView, _ []*core.StateVec) error {
+			acc := args.Acc()
+			base := view.RowStride*args.Begin + view.RunOff
+			for i := 0; i < args.NumRows; i++ {
+				row := view.Words[base : base+dim]
+				for j := 0; j < dim; j++ {
+					acc[j] += row[j]
+				}
+				base += view.RowStride
+			}
+			return nil
+		},
 	}
 }
 
@@ -129,6 +143,34 @@ func PCACovClass(dim int, mean *chapel.Array) *core.ReductionClass {
 					args.Accumulate(a, b, ca*(row[b]-mv[b]))
 				}
 			}
+		},
+		// Opt-3 fused body: center each row once into scratch, then rank-one
+		// update the worker-local dim×dim buffer with plain slice arithmetic.
+		// ca*centered[b] computes the same float op as the per-element
+		// kernel's ca*(row[b]-mv[b]), so results stay bit-identical.
+		BlockKernel: func(args *freeride.BlockArgs, view core.BlockView, hot []*core.StateVec) error {
+			mv, ok := hot[0].Dense()
+			if !ok {
+				mv = hot[0].Row(1, args.Scratch(1, dim))
+			}
+			acc := args.Acc()
+			centered := args.Scratch(0, dim)
+			base := view.RowStride*args.Begin + view.RunOff
+			for i := 0; i < args.NumRows; i++ {
+				row := view.Words[base : base+dim]
+				for j := 0; j < dim; j++ {
+					centered[j] = row[j] - mv[j]
+				}
+				for a := 0; a < dim; a++ {
+					ca := centered[a]
+					out := acc[a*dim : a*dim+dim]
+					for b := 0; b < dim; b++ {
+						out[b] += ca * centered[b]
+					}
+				}
+				base += view.RowStride
+			}
+			return nil
 		},
 	}
 }
@@ -193,7 +235,7 @@ func PCATranslated(boxedData *chapel.Array, opt core.OptLevel, cfg PCAConfig) (*
 			var hot []*core.StateVec
 			t0 := time.Now()
 			switch opt {
-			case core.Opt2:
+			case core.Opt2, core.Opt3:
 				sv, err := core.NewWordStateVec(boxedMean, nil)
 				if err != nil {
 					return err
@@ -302,6 +344,8 @@ func PCA(v Version, data *dataset.Matrix, cfg PCAConfig) (*PCAResult, error) {
 		return PCATranslated(BoxMatrix(data), core.Opt1, cfg)
 	case Opt2:
 		return PCATranslated(BoxMatrix(data), core.Opt2, cfg)
+	case Opt3:
+		return PCATranslated(BoxMatrix(data), core.Opt3, cfg)
 	case ManualFR:
 		return PCAManualFR(data, cfg)
 	default:

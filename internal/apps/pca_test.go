@@ -38,7 +38,7 @@ func TestPCAAllVersionsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := PCAConfig{Engine: freeride.Config{Threads: 4, SplitRows: 32}}
-	for _, v := range []Version{Generated, Opt1, Opt2, ManualFR} {
+	for _, v := range []Version{Generated, Opt1, Opt2, Opt3, ManualFR} {
 		got, err := PCA(v, m, cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", v, err)
@@ -138,7 +138,7 @@ func TestPropertyPCAMatchesSeq(t *testing.T) {
 			return false
 		}
 		cfg := PCAConfig{Engine: freeride.Config{Threads: threads, SplitRows: 16}}
-		for _, v := range []Version{Opt2, ManualFR} {
+		for _, v := range []Version{Opt2, Opt3, ManualFR} {
 			got, err := PCA(v, m, cfg)
 			if err != nil {
 				return false

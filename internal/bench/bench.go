@@ -124,6 +124,9 @@ type Table struct {
 	Rows    [][]string
 	// Notes carry derived observations (ratios, shape checks).
 	Notes []string
+	// Metrics are the machine-readable measurements behind the rows,
+	// populated by experiments that support JSON reports (see Report).
+	Metrics []Metric
 }
 
 // FprintCSV renders the table as CSV (id and title as a comment line, then

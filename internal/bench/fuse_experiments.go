@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"chapelfreeride/internal/apps"
+	"chapelfreeride/internal/core"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/sched"
+)
+
+// ablFuse measures the tentpole of opt-3: batching the engine hot path from
+// per-element accumulation into split-granular fused kernels. K-means runs
+// opt-2 (per-element closures over the linearized words) against opt-3 (one
+// devirtualized block kernel call per split, worker-local dense buffer,
+// one bulk flush into the reduction object per split) across the thread
+// sweep × two schedulers × two sharing strategies; PCA compares the same
+// two levels on its two-phase pipeline under the default engine config.
+//
+// The fused path's win is per-element overhead removal (closure calls,
+// per-update synchronization), so the speedup column is meaningful at any
+// thread count; contended strategies (AtomicCAS here) benefit most because
+// the flush touches the shared object once per split instead of once per
+// value.
+func ablFuse(p Params) (*Table, error) {
+	if p.Reps < 1 {
+		p.Reps = 1
+	}
+	points := kmeansData(64<<20, p.Scale, p.Seed, ablK+1)
+	init := firstK(points, ablK)
+	boxed := apps.BoxPoints(points)
+
+	f := math.Cbrt(p.Scale)
+	pcaDims := maxInt(4, int(1000*f))
+	pcaElems := maxInt(8, int(10000*f))
+	pcaData := dataset.UniformMatrix(pcaElems, pcaDims, p.Seed, -5, 5)
+	pcaBoxed := apps.BoxMatrix(pcaData)
+
+	policies := []sched.Policy{sched.Dynamic, sched.WorkStealing}
+	strategies := []robj.Strategy{robj.FullReplication, robj.AtomicCAS}
+
+	tbl := &Table{
+		ID: "abl-fuse",
+		Title: fmt.Sprintf(
+			"fused split kernels (opt-3) vs per-element (opt-2) — k-means %d points k=%d i=%d; PCA %d×%d",
+			points.Rows, ablK, ablIters, pcaElems, pcaDims),
+		Columns: []string{"workload", "threads", "scheduler", "strategy", "version", "total(s)", "fused speedup"},
+	}
+
+	kmeansOps := int64(points.Rows) * int64(ablIters)
+	// Track the fused speedup at the largest thread count for the notes.
+	var lastSpeedups []string
+
+	for _, threads := range p.Threads {
+		for _, pol := range policies {
+			for _, st := range strategies {
+				cfg := apps.KMeansConfig{
+					K: ablK, Iterations: ablIters,
+					Engine: freeride.Config{
+						Threads: threads, SplitRows: splitRowsFor(points.Rows, threads),
+						Scheduler: pol, Strategy: st,
+					},
+				}
+				totals := map[apps.Version]time.Duration{}
+				cents := map[apps.Version]*dataset.Matrix{}
+				for _, v := range []apps.Version{apps.Opt2, apps.Opt3} {
+					var best *apps.KMeansResult
+					for rep := 0; rep < p.Reps; rep++ {
+						res, err := apps.KMeansTranslated(boxed, init, optOf(v), cfg)
+						if err != nil {
+							return nil, fmt.Errorf("abl-fuse kmeans %v threads=%d: %w", v, threads, err)
+						}
+						if best == nil || res.Timing.Total() < best.Timing.Total() {
+							best = res
+						}
+					}
+					totals[v] = best.Timing.Total()
+					cents[v] = best.Centroids
+				}
+				// Float inputs mean the two accumulation orders differ in
+				// rounding, so this is a sanity check, not the bit-identity
+				// invariant (the test suite defends that on integer data).
+				if err := roughlyEqual(cents[apps.Opt2], cents[apps.Opt3]); err != nil {
+					return nil, fmt.Errorf("abl-fuse: opt-3 diverges from opt-2 (threads=%d %v/%v): %w",
+						threads, pol, st, err)
+				}
+				speedup := ratio(totals[apps.Opt2], totals[apps.Opt3])
+				for _, v := range []apps.Version{apps.Opt2, apps.Opt3} {
+					col := ""
+					if v == apps.Opt3 {
+						col = speedup
+					}
+					tbl.Rows = append(tbl.Rows, []string{
+						"kmeans", fmt.Sprint(threads), pol.String(), st.String(),
+						v.String(), secs(totals[v]), col,
+					})
+					tbl.Metrics = append(tbl.Metrics, Metric{
+						Workload: "kmeans", Version: v.String(), Threads: threads,
+						Scheduler: pol.String(), Strategy: st.String(),
+						NsPerOp: totals[v].Nanoseconds() / kmeansOps,
+					})
+				}
+				if threads == p.Threads[len(p.Threads)-1] {
+					lastSpeedups = append(lastSpeedups,
+						fmt.Sprintf("%s/%s %sx", pol, st, speedup))
+				}
+			}
+		}
+	}
+
+	pcaOps := int64(pcaElems) * 2 // mean pass + covariance pass
+	for _, threads := range p.Threads {
+		cfg := apps.PCAConfig{Engine: freeride.Config{
+			Threads: threads, SplitRows: splitRowsFor(pcaElems, threads),
+		}}
+		totals := map[core.OptLevel]time.Duration{}
+		for _, opt := range []core.OptLevel{core.Opt2, core.Opt3} {
+			var best *apps.PCAResult
+			for rep := 0; rep < p.Reps; rep++ {
+				res, err := apps.PCATranslated(pcaBoxed, opt, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("abl-fuse pca %v threads=%d: %w", opt, threads, err)
+				}
+				if best == nil || res.Timing.Total() < best.Timing.Total() {
+					best = res
+				}
+			}
+			totals[opt] = best.Timing.Total()
+		}
+		speedup := ratio(totals[core.Opt2], totals[core.Opt3])
+		for _, opt := range []core.OptLevel{core.Opt2, core.Opt3} {
+			col := ""
+			if opt == core.Opt3 {
+				col = speedup
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				"pca", fmt.Sprint(threads), "default", "default",
+				opt.String(), secs(totals[opt]), col,
+			})
+			tbl.Metrics = append(tbl.Metrics, Metric{
+				Workload: "pca", Version: opt.String(), Threads: threads,
+				NsPerOp: totals[opt].Nanoseconds() / pcaOps,
+			})
+		}
+	}
+
+	last := p.Threads[len(p.Threads)-1]
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("fused kmeans speedup @%d threads: %v", last, lastSpeedups),
+		"opt-3 fuses the per-element kernel into one call per split with a worker-local dense buffer; "+
+			"the reduction object is touched once per split (bulk merge) instead of once per accumulated value")
+	return tbl, nil
+}
+
+// roughlyEqual checks two matrices agree within floating-point reassociation
+// noise (the fused path sums per split before flushing, so bit patterns can
+// differ on non-integer inputs; magnitudes must not).
+func roughlyEqual(a, b *dataset.Matrix) error {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return fmt.Errorf("shape %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		x, y := a.Data[i], b.Data[i]
+		if diff := math.Abs(x - y); diff > 1e-6*(1+math.Abs(x)) {
+			return fmt.Errorf("cell %d: %v vs %v", i, x, y)
+		}
+	}
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:           "abl-fuse",
+		Title:        "fused split kernels (opt-3) vs per-element (opt-2)",
+		DefaultScale: 0.01,
+		Run:          ablFuse,
+	})
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Metric is one machine-readable measurement: which version ran, under what
+// execution configuration, and the cost per op in nanoseconds. The op unit
+// is experiment-defined but consistent within one experiment (abl-fuse uses
+// one input row processed per reduction pass), so ratios between versions
+// and threads are comparable across scales and machines.
+type Metric struct {
+	// Workload distinguishes applications within one experiment
+	// ("kmeans", "pca"); empty for single-workload experiments.
+	Workload string `json:"workload,omitempty"`
+	// Version is the code version measured (e.g. "opt-2", "opt-3").
+	Version string `json:"version"`
+	// Threads is the engine worker count.
+	Threads int `json:"threads"`
+	// Scheduler and Strategy record the engine configuration when the
+	// experiment sweeps them; empty means the engine default.
+	Scheduler string `json:"scheduler,omitempty"`
+	Strategy  string `json:"strategy,omitempty"`
+	// NsPerOp is the measured cost per op in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+}
+
+// ReportParams is the subset of Params a report records — enough to rerun
+// the measurement.
+type ReportParams struct {
+	Threads []int   `json:"threads"`
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+	Reps    int     `json:"reps"`
+}
+
+// Report is the machine-readable form of one experiment run, written by
+// freeride-bench -json as BENCH_<exp>.json. It carries the structured
+// metrics where the experiment provides them plus the printed table, so
+// plotting pipelines and regression trackers can consume either.
+type Report struct {
+	Exp       string       `json:"exp"`
+	Title     string       `json:"title"`
+	Params    ReportParams `json:"params"`
+	Columns   []string     `json:"columns"`
+	Rows      [][]string   `json:"rows"`
+	Metrics   []Metric     `json:"metrics,omitempty"`
+	Notes     []string     `json:"notes,omitempty"`
+	Timestamp string       `json:"timestamp"`
+}
+
+// NewReport assembles the report for a finished experiment run. The caller
+// supplies the wall-clock stamp so report generation stays deterministic
+// under test.
+func NewReport(tbl *Table, p Params, now time.Time) *Report {
+	return &Report{
+		Exp:   tbl.ID,
+		Title: tbl.Title,
+		Params: ReportParams{
+			Threads: p.Threads, Scale: p.Scale, Seed: p.Seed, Reps: p.Reps,
+		},
+		Columns:   tbl.Columns,
+		Rows:      tbl.Rows,
+		Metrics:   tbl.Metrics,
+		Notes:     tbl.Notes,
+		Timestamp: now.UTC().Format(time.RFC3339),
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

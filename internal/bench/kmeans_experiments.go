@@ -145,6 +145,8 @@ func optOf(v apps.Version) core.OptLevel {
 		return core.OptNone
 	case apps.Opt1:
 		return core.Opt1
+	case apps.Opt3:
+		return core.Opt3
 	default:
 		return core.Opt2
 	}

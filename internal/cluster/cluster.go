@@ -342,7 +342,7 @@ func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src datase
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if spec.Reduction == nil {
+	if spec.Reduction == nil && spec.BlockReduction == nil {
 		return nil, freeride.ErrNoReduction
 	}
 	if spec.LocalInit != nil {

@@ -53,7 +53,7 @@ func TranslateStreaming(class *ReductionClass, data *chapel.Array, opt OptLevel,
 	t0 := time.Now()
 	for _, hv := range class.HotVars {
 		var sv *StateVec
-		if opt == Opt2 {
+		if opt >= Opt2 {
 			sv, err = NewWordStateVec(hv.Value, hv.Path)
 		} else {
 			sv, err = NewBoxedStateVec(hv.Value, hv.Path)

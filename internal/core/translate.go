@@ -10,8 +10,8 @@ import (
 	"chapelfreeride/internal/robj"
 )
 
-// OptLevel selects which of the paper's three compiler-generated code shapes
-// the translator emits (§V):
+// OptLevel selects which of the paper's compiler-generated code shapes the
+// translator emits (§V), plus one level beyond the paper:
 //
 //	OptNone — "generated": ComputeIndex evaluated for every innermost
 //	          element, hot variables read through boxed Chapel structures.
@@ -21,6 +21,12 @@ import (
 //	Opt2    — Opt1 plus linearization of the frequently-accessed variables,
 //	          which are then read "through the mapping algorithm" on flat
 //	          storage.
+//	Opt3    — Opt2 plus kernel fusion: the per-element callback is replaced
+//	          by a split-granular block kernel that walks the linearized
+//	          words directly and accumulates into a worker-local dense
+//	          buffer, flushed to the shared object once per split. The
+//	          paper's compiled C output gets this batching for free from
+//	          inlining; our runtime must perform it explicitly.
 type OptLevel int
 
 const (
@@ -30,6 +36,10 @@ const (
 	Opt1
 	// Opt2 adds hot-variable linearization on top of Opt1.
 	Opt2
+	// Opt3 adds split-granular kernel fusion on top of Opt2. It requires the
+	// class to declare a BlockKernel; classes without one fall back to the
+	// Opt2 execution shape.
+	Opt3
 )
 
 // String returns the paper's name for the level.
@@ -41,13 +51,15 @@ func (o OptLevel) String() string {
 		return "opt-1"
 	case Opt2:
 		return "opt-2"
+	case Opt3:
+		return "opt-3"
 	default:
 		return fmt.Sprintf("opt(%d)", int(o))
 	}
 }
 
 // OptLevels lists the levels in increasing optimization order.
-func OptLevels() []OptLevel { return []OptLevel{OptNone, Opt1, Opt2} }
+func OptLevels() []OptLevel { return []OptLevel{OptNone, Opt1, Opt2, Opt3} }
 
 // Vec is the translator's view of one data element's innermost contiguous
 // run of reals (e.g. one point's coordinates). The kernel is written once
@@ -93,8 +105,13 @@ func (v *Vec) atMapped(k int) float64 {
 // Row materializes the element's run as a contiguous slice of length Len().
 // The strength-reduced modes return the run zero-copy; generated mode
 // evaluates ComputeIndex once per element of the run into scratch — exactly
-// the Fig. 8 "after linearization" loop before strength reduction. scratch
-// must have length at least Len() (use freeride.ReductionArgs.Scratch).
+// the Fig. 8 "after linearization" loop before strength reduction. The
+// per-element evaluations land on the same contiguous run the opt-1 view
+// walks directly (the linearized layout guarantees it), so the two modes
+// return identical values and differ only in cost — generated mode pays the
+// recomputation deliberately, to model the paper's unoptimized output. The
+// equality is pinned by TestGeneratedRowMatchesOpt1Row. scratch must have
+// length at least Len() (use freeride.ReductionArgs.Scratch).
 func (v *Vec) Row(scratch []float64) []float64 {
 	if v.run != nil {
 		return v.run
@@ -150,6 +167,19 @@ func (s *StateVec) Row(i int, scratch []float64) []float64 {
 		scratch[j] = s.boxed.at(i, s.boxed.innerLo+j)
 	}
 	return scratch
+}
+
+// Dense returns the whole linearized hot variable as one contiguous
+// elems×width row-major block. It is the fully-devirtualized view opt-3
+// block kernels walk: no mapping arithmetic, no branch per access. ok is
+// false in boxed mode (generated/opt-1) or when the linearized layout is
+// not dense (inner unit stride != 1 or padding between rows) — callers fall
+// back to Row/At.
+func (s *StateVec) Dense() ([]float64, bool) {
+	if s.flat == nil || s.u1 != 1 || s.u0 != s.width {
+		return nil, false
+	}
+	return s.flat[s.off0 : s.off0+s.elems*s.width], true
 }
 
 // Elems reports the level-0 domain length.
@@ -301,6 +331,37 @@ func promoteFlatVectorMeta(meta *Meta, n int) {
 // the reduction object through args.Accumulate.
 type Kernel func(elem *Vec, hot []*StateVec, args *freeride.ReductionArgs)
 
+// BlockView carries the strength-reduced access constants an opt-3 block
+// kernel needs to walk a split's elements directly on the linearized words:
+// element i's run is Words[RowStride*i+RunOff : +RunLen] (i global, so the
+// split starts at args.Begin). All bounds are established once per
+// translation, letting the kernel's inner loops run on plain slices with no
+// Vec branch or ComputeIndex per access.
+type BlockView struct {
+	// Words is the linearized dataset, word units.
+	Words []float64
+	// RowStride is the number of words per top-level data element.
+	RowStride int
+	// RunOff is the pre-computed offset of the real run within an element.
+	RunOff int
+	// RunLen is the run length in words.
+	RunLen int
+}
+
+// Run returns global element i's contiguous real run.
+func (v BlockView) Run(i int) []float64 {
+	base := v.RowStride*i + v.RunOff
+	return v.Words[base : base+v.RunLen]
+}
+
+// BlockKernel is the fused split-granular accumulate body used at Opt3: one
+// call processes args' whole split, reading elements through view (or
+// args.Data) and hot variables preferably through StateVec.Dense, and
+// accumulating into the worker-local buffer args.Acc() — the engine flushes
+// it into the shared object once per split. Results must be independent of
+// split order and bit-identical to running Kernel per element.
+type BlockKernel func(args *freeride.BlockArgs, view BlockView, hot []*StateVec) error
+
 // HotVar declares a frequently-accessed variable for the kernel: a boxed
 // two-level structure (array of records with a real array field, array of
 // real arrays, or array of reals) plus the field path to its real run.
@@ -325,6 +386,10 @@ type ReductionClass struct {
 	HotVars []HotVar
 	// Kernel is the per-element accumulate body.
 	Kernel Kernel
+	// BlockKernel, when set, is the fused split-granular accumulate body the
+	// translator wires at Opt3. Classes without one still translate at Opt3
+	// but execute with the Opt2 per-element shape.
+	BlockKernel BlockKernel
 	// Combine optionally post-processes the merged object (combination_t).
 	Combine func(o *robj.Object) error
 	// Finalize optionally runs on the run result (finalize_t).
@@ -414,7 +479,7 @@ func TranslateWith(class *ReductionClass, data *chapel.Array, opt OptLevel, o Tr
 	t0 = time.Now()
 	for _, hv := range class.HotVars {
 		var sv *StateVec
-		if opt == Opt2 {
+		if opt >= Opt2 {
 			sv, err = NewWordStateVec(hv.Value, hv.Path)
 		} else {
 			sv, err = NewBoxedStateVec(hv.Value, hv.Path)
@@ -502,6 +567,16 @@ func SpecFromWords(class *ReductionClass, words []float64, meta *Meta, hot []*St
 				kernel(&vec, hot, args)
 			}
 			return nil
+		}
+		if opt >= Opt3 && class.BlockKernel != nil {
+			// Opt-3 fusion: hand the engine a devirtualized split-granular
+			// kernel. The per-element Reduction above stays wired as the
+			// fallback for execution tiers without a fused path.
+			view := BlockView{Words: words, RowStride: u0, RunOff: off0, RunLen: inner * stride}
+			bk := class.BlockKernel
+			spec.BlockReduction = func(args *freeride.BlockArgs) error {
+				return bk(args, view, hot)
+			}
 		}
 	}
 	return spec

@@ -121,13 +121,13 @@ func TestTranslateAllLevelsMatchReference(t *testing.T) {
 }
 
 func TestOptLevelStrings(t *testing.T) {
-	if OptNone.String() != "generated" || Opt1.String() != "opt-1" || Opt2.String() != "opt-2" {
+	if OptNone.String() != "generated" || Opt1.String() != "opt-1" || Opt2.String() != "opt-2" || Opt3.String() != "opt-3" {
 		t.Fatal("opt level strings")
 	}
 	if OptLevel(9).String() != "opt(9)" {
 		t.Fatal("unknown opt level")
 	}
-	if len(OptLevels()) != 3 {
+	if len(OptLevels()) != 4 {
 		t.Fatal("OptLevels")
 	}
 }

@@ -61,3 +61,50 @@ func TestSessionSteadyStateAllocs(t *testing.T) {
 			"a pooled resource (object, scheduler, splits, worker buffers) is being reallocated per pass", allocs)
 	}
 }
+
+// TestFusedPassAllocs is the allocation-regression guard for the fused
+// (BlockReduction) path: the worker-local dense accumulation buffer lives in
+// the pool worker's persistent state, so a warm fused pass costs the same
+// small per-pass constant as the per-element path — a per-split make of the
+// block buffer (1000 splits here) would blow the budget three orders of
+// magnitude.
+func TestFusedPassAllocs(t *testing.T) {
+	m := dataset.UniformMatrix(64_000, 2, 5, 0, 1)
+	src := dataset.NewMemorySource(m)
+	spec := Spec{
+		Object: ObjectSpec{Groups: 8, Elems: 2, Op: robj.OpAdd},
+		BlockReduction: func(a *BlockArgs) error {
+			for i := 0; i < a.NumRows; i++ {
+				row := a.Row(i)
+				a.Accumulate(int(row[0]*8)%8, 0, 1)
+				a.Accumulate(int(row[0]*8)%8, 1, row[1])
+			}
+			return nil
+		},
+	}
+	eng := New(Config{Threads: 4, SplitRows: 64, Scheduler: sched.Dynamic})
+	defer eng.Close()
+	for i := 0; i < 3; i++ { // warm the session pools and worker block buffers
+		res, err := eng.Run(spec, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Release(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		res, err := eng.Run(spec, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Release(res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("steady-state fused pass: %.1f allocs", allocs)
+	if allocs > 150 {
+		t.Fatalf("steady-state fused pass allocated %.0f times (budget 150) — "+
+			"the block buffer (or another pooled resource) is being reallocated per split or per pass", allocs)
+	}
+}

@@ -55,6 +55,10 @@ type ticket struct {
 type workerState struct {
 	buf     []float64
 	scratch [][]float64
+	// acc is the fused path's worker-local dense accumulation buffer
+	// (BlockArgs.Acc), sized to the largest reduction object the worker has
+	// served — session-pooled so steady-state fused passes allocate nothing.
+	acc []float64
 }
 
 // Engine executes reduction Specs over data Sources. It is a session: the

@@ -204,10 +204,19 @@ type ObjectSpec struct {
 type Spec struct {
 	// Object describes the reduction object the engine allocates.
 	Object ObjectSpec
-	// Reduction is the required local reduction function: it processes every
+	// Reduction is the local reduction function: it processes every
 	// instance of its split and updates the reduction object through
 	// args.Accumulate. Its result must be independent of instance order.
+	// Required unless BlockReduction is set.
 	Reduction func(args *ReductionArgs) error
+	// BlockReduction, when set, is the fused split-granular reduction the
+	// engine prefers over Reduction: it receives one whole split and a
+	// worker-local dense accumulation buffer (see BlockArgs), and the engine
+	// flushes the buffer into the shared object once per split via
+	// robj.AccumulateBlock. It requires a cell-based Object and cannot be
+	// combined with LocalInit. Specs may set both callbacks: engines (and
+	// future execution tiers) without a fused path fall back to Reduction.
+	BlockReduction func(args *BlockArgs) error
 	// Splitter optionally overrides the default splitter. It must partition
 	// [0, totalRows) into disjoint, covering chunks. requestedUnits is the
 	// engine's hint (derived from Config.SplitRows).
@@ -363,8 +372,9 @@ func appendSplits(buf []sched.Chunk, totalRows, requestedUnits int) []sched.Chun
 	return buf
 }
 
-// ErrNoReduction reports a Spec without a Reduction function.
-var ErrNoReduction = errors.New("freeride: Spec.Reduction is required")
+// ErrNoReduction reports a Spec with neither a Reduction nor a
+// BlockReduction function.
+var ErrNoReduction = errors.New("freeride: Spec.Reduction (or BlockReduction) is required")
 
 // validateSplits checks that the split table exactly tiles [0, totalRows).
 func validateSplits(splits []sched.Chunk, totalRows int) error {

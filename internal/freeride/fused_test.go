@@ -1,0 +1,286 @@
+package freeride
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/obs"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/sched"
+)
+
+// fusedHistSpecs returns a per-element spec and its fused (BlockReduction)
+// equivalent computing the same histogram: cell (g, 0) counts rows whose
+// first feature hashes to g, cell (g, 1) sums their second feature.
+func fusedHistSpecs(groups int) (elem, fused Spec) {
+	object := ObjectSpec{Groups: groups, Elems: 2, Op: robj.OpAdd}
+	body := func(row []float64, accumulate func(g, e int, v float64)) {
+		g := int(row[0]) % groups
+		if g < 0 {
+			g += groups
+		}
+		accumulate(g, 0, 1)
+		accumulate(g, 1, row[1])
+	}
+	elem = Spec{
+		Object: object,
+		Reduction: func(a *ReductionArgs) error {
+			for i := 0; i < a.NumRows; i++ {
+				body(a.Row(i), a.Accumulate)
+			}
+			return nil
+		},
+	}
+	fused = Spec{
+		Object: object,
+		BlockReduction: func(a *BlockArgs) error {
+			for i := 0; i < a.NumRows; i++ {
+				body(a.Row(i), a.Accumulate)
+			}
+			return nil
+		},
+	}
+	return elem, fused
+}
+
+// TestPropertyFusedMatchesPerElement: across all schedulers, all sharing
+// strategies, and 1/2/4/8 threads, the fused split-granular path produces
+// results bit-identical to the per-element path — integer-valued data makes
+// float addition exact, so the comparison is ==, not within-epsilon. The
+// fused engine is warmed first so the measured pass runs on pooled state.
+func TestPropertyFusedMatchesPerElement(t *testing.T) {
+	policies := []sched.Policy{sched.Static, sched.Dynamic, sched.Guided, sched.WorkStealing}
+	strategies := []robj.Strategy{
+		robj.FullReplication, robj.FullLocking, robj.OptimizedFullLocking,
+		robj.FixedLocking, robj.AtomicCAS,
+	}
+	threadChoices := []int{1, 2, 4, 8}
+	prop := func(seed int64, pick uint8, threadsRaw uint8, rowsRaw uint16) bool {
+		threads := threadChoices[int(threadsRaw)%len(threadChoices)]
+		rows := 16 + int(rowsRaw)%400
+		policy := policies[int(pick)%len(policies)]
+		strategy := strategies[int(pick/8)%len(strategies)]
+		const groups = 5
+		m := dataset.NewMatrix(rows, 2)
+		r := seed
+		for i := range m.Data {
+			r = r*6364136223846793005 + 1442695040888963407
+			m.Data[i] = float64((r >> 33) % 100)
+		}
+		src := dataset.NewMemorySource(m)
+		cfg := Config{Threads: threads, SplitRows: 1 + rows/7, Scheduler: policy, Strategy: strategy}
+		elemSpec, fusedSpec := fusedHistSpecs(groups)
+
+		flushesBefore := obs.Default.Value("freeride_block_flushes_total")
+		rowsFusedBefore := obs.Default.Value("freeride_rows_fused_total")
+		fusedEng := New(cfg)
+		defer fusedEng.Close()
+		for i := 0; i < 2; i++ {
+			res, err := fusedEng.Run(fusedSpec, src)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if err := fusedEng.Release(res); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		fusedRes, err := fusedEng.Run(fusedSpec, src)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer fusedEng.Release(fusedRes)
+
+		elemEng := New(cfg)
+		defer elemEng.Close()
+		elemRes, err := elemEng.Run(elemSpec, src)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer elemEng.Release(elemRes)
+
+		a, b := fusedRes.Object.Snapshot(), elemRes.Object.Snapshot()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("cell %d: fused %v != per-element %v (policy %v, strategy %v, threads %d)",
+					i, a[i], b[i], policy, strategy, threads)
+				return false
+			}
+		}
+		if obs.Default.Value("freeride_block_flushes_total") == flushesBefore {
+			t.Log("fused runs did not move freeride_block_flushes_total")
+			return false
+		}
+		if got := obs.Default.Value("freeride_rows_fused_total") - rowsFusedBefore; got != int64(3*rows) {
+			t.Logf("freeride_rows_fused_total delta = %d, want %d", got, 3*rows)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedPrefersBlockOverElement: when a spec sets both callbacks, the
+// engine runs only the block kernel.
+func TestFusedPrefersBlockOverElement(t *testing.T) {
+	// Integer-valued data keeps float addition exact, so the two paths'
+	// different summation orders still compare with ==.
+	m := dataset.NewMatrix(128, 2)
+	r := int64(3)
+	for i := range m.Data {
+		r = r*6364136223846793005 + 1442695040888963407
+		m.Data[i] = float64((r >> 33) % 100)
+	}
+	elemSpec, fusedSpec := fusedHistSpecs(4)
+	both := fusedSpec
+	both.Reduction = func(a *ReductionArgs) error {
+		t.Error("per-element Reduction called on a spec with BlockReduction")
+		return nil
+	}
+	eng := New(Config{Threads: 2, SplitRows: 16})
+	defer eng.Close()
+	res, err := eng.Run(both, dataset.NewMemorySource(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := New(Config{Threads: 2, SplitRows: 16})
+	defer ref.Close()
+	want, err := ref.Run(elemSpec, dataset.NewMemorySource(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Object.Snapshot(), want.Object.Snapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFusedEmptySourceIdentity: a fused run over zero rows never calls the
+// block kernel and yields the operator's identity in every cell.
+func TestFusedEmptySourceIdentity(t *testing.T) {
+	empty := dataset.NewMemorySource(dataset.NewMatrix(0, 2))
+	for _, op := range []robj.Op{robj.OpAdd, robj.OpMin, robj.OpMax} {
+		eng := New(Config{Threads: 2, SplitRows: 16})
+		spec := Spec{
+			Object: ObjectSpec{Groups: 2, Elems: 2, Op: op},
+			BlockReduction: func(a *BlockArgs) error {
+				t.Error("block kernel called on empty source")
+				return nil
+			},
+		}
+		res, err := eng.Run(spec, empty)
+		if err != nil {
+			t.Fatalf("op %v: %v", op, err)
+		}
+		want := op.Identity()
+		for g := 0; g < 2; g++ {
+			for e := 0; e < 2; e++ {
+				if got := res.Object.Get(g, e); got != want {
+					t.Fatalf("op %v cell (%d,%d) = %v, want identity %v", op, g, e, got, want)
+				}
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestFusedCancellation: cancelling a fused run mid-pass returns ctx.Err()
+// promptly with no partial result, same as the per-element path.
+func TestFusedCancellation(t *testing.T) {
+	_, fusedSpec := fusedHistSpecs(4)
+	eng := New(Config{Threads: 2, SplitRows: 10})
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	res, err := eng.RunContext(ctx, fusedSpec, &blockedSource{rows: 1000, cols: 2})
+	if res != nil {
+		t.Fatal("cancelled fused run returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled fused run took %v, want well under a second", elapsed)
+	}
+}
+
+// TestFusedSpecValidation: the fused path requires a cell-based object and
+// rejects user-managed local state.
+func TestFusedSpecValidation(t *testing.T) {
+	src := dataset.NewMemorySource(dataset.UniformMatrix(8, 2, 1, 0, 1))
+	eng := New(Config{Threads: 1})
+	defer eng.Close()
+
+	if _, err := eng.Run(Spec{}, src); !errors.Is(err, ErrNoReduction) {
+		t.Fatalf("empty spec: want ErrNoReduction, got %v", err)
+	}
+	noObj := Spec{BlockReduction: func(*BlockArgs) error { return nil }}
+	if _, err := eng.Run(noObj, src); err == nil || !strings.Contains(err.Error(), "cell-based reduction object") {
+		t.Fatalf("BlockReduction without object shape: got %v", err)
+	}
+	withLocal := Spec{
+		Object:         ObjectSpec{Groups: 1, Elems: 1, Op: robj.OpAdd},
+		BlockReduction: func(*BlockArgs) error { return nil },
+		LocalInit:      func() any { return nil },
+		LocalCombine:   func(dst, src any) any { return dst },
+	}
+	if _, err := eng.Run(withLocal, src); err == nil || !strings.Contains(err.Error(), "LocalInit") {
+		t.Fatalf("BlockReduction with LocalInit: got %v", err)
+	}
+}
+
+// TestBlockArgsAccessors covers the BlockArgs surface a kernel relies on:
+// shape accessors, local accumulation under every operator, Row, Scratch
+// reuse, and the out-of-range panic.
+func TestBlockArgsAccessors(t *testing.T) {
+	for _, op := range []robj.Op{robj.OpAdd, robj.OpMin, robj.OpMax} {
+		a := &BlockArgs{op: op, groups: 2, elems: 3, worker: 1}
+		a.acc = make([]float64, 6)
+		fillIdentity(a.acc, op.Identity())
+		if a.Groups() != 2 || a.Elems() != 3 || a.Worker() != 1 {
+			t.Fatal("BlockArgs accessors")
+		}
+		a.Accumulate(1, 2, 7)
+		a.Accumulate(1, 2, 4)
+		want := op.Apply(op.Apply(op.Identity(), 7), 4)
+		if got := a.Acc()[1*3+2]; got != want {
+			t.Fatalf("op %v: acc = %v, want %v", op, got, want)
+		}
+	}
+	a := &BlockArgs{Data: []float64{1, 2, 3, 4}, NumRows: 2, Cols: 2}
+	if r := a.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatal("BlockArgs.Row")
+	}
+	s := a.Scratch(0, 4)
+	if len(s) != 4 {
+		t.Fatal("Scratch length")
+	}
+	if s2 := a.Scratch(0, 2); len(s2) != 2 || &s2[0] != &s[0] {
+		t.Fatal("Scratch must reuse its buffer")
+	}
+	a.groups, a.elems = 1, 1
+	a.acc = []float64{0}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Accumulate did not panic")
+		}
+	}()
+	a.Accumulate(1, 0, math.Pi)
+}

@@ -81,9 +81,35 @@ func (j *job) runSlot(slot int, ws *workerState) {
 		wc.rows.Add(j.workerRows[slot])
 		wc.busyNS.Add(int64(j.workerBusy[slot]))
 	}()
+	// Fused path: validated by run() to imply a cell-based object and no
+	// LocalInit. The worker-local accumulation buffer comes from the pool
+	// worker's persistent state, so steady-state fused passes allocate
+	// nothing per split.
+	useBlock := j.spec.BlockReduction != nil && j.obj != nil
+	var bargs BlockArgs
+	var accID float64
 	args := ReductionArgs{Cols: j.cols, worker: slot, object: j.obj, scratch: ws.scratch}
-	// Keep whatever scratch growth the kernel caused for the next pass.
-	defer func() { ws.scratch = args.scratch }()
+	if useBlock {
+		bargs = BlockArgs{
+			Cols:    j.cols,
+			worker:  slot,
+			op:      j.obj.Op(),
+			groups:  j.obj.Groups(),
+			elems:   j.obj.ElemsPerGroup(),
+			scratch: ws.scratch,
+		}
+		cells := bargs.groups * bargs.elems
+		if cap(ws.acc) < cells {
+			ws.acc = make([]float64, cells)
+		}
+		bargs.acc = ws.acc[:cells]
+		accID = bargs.op.Identity()
+		fillIdentity(bargs.acc, accID)
+		// Keep whatever scratch growth the kernel caused for the next pass.
+		defer func() { ws.scratch = bargs.scratch }()
+	} else {
+		defer func() { ws.scratch = args.scratch }()
+	}
 	if j.spec.LocalInit != nil {
 		args.Local = j.spec.LocalInit()
 		// The reduction function may replace args.Local (e.g. to grow a
@@ -117,12 +143,28 @@ func (j *job) runSlot(slot int, ws *workerState) {
 				j.setErr(err)
 				return
 			}
-			args.Data = data
-			args.NumRows = n
-			args.Begin = sp.Begin
-			if err := j.spec.Reduction(&args); err != nil {
-				j.setErr(err)
-				return
+			if useBlock {
+				bargs.Data = data
+				bargs.NumRows = n
+				bargs.Begin = sp.Begin
+				if err := j.spec.BlockReduction(&bargs); err != nil {
+					j.setErr(err)
+					return
+				}
+				// One bulk synchronization event per split, then re-arm the
+				// local buffer with the operator's identity.
+				j.obj.AccumulateBlock(slot, bargs.acc)
+				fillIdentity(bargs.acc, accID)
+				mBlockFlushes.Inc()
+				mRowsFused.Add(int64(n))
+			} else {
+				args.Data = data
+				args.NumRows = n
+				args.Begin = sp.Begin
+				if err := j.spec.Reduction(&args); err != nil {
+					j.setErr(err)
+					return
+				}
 			}
 			j.workerBusy[slot] += time.Since(splitStart)
 			j.workerSplits[slot]++
@@ -193,7 +235,7 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if spec.Reduction == nil {
+	if spec.Reduction == nil && spec.BlockReduction == nil {
 		return nil, ErrNoReduction
 	}
 	if src == nil {
@@ -201,6 +243,17 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 	}
 	if spec.LocalInit != nil && spec.LocalCombine == nil {
 		return nil, errors.New("freeride: LocalInit requires LocalCombine")
+	}
+	if spec.BlockReduction != nil {
+		if spec.Object.Groups <= 0 || spec.Object.Elems <= 0 {
+			return nil, errors.New("freeride: Spec.BlockReduction requires a cell-based reduction object " +
+				"(set Object.Groups/Elems) — its worker-local block buffer is the object's dense mirror")
+		}
+		if spec.LocalInit != nil {
+			return nil, errors.New("freeride: Spec.BlockReduction cannot be combined with LocalInit — " +
+				"the fused path accumulates only into the cell-based object; use the per-element " +
+				"Reduction for user-managed local state")
+		}
 	}
 	cfg := e.cfg
 	if obj == nil && (spec.Object.Groups != 0 || spec.Object.Elems != 0) {

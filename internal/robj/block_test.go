@@ -1,0 +1,129 @@
+package robj
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestMergeDense(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	MergeDense(OpAdd, dst, []float64{10, 0, 30}) // 0 is OpAdd's identity: skipped
+	want := []float64{11, 2, 33}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("cell %d: got %v want %v", i, dst[i], want[i])
+		}
+	}
+	mn := []float64{5, 5}
+	MergeDense(OpMin, mn, []float64{7, math.Inf(1)})
+	if mn[0] != 5 || mn[1] != 5 {
+		t.Fatalf("OpMin merge: got %v", mn)
+	}
+	mx := []float64{5, 5}
+	MergeDense(OpMax, mx, []float64{7, math.Inf(-1)})
+	if mx[0] != 7 || mx[1] != 5 {
+		t.Fatalf("OpMax merge: got %v", mx)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MergeDense length mismatch did not panic")
+		}
+	}()
+	MergeDense(OpAdd, dst, []float64{1})
+}
+
+// TestAccumulateBlockMatchesPerElement pins the bulk path's semantics: for
+// every strategy and operator, flushing worker-local dense blocks through
+// AccumulateBlock yields the same merged object as applying each non-identity
+// cell through per-element Accumulate.
+func TestAccumulateBlockMatchesPerElement(t *testing.T) {
+	const groups, elems, workers = 7, 5, 4
+	// Worker w's local block: a deterministic sparse pattern with identity
+	// holes, different per worker.
+	blockFor := func(op Op, w int) []float64 {
+		b := make([]float64, groups*elems)
+		id := op.Identity()
+		for i := range b {
+			if (i+w)%3 == 0 {
+				b[i] = id
+			} else {
+				b[i] = float64((i%11)*(w+1) - 20)
+			}
+		}
+		return b
+	}
+	for _, s := range Strategies() {
+		for _, op := range []Op{OpAdd, OpMin, OpMax} {
+			bulk, err := Alloc(s, op, groups, elems, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Alloc(s, op, groups, elems, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					blk := blockFor(op, w)
+					bulk.AccumulateBlock(w, blk)
+					id := op.Identity()
+					for i, v := range blk {
+						if v != id {
+							ref.Accumulate(w, i/elems, i%elems, v)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			bulk.Merge()
+			ref.Merge()
+			for g := 0; g < groups; g++ {
+				for e := 0; e < elems; e++ {
+					if bulk.Get(g, e) != ref.Get(g, e) {
+						t.Fatalf("%v/%v cell (%d,%d): block %v != per-element %v",
+							s, op, g, e, bulk.Get(g, e), ref.Get(g, e))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAccumulateBlockPanicsOnWrongSize(t *testing.T) {
+	o, err := Alloc(FullLocking, OpAdd, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AccumulateBlock with wrong cell count did not panic")
+		}
+	}()
+	o.AccumulateBlock(0, make([]float64, 5))
+}
+
+// TestAccumulateBlockFixedLockingCoversAllCells exercises the pool-sweep
+// path with more cells than pool locks, so each lock guards several cells.
+func TestAccumulateBlockFixedLockingCoversAllCells(t *testing.T) {
+	const groups, elems = 50, 3 // 150 cells > fixedLockPool (64)
+	o, err := Alloc(FixedLocking, OpAdd, groups, elems, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := make([]float64, groups*elems)
+	for i := range block {
+		block[i] = float64(i + 1)
+	}
+	o.AccumulateBlock(0, block)
+	o.AccumulateBlock(1, block)
+	o.Merge()
+	for i, got := range o.Snapshot() {
+		if want := 2 * float64(i+1); got != want {
+			t.Fatalf("cell %d: got %v want %v", i, got, want)
+		}
+	}
+}

@@ -334,6 +334,107 @@ func (o *Object) Accumulate(w, group, elem int, v float64) {
 	}
 }
 
+// MergeDense folds src into dst cell-by-cell under op. Cells of src holding
+// op's identity are skipped: the identity is, by definition, a no-op under
+// Apply, and skipping it keeps sparse worker-local blocks (a kmeans split
+// that touched few clusters) from dirtying untouched cache lines in dst.
+// Both slices must have the same length.
+func MergeDense(op Op, dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("robj: MergeDense length mismatch %d vs %d", len(dst), len(src)))
+	}
+	id := op.Identity()
+	for i, v := range src {
+		if v != id {
+			dst[i] = op.Apply(dst[i], v)
+		}
+	}
+}
+
+// AccumulateBlock folds a worker-local dense block (group-major, exactly
+// groups×elems cells, identity-valued where untouched) into the object on
+// behalf of worker w. It is the bulk counterpart of Accumulate: where the
+// per-element path pays one lock acquisition or CAS loop per update, the
+// block path pays one synchronization event per cell-range per flush —
+// FullReplication merges lock-free into worker w's replica, the full/padded
+// locking strategies take each touched cell's lock exactly once, FixedLocking
+// acquires each pool lock once and sweeps all of its cells under it, and
+// AtomicCAS runs one CAS loop per touched cell. Identity-valued cells are
+// skipped everywhere (see MergeDense). Safe for concurrent use by distinct
+// workers.
+func (o *Object) AccumulateBlock(w int, block []float64) {
+	cells := o.groups * o.elems
+	if len(block) != cells {
+		panic(fmt.Sprintf("robj: AccumulateBlock got %d cells, object has %d", len(block), cells))
+	}
+	id := o.op.Identity()
+	switch o.strategy {
+	case FullReplication:
+		MergeDense(o.op, o.replicas[w], block)
+	case FullLocking:
+		for i, v := range block {
+			if v == id {
+				continue
+			}
+			l := &o.locks[i]
+			if !l.TryLock() {
+				o.lockWaitC.Inc()
+				l.Lock()
+			}
+			o.shared[i] = o.op.Apply(o.shared[i], v)
+			l.Unlock()
+		}
+	case OptimizedFullLocking:
+		for i, v := range block {
+			if v == id {
+				continue
+			}
+			c := &o.padded[i]
+			if !c.mu.TryLock() {
+				o.lockWaitC.Inc()
+				c.mu.Lock()
+			}
+			c.val = o.op.Apply(c.val, v)
+			c.mu.Unlock()
+		}
+	case FixedLocking:
+		// One acquisition per pool lock per flush: lock l guards every cell
+		// i with i mod pool == l, so sweep that stride while holding it.
+		pool := len(o.locks)
+		for start := 0; start < pool && start < cells; start++ {
+			l := &o.locks[start]
+			if !l.TryLock() {
+				o.lockWaitC.Inc()
+				l.Lock()
+			}
+			for i := start; i < cells; i += pool {
+				if v := block[i]; v != id {
+					o.shared[i] = o.op.Apply(o.shared[i], v)
+				}
+			}
+			l.Unlock()
+		}
+	case AtomicCAS:
+		for i, v := range block {
+			if v == id {
+				continue
+			}
+			b := &o.bits[i]
+			for {
+				old := b.Load()
+				next := math.Float64bits(o.op.Apply(math.Float64frombits(old), v))
+				if b.CompareAndSwap(old, next) {
+					break
+				}
+				mCASRetry.Inc()
+			}
+		}
+	}
+	// Count cells folded, so per-strategy update totals stay comparable
+	// between the per-element and fused paths.
+	o.updates[w].n += int64(cells)
+}
+
 // parallelMergeThreshold is the cell count above which Merge combines
 // replicas with parallel range-partitioned workers, mirroring the paper's
 // "if the size of the reduction object is large, both local and global
