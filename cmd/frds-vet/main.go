@@ -1,0 +1,70 @@
+// Command frds-vet runs the FREERIDE-specific static analyzers over a
+// source tree and prints findings vet-style (file:line:col: analyzer: msg),
+// exiting non-zero when any finding survives.
+//
+//	frds-vet [-analyzers kernelpure,ctxflow,obscount,lockorder] [dir...]
+//
+// With no directories it analyzes the current directory tree. The analyzers
+// (see internal/vet) check:
+//
+//	kernelpure — reduction kernels must not write captured state, read
+//	             time.Now/rand, or spawn goroutines
+//	ctxflow    — internal/ library code must call RunContext/RunIntoContext
+//	obscount   — obs counters registered once at package scope, not in loops
+//	lockorder  — no user callback invoked while a mutex is held
+//
+// Suppress a finding in place with `//frds:vet-ignore <analyzer> -- reason`
+// on the flagged line or the line above.
+//
+// frds-vet is a standalone driver rather than a `go vet -vettool` plugin:
+// the vettool protocol requires golang.org/x/tools/go/analysis, a
+// dependency this module does not take (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chapelfreeride/internal/vet"
+)
+
+func main() {
+	analyzersFlag := flag.String("analyzers", "", "comma-separated analyzer list (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range vet.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := vet.ByName(*analyzersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var findings []vet.Finding
+	for _, root := range roots {
+		pkgs, err := vet.Load(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "frds-vet:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, vet.Check(pkgs, analyzers)...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "frds-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

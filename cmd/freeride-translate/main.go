@@ -27,6 +27,7 @@ import (
 	"chapelfreeride/internal/chapel"
 	"chapelfreeride/internal/core"
 	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/verify"
 )
 
 func main() {
@@ -92,10 +93,30 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	// Run the translate-time verifier first and print its findings
+	// compiler-style (pos: severity[CODE]: msg). EmitC is gated on the same
+	// checks, so rejecting here mirrors the paper's compiler refusing to
+	// translate the reduction at all.
+	failed := false
+	for _, opt := range levels {
+		for _, d := range core.VerifyType(cls, dataTy, opt) {
+			fmt.Fprintln(os.Stderr, d)
+			if d.Severity == verify.SeverityError {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 	for _, opt := range levels {
 		src, err := core.EmitC(cls, dataTy, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "freeride-translate:", err)
+			if verr := verify.AsError(err); verr != nil {
+				fmt.Fprintln(os.Stderr, verr.Diags.Render())
+			} else {
+				fmt.Fprintln(os.Stderr, "freeride-translate:", err)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s ===\n%s\n", opt, src)

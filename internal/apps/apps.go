@@ -180,11 +180,13 @@ func BoxVector(v []float64) *chapel.Array {
 }
 
 // UnboxMatrix converts a boxed [1..n] record{field: [1..m] real} or
-// [1..n][1..m] real structure back into a matrix.
-func UnboxMatrix(a *chapel.Array, field string) *dataset.Matrix {
+// [1..n][1..m] real structure back into a matrix. The element shape comes
+// from the caller, so a mismatch is reported as an error rather than a
+// panic.
+func UnboxMatrix(a *chapel.Array, field string) (*dataset.Matrix, error) {
 	n := a.Len()
 	if n == 0 {
-		return dataset.NewMatrix(0, 0)
+		return dataset.NewMatrix(0, 0), nil
 	}
 	first := a.At(a.Ty.Lo)
 	var width int
@@ -194,7 +196,7 @@ func UnboxMatrix(a *chapel.Array, field string) *dataset.Matrix {
 	case *chapel.Array:
 		width = e.Len()
 	default:
-		panic(fmt.Sprintf("apps: UnboxMatrix over %s", a.Ty))
+		return nil, fmt.Errorf("apps: UnboxMatrix over %s: element is neither a record nor an array", a.Ty)
 	}
 	m := dataset.NewMatrix(n, width)
 	for i := 0; i < n; i++ {
@@ -209,5 +211,5 @@ func UnboxMatrix(a *chapel.Array, field string) *dataset.Matrix {
 			m.Set(i, j, inner.At(inner.Ty.Lo+j).(*chapel.Real).Val)
 		}
 	}
-	return m
+	return m, nil
 }

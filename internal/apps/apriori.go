@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -184,7 +185,7 @@ func AprioriManualFR(tx *dataset.Matrix, cfg AprioriConfig) (*AprioriResult, err
 		},
 	}
 	t0 := time.Now()
-	res1, err := eng.Run(spec1, src)
+	res1, err := eng.RunContext(context.Background(), spec1, src)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +222,7 @@ func AprioriManualFR(tx *dataset.Matrix, cfg AprioriConfig) (*AprioriResult, err
 		},
 	}
 	t0 = time.Now()
-	res2, err := eng.Run(spec2, src)
+	res2, err := eng.RunContext(context.Background(), spec2, src)
 	if err != nil {
 		return nil, err
 	}

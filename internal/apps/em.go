@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -202,7 +203,7 @@ func EMManualFR(points, init *dataset.Matrix, cfg EMConfig) (*EMResult, error) {
 	timing.Threads = eng.Config().Threads
 	src := dataset.NewMemorySource(points)
 	var weights []float64
-	err := runSessionLoop(eng, src, &timing, loopSpec{
+	err := runSessionLoop(context.Background(), eng, src, &timing, loopSpec{
 		Iterations: cfg.Iterations,
 		Spec: func(int) freeride.Spec {
 			cur := st
@@ -300,7 +301,7 @@ func EMTranslated(boxedPoints *chapel.Array, init *dataset.Matrix, opt core.OptL
 	timing.Threads = eng.Config().Threads
 	timing.Linearize = tr.LinearizeTime
 	var weights []float64
-	err = runSessionLoop(eng, src, &timing, loopSpec{
+	err = runSessionLoop(context.Background(), eng, src, &timing, loopSpec{
 		Iterations: cfg.Iterations,
 		Spec:       func(int) freeride.Spec { return tr.Spec() },
 		Fold: func(_ int, obj *robj.Object) error {

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -88,7 +89,7 @@ func HistogramManualFR(data *dataset.Matrix, cfg HistogramConfig) (*HistogramRes
 		},
 	}
 	t0 := time.Now()
-	res, err := eng.Run(spec, dataset.NewMemorySource(data))
+	res, err := eng.RunContext(context.Background(), spec, dataset.NewMemorySource(data))
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +177,7 @@ func HistogramTranslated(data *dataset.Matrix, opt core.OptLevel, cfg HistogramC
 	eng := freeride.New(cfg.Engine)
 	defer eng.Close()
 	t0 := time.Now()
-	res, err := eng.Run(tr.Spec(), tr.Source())
+	res, err := eng.RunContext(context.Background(), tr.Spec(), tr.Source())
 	if err != nil {
 		return nil, err
 	}

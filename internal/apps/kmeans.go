@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -306,7 +307,7 @@ func KMeansTranslated(boxedPoints *chapel.Array, init *dataset.Matrix, opt core.
 	var timing Timing
 	timing.Threads = eng.Config().Threads
 	timing.Linearize = tr.LinearizeTime
-	err = runSessionLoop(eng, src, &timing, loopSpec{
+	err = runSessionLoop(context.Background(), eng, src, &timing, loopSpec{
 		Iterations: cfg.Iterations,
 		Spec:       func(int) freeride.Spec { return tr.Spec() },
 		Fold: func(_ int, obj *robj.Object) error {
@@ -350,7 +351,7 @@ func KMeansManualFR(points, init *dataset.Matrix, cfg KMeansConfig) (*KMeansResu
 	var counts []float64
 	var timing Timing
 	timing.Threads = eng.Config().Threads
-	err := runSessionLoop(eng, src, &timing, loopSpec{
+	err := runSessionLoop(context.Background(), eng, src, &timing, loopSpec{
 		Iterations: cfg.Iterations,
 		Spec: func(int) freeride.Spec {
 			flat := cents.Data

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -84,7 +85,7 @@ func KMeansCluster(points, init *dataset.Matrix, cfg KMeansClusterConfig) (*KMea
 			},
 		}
 		t0 := time.Now()
-		res, err := cl.Run(spec, src)
+		res, err := cl.RunContext(context.Background(), spec, src)
 		if err != nil {
 			return nil, err
 		}

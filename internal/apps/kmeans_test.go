@@ -186,15 +186,21 @@ func TestKMeansTimingPopulated(t *testing.T) {
 
 func TestBoxUnboxRoundTrip(t *testing.T) {
 	m := intPoints(7, 3, 6)
-	if got := UnboxMatrix(BoxPoints(m), "coords"); !got.Equal(m) {
-		t.Fatal("BoxPoints/UnboxMatrix round trip")
+	if got, err := UnboxMatrix(BoxPoints(m), "coords"); err != nil || !got.Equal(m) {
+		t.Fatalf("BoxPoints/UnboxMatrix round trip: %v", err)
 	}
-	if got := UnboxMatrix(BoxMatrix(m), ""); !got.Equal(m) {
-		t.Fatal("BoxMatrix/UnboxMatrix round trip")
+	if got, err := UnboxMatrix(BoxMatrix(m), ""); err != nil || !got.Equal(m) {
+		t.Fatalf("BoxMatrix/UnboxMatrix round trip: %v", err)
 	}
-	empty := UnboxMatrix(BoxMatrix(dataset.NewMatrix(0, 3)), "")
+	empty, err := UnboxMatrix(BoxMatrix(dataset.NewMatrix(0, 3)), "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if empty.Rows != 0 {
 		t.Fatal("empty unbox")
+	}
+	if _, err := UnboxMatrix(chapel.RealArray(1, 2, 3), ""); err == nil {
+		t.Fatal("UnboxMatrix over a flat real array must error, not panic")
 	}
 	v := BoxVector([]float64{1, 2, 3})
 	if v.Len() != 3 || v.At(2).(*chapel.Real).Val != 2 {

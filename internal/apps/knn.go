@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -157,7 +158,7 @@ func KNNManualFR(train, queries *dataset.Matrix, cfg KNNConfig) (*KNNResult, err
 		},
 	}
 	t0 := time.Now()
-	res, err := eng.Run(spec, dataset.NewMemorySource(train))
+	res, err := eng.RunContext(context.Background(), spec, dataset.NewMemorySource(train))
 	if err != nil {
 		return nil, err
 	}

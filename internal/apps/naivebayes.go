@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -168,7 +169,7 @@ func NaiveBayesTrainFR(train *dataset.Matrix, cfg NaiveBayesConfig) (*NaiveBayes
 	var timing Timing
 	timing.Threads = eng.Config().Threads
 	t0 := time.Now()
-	res, err := eng.Run(spec, dataset.NewMemorySource(train))
+	res, err := eng.RunContext(context.Background(), spec, dataset.NewMemorySource(train))
 	if err != nil {
 		return nil, err
 	}

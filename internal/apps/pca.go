@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -205,7 +206,7 @@ func PCATranslated(boxedData *chapel.Array, opt core.OptLevel, cfg PCAConfig) (*
 		cov   *dataset.Matrix
 		spec2 freeride.Spec
 	)
-	err = runSessionLoop(eng, tr1.Source(), &timing, loopSpec{
+	err = runSessionLoop(context.Background(), eng, tr1.Source(), &timing, loopSpec{
 		Iterations: 2,
 		Spec: func(it int) freeride.Spec {
 			if it == 0 {
@@ -278,7 +279,7 @@ func PCAManualFR(data *dataset.Matrix, cfg PCAConfig) (*PCAResult, error) {
 		mean []float64
 		cov  *dataset.Matrix
 	)
-	err := runSessionLoop(eng, src, &timing, loopSpec{
+	err := runSessionLoop(context.Background(), eng, src, &timing, loopSpec{
 		Iterations: 2,
 		Spec: func(it int) freeride.Spec {
 			if it == 0 {

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -90,7 +91,7 @@ func RegressionManualFR(data *dataset.Matrix, cfg freeride.Config) (*RegressionR
 		},
 	}
 	t0 := time.Now()
-	out, err := eng.Run(spec, dataset.NewMemorySource(data))
+	out, err := eng.RunContext(context.Background(), spec, dataset.NewMemorySource(data))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,7 +48,7 @@ func ablCluster(p Params) (*Table, error) {
 					Combine:   algo,
 				})
 				t0 := time.Now()
-				res, err := c.Run(spec, dataset.NewMemorySource(m))
+				res, err := c.RunContext(context.Background(), spec, dataset.NewMemorySource(m))
 				if err != nil {
 					c.Close()
 					return nil, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -77,7 +78,7 @@ func ablSession(p Params) (*Table, error) {
 		var oneShotSum float64
 		for pass := 0; pass < passes; pass++ {
 			eng := freeride.New(cfg)
-			res, err := eng.Run(spec, src)
+			res, err := eng.RunContext(context.Background(), spec, src)
 			if err != nil {
 				eng.Close()
 				return nil, err
@@ -101,7 +102,7 @@ func ablSession(p Params) (*Table, error) {
 		}
 		// One warm-up pass populates the session pools so the measured
 		// passes show the steady state.
-		if res, err := eng.Run(spec, src); err != nil {
+		if res, err := eng.RunContext(context.Background(), spec, src); err != nil {
 			eng.Close()
 			return nil, err
 		} else if err := eng.Release(res); err != nil {
@@ -113,7 +114,7 @@ func ablSession(p Params) (*Table, error) {
 		t0 = time.Now()
 		var sessionSum float64
 		for pass := 0; pass < passes; pass++ {
-			res, err := eng.Run(spec, src)
+			res, err := eng.RunContext(context.Background(), spec, src)
 			if err != nil {
 				eng.Close()
 				return nil, err
@@ -156,7 +157,7 @@ func ablSession(p Params) (*Table, error) {
 				go func(j int) {
 					defer wg.Done()
 					for pass := 0; pass < per; pass++ {
-						res, err := eng.Run(spec, src)
+						res, err := eng.RunContext(context.Background(), spec, src)
 						if err != nil {
 							jobErrs[j] = err
 							return

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,7 +41,7 @@ func ablStream(p Params) (*Table, error) {
 			return nil, err
 		}
 		eng := freeride.New(engCfg)
-		res, err := eng.Run(tr.Spec(), tr.Source())
+		res, err := eng.RunContext(context.Background(), tr.Spec(), tr.Source())
 		if err != nil {
 			eng.Close()
 			return nil, err
@@ -58,7 +59,7 @@ func ablStream(p Params) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		resS, err := eng.Run(str.Spec(), str.Source())
+		resS, err := eng.RunContext(context.Background(), str.Spec(), str.Source())
 		if err != nil {
 			eng.Close()
 			return nil, err

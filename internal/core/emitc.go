@@ -23,14 +23,16 @@ func EmitC(class *ReductionClass, dataType *chapel.Type, opt OptLevel) (string, 
 	if class == nil {
 		return "", fmt.Errorf("core: EmitC needs a class")
 	}
+	// Gate emission on the same verifier that gates Translate: we never
+	// render C the verifier would reject.
+	if err := VerifyType(class, dataType, opt).Err(); err != nil {
+		return "", err
+	}
 	meta, err := MetaFor(dataType, class.Path...)
 	if err != nil {
 		return "", err
 	}
 	promoteFlatDataMeta(meta)
-	if meta.Levels != 2 {
-		return "", fmt.Errorf("core: EmitC supports 2-level datasets, got %d levels", meta.Levels)
-	}
 	name := sanitizeIdent(class.Name)
 	if name == "" {
 		name = "reduction"

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/emitc golden files")
+
+// pcaCovClass mirrors apps.PCACovClass for a flat [1..n][1..dim] real
+// dataset with the mean vector as a hot variable. Defined here (rather than
+// imported) because internal/apps imports core.
+func pcaCovClass(dim int, mean *chapel.Array) *ReductionClass {
+	return &ReductionClass{
+		Name:   "pca-cov",
+		Object: freeride.ObjectSpec{Groups: dim, Elems: dim, Op: robj.OpAdd},
+		HotVars: []HotVar{
+			{Value: mean},
+		},
+		Kernel: func(elem *Vec, hot []*StateVec, args *freeride.ReductionArgs) {
+			row := elem.Row(args.Scratch(0, dim))
+			mv := hot[0].Row(1, args.Scratch(1, dim))
+			for a := 0; a < dim; a++ {
+				ca := row[a] - mv[a]
+				for b := 0; b < dim; b++ {
+					args.Accumulate(a, b, ca*(row[b]-mv[b]))
+				}
+			}
+		},
+		BlockKernel: func(args *freeride.BlockArgs, view BlockView, hot []*StateVec) error {
+			return nil // shape only; golden tests never run it
+		},
+	}
+}
+
+// TestEmitCGolden pins the exact C rendered for the two paper case studies
+// at every optimization level. The files under testdata/emitc are the
+// reviewed reference output; regenerate with
+//
+//	go test ./internal/core -run TestEmitCGolden -update-golden
+//
+// and inspect the diff before committing.
+func TestEmitCGolden(t *testing.T) {
+	mean := chapel.RealArray(make([]float64, 3)...)
+	cases := []struct {
+		name   string
+		class  *ReductionClass
+		dataTy *chapel.Type
+	}{
+		{"kmeans", kmeansClass(4, 3, makeCentroids(4, 3, 1)), pointsType(100, 3)},
+		{"pca_cov", pcaCovClass(3, mean), chapel.ArrayType(chapel.ArrayType(chapel.RealType(), 1, 3), 1, 100)},
+	}
+	optSlug := map[OptLevel]string{OptNone: "generated", Opt1: "opt1", Opt2: "opt2", Opt3: "opt3"}
+	for _, tc := range cases {
+		for _, opt := range OptLevels() {
+			name := fmt.Sprintf("%s_%s", tc.name, optSlug[opt])
+			t.Run(name, func(t *testing.T) {
+				got, err := EmitC(tc.class, tc.dataTy, opt)
+				if err != nil {
+					t.Fatalf("EmitC(%s, %s): %v", tc.name, opt, err)
+				}
+				path := filepath.Join("testdata", "emitc", name+".golden")
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update-golden): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("EmitC output for %s drifted from %s.\ngot:\n%s\nwant:\n%s",
+						name, path, got, want)
+				}
+			})
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"chapelfreeride/internal/chapel"
 	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
 )
 
 func TestEmitCShapes(t *testing.T) {
@@ -92,6 +93,7 @@ func TestEmitCFlatDataset(t *testing.T) {
 	// A flat [1..n] real dataset promotes to n×1 and still emits.
 	cls := &ReductionClass{
 		Name:   "sum",
+		Object: freeride.ObjectSpec{Groups: 1, Elems: 1, Op: robj.OpAdd},
 		Kernel: func(*Vec, []*StateVec, *freeride.ReductionArgs) {},
 	}
 	src, err := EmitC(cls, chapel.ArrayType(chapel.RealType(), 1, 100), Opt1)

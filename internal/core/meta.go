@@ -135,6 +135,12 @@ func MetaFor(ty *chapel.Type, path ...string) (*Meta, error) {
 // The recursion follows the paper exactly: at every level but the last the
 // contribution is unitSize[i]*myIndex[i] + unitOffset[i][position[i][0]];
 // the last level contributes unitSize[i]*myIndex[i].
+//
+// Panic-free by proof for translated plans: core.Verify bounds every offset
+// the loop nest can touch (FRV010) and proves the index map total on the
+// split domain (FRV011) before any worker starts, so on the per-element hot
+// path these checks only guard direct misuse of the API, never a verified
+// translation.
 func (m *Meta) ComputeIndex(myIndex ...int) int {
 	if len(myIndex) != m.Levels {
 		panic(fmt.Sprintf("core: ComputeIndex got %d indices for %d levels", len(myIndex), m.Levels))

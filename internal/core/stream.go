@@ -23,11 +23,8 @@ import (
 // k-means with a single iteration, where linearization is proportionally
 // largest.
 func TranslateStreaming(class *ReductionClass, data *chapel.Array, opt OptLevel, chunkRows int) (*Translation, *StreamStats, error) {
-	if class == nil || class.Kernel == nil {
-		return nil, nil, fmt.Errorf("core: translation needs a class with a kernel")
-	}
-	if !AllReal(data.Ty) {
-		return nil, nil, fmt.Errorf("core: FREERIDE translation needs an all-real dataset, type is %s", data.Ty)
+	if err := Verify(class, data, opt).Err(); err != nil {
+		return nil, nil, err
 	}
 	if chunkRows < 1 {
 		chunkRows = 4096
@@ -37,10 +34,6 @@ func TranslateStreaming(class *ReductionClass, data *chapel.Array, opt OptLevel,
 		return nil, nil, err
 	}
 	promoteFlatDataMeta(meta)
-	if meta.Levels != 2 {
-		return nil, nil, fmt.Errorf("core: dataset access path %v needs 2-level addressing, got %d levels",
-			class.Path, meta.Levels)
-	}
 	wmeta, err := meta.Words()
 	if err != nil {
 		return nil, nil, err

@@ -437,23 +437,19 @@ func Translate(class *ReductionClass, data *chapel.Array, opt OptLevel) (*Transl
 	return TranslateWith(class, data, opt, TranslateOptions{})
 }
 
-// TranslateWith is Translate with options.
+// TranslateWith is Translate with options. The class and dataset are
+// verified statically before anything is linearized: any error-severity
+// diagnostic from Verify rejects the translation (the returned error is a
+// *verify.Error carrying the full structured list).
 func TranslateWith(class *ReductionClass, data *chapel.Array, opt OptLevel, o TranslateOptions) (*Translation, error) {
-	if class == nil || class.Kernel == nil {
-		return nil, fmt.Errorf("core: translation needs a class with a kernel")
-	}
-	if !AllReal(data.Ty) {
-		return nil, fmt.Errorf("core: FREERIDE translation needs an all-real dataset, type is %s", data.Ty)
+	if err := Verify(class, data, opt).Err(); err != nil {
+		return nil, err
 	}
 	meta, err := MetaFor(data.Ty, class.Path...)
 	if err != nil {
 		return nil, err
 	}
 	promoteFlatDataMeta(meta)
-	if meta.Levels != 2 {
-		return nil, fmt.Errorf("core: dataset access path %v needs 2-level addressing, got %d levels",
-			class.Path, meta.Levels)
-	}
 	wmeta, err := meta.Words()
 	if err != nil {
 		return nil, err
@@ -590,7 +586,10 @@ type WordSource struct {
 	cols  int
 }
 
-// NewWordSource wraps a flat row-major word buffer as a data source.
+// NewWordSource wraps a flat row-major word buffer as a data source. The
+// shape check stays a panic: buffers produced by Translate have their word
+// count proven against the dataset shape at verify time (FRV008), so this
+// only trips on direct constructor misuse.
 func NewWordSource(words []float64, rows, cols int) *WordSource {
 	if rows*cols != len(words) {
 		panic(fmt.Sprintf("core: WordSource shape %dx%d over %d words", rows, cols, len(words)))

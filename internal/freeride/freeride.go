@@ -41,6 +41,7 @@ import (
 	"chapelfreeride/internal/obs"
 	"chapelfreeride/internal/robj"
 	"chapelfreeride/internal/sched"
+	"chapelfreeride/internal/verify"
 )
 
 // Engine phase names as recorded in the obs layer: each Run emits one span
@@ -237,6 +238,21 @@ type Spec struct {
 	// LocalCombine merges src into dst and returns the merged object; it
 	// is applied across workers in worker order. Required with LocalInit.
 	LocalCombine func(dst, src any) any
+}
+
+// Verify statically checks the spec's structural legality — the same checks
+// run() performs before any worker starts, exposed so callers (and
+// cmd/freeride-translate) can report every problem at once as structured
+// diagnostics instead of discovering them one error at a time.
+func (s Spec) Verify() verify.Diagnostics {
+	return verify.CheckSpec(verify.SpecPlan{
+		HasReduction:      s.Reduction != nil,
+		HasBlockReduction: s.BlockReduction != nil,
+		Object:            verify.Shape{Groups: s.Object.Groups, Elems: s.Object.Elems},
+		HasLocalInit:      s.LocalInit != nil,
+		HasLocalCombine:   s.LocalCombine != nil,
+		HasCombine:        s.Combine != nil,
+	})
 }
 
 // Stats is the timing breakdown of a Run.

@@ -236,24 +236,17 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 		ctx = context.Background()
 	}
 	if spec.Reduction == nil && spec.BlockReduction == nil {
+		// Kept as a sentinel (errors.Is) ahead of the full verifier pass.
 		return nil, ErrNoReduction
 	}
 	if src == nil {
 		return nil, errors.New("freeride: nil data source")
 	}
-	if spec.LocalInit != nil && spec.LocalCombine == nil {
-		return nil, errors.New("freeride: LocalInit requires LocalCombine")
-	}
-	if spec.BlockReduction != nil {
-		if spec.Object.Groups <= 0 || spec.Object.Elems <= 0 {
-			return nil, errors.New("freeride: Spec.BlockReduction requires a cell-based reduction object " +
-				"(set Object.Groups/Elems) — its worker-local block buffer is the object's dense mirror")
-		}
-		if spec.LocalInit != nil {
-			return nil, errors.New("freeride: Spec.BlockReduction cannot be combined with LocalInit — " +
-				"the fused path accumulates only into the cell-based object; use the per-element " +
-				"Reduction for user-managed local state")
-		}
+	// Structural spec legality — one verifier pass replaces the scattered
+	// per-condition errors, so a bad spec is rejected with every finding
+	// attached before any worker starts.
+	if err := spec.Verify().Err(); err != nil {
+		return nil, err
 	}
 	cfg := e.cfg
 	if obj == nil && (spec.Object.Groups != 0 || spec.Object.Elems != 0) {
@@ -262,17 +255,6 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 		if err != nil {
 			return nil, err
 		}
-	}
-	if obj == nil && spec.LocalInit == nil {
-		return nil, errors.New("freeride: spec declares neither a reduction object shape nor LocalInit")
-	}
-	if spec.Combine != nil && obj == nil {
-		// Combine receives the merged cell-based object; with a zero-shaped
-		// ObjectSpec it would be handed nil. Reject up front instead of
-		// letting user code dereference it.
-		return nil, errors.New("freeride: Spec.Combine requires a cell-based reduction object " +
-			"(set Object.Groups/Elems); LocalInit-only state is merged by LocalCombine and " +
-			"post-processed in Finalize")
 	}
 	if err := e.Start(); err != nil {
 		return nil, err

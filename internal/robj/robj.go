@@ -279,6 +279,9 @@ func (o *Object) Workers() int { return o.workers }
 
 // cell computes the flat cell index, panicking on out-of-range coordinates —
 // an out-of-range update is a programming error in the reduction function.
+// Translated kernels never reach this panic: core.Verify proves the object
+// shape (FRV007) and every accumulate target against it at translate time,
+// so the check only guards hand-written reduction functions.
 func (o *Object) cell(group, elem int) int {
 	if group < 0 || group >= o.groups || elem < 0 || elem >= o.elems {
 		panic(fmt.Sprintf("robj: accumulate out of range: group=%d elem=%d shape=%dx%d",

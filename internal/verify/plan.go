@@ -1,0 +1,226 @@
+package verify
+
+// Plan is the verifier's intermediate representation of one reduction class
+// bound to a dataset type and an optimization level — the declarative facts
+// internal/core can establish statically, with all Chapel types already
+// lowered to word counts and index-map constants. CheckPlan proves the
+// emitted loop nest safe (or rejects it) from these numbers alone.
+type Plan struct {
+	// Class names the reduction in diagnostics.
+	Class string
+	// Opt is the numeric optimization level (0..3); OptName its display
+	// name ("generated", "opt-1", ...).
+	Opt     int
+	OptName string
+	// HasKernel / HasBlockKernel report which accumulate bodies the class
+	// declares.
+	HasKernel      bool
+	HasBlockKernel bool
+	// Object is the reduction-object shape the class allocates.
+	Object Shape
+	// Data is the dataset access, nil when plan construction already failed
+	// (the failure is then recorded in Pre).
+	Data *Access
+	// Hot lists the hot-variable accesses, one per declared HotVar.
+	Hot []Access
+	// Pre carries diagnostics produced while lowering the class into the
+	// plan (unresolvable paths, nil inputs); CheckPlan prepends them.
+	Pre Diagnostics
+}
+
+// Shape is a reduction-object shape: Groups × Elems cells.
+type Shape struct {
+	Groups, Elems int
+}
+
+// Cells returns the total cell count.
+func (s Shape) Cells() int { return s.Groups * s.Elems }
+
+// Access describes one linearized two-level access pattern: the loop nest
+// touches word offsets
+//
+//	off(i, k) = U0*i + Off0 + U1*k    for i ∈ [0,Elems), k ∈ [0,InnerLen)
+//
+// in a buffer of WordLen words — exactly the hoisted-index constants the
+// translator bakes into the emitted reduction (strength-reduced base
+// U0*i+Off0, inner stride U1). Boxed accesses (generated/opt-1 hot
+// variables) carry no linear map; for those only the structural facts are
+// checked.
+type Access struct {
+	// Name locates the access in diagnostics: "data" or "hot[i]".
+	Name string
+	// Boxed marks a boxed-traversal access with no linear index map.
+	Boxed bool
+	// Elems is the outer domain length (rows), InnerLen the inner run
+	// length in elements.
+	Elems, InnerLen int
+	// U0 is the outer (row) stride in words, Off0 the hoisted base offset,
+	// U1 the inner stride in words.
+	U0, Off0, U1 int
+	// WordLen is the linearized buffer length in words.
+	WordLen int
+	// Levels is the addressing depth after promotion; must be 2.
+	Levels int
+	// AllReal reports whether the access's full type is an all-real layout.
+	AllReal bool
+}
+
+// maxTouched returns the one-past-the-end word offset the strength-reduced
+// loop nest can touch: the last row's base plus the full inner run
+// (InnerLen elements of U1 words each, matching the run slice
+// words[base : base+InnerLen*U1] the translator hands the kernel).
+func (a Access) maxTouched() int {
+	if a.Elems == 0 {
+		return 0
+	}
+	return a.U0*(a.Elems-1) + a.Off0 + a.InnerLen*a.U1
+}
+
+// CheckPlan verifies a plan and returns every finding, errors first in
+// encounter order. A plan with no error-severity findings is safe to
+// translate: every word offset the emitted loop nest can touch is proven in
+// bounds, the index map is total and injective over the split domain, the
+// reduction-object shape is allocatable, and the requested optimization
+// level is legal for the class — which is what lets the hot-path accessors
+// (Meta.ComputeIndex, robj cell addressing, BlockView.Run) stay
+// panic-free-by-proof instead of re-checking bounds per element.
+func CheckPlan(p *Plan) Diagnostics {
+	ds := append(Diagnostics(nil), p.Pre...)
+	pos := p.Class
+	if pos == "" {
+		pos = "class"
+	}
+
+	if !p.HasKernel {
+		ds = errorf(ds, pos, CodeNoKernel, "core: translation needs a class with a kernel")
+	}
+	if p.Opt < 0 || p.Opt > 3 {
+		ds = errorf(ds, pos, CodeBadOptLevel, "unknown optimization level %s: levels are generated, opt-1, opt-2, opt-3", p.OptName)
+	}
+	if p.Object.Groups <= 0 || p.Object.Elems <= 0 {
+		ds = errorf(ds, pos, CodeBadObjectShape,
+			"reduction object shape %dx%d has no cells; FREERIDE's accumulate(group, elem, value) needs Groups >= 1 and Elems >= 1",
+			p.Object.Groups, p.Object.Elems)
+	}
+	if p.Data != nil {
+		ds = checkAccess(ds, pos, *p.Data, CodeNotAllReal)
+	}
+	for _, h := range p.Hot {
+		if h.Boxed {
+			continue // shape already validated during lowering (CodeHotShape)
+		}
+		ds = checkAccess(ds, pos, h, CodeHotNotAllReal)
+	}
+	if p.Opt == 3 && p.HasKernel && !p.HasBlockKernel {
+		ds = warnf(ds, pos, CodeOpt3NoBlockKernel,
+			"opt-3 requested but the class declares no BlockKernel; execution falls back to the opt-2 per-element shape")
+	}
+	return ds
+}
+
+// checkAccess proves one linear access safe: word-aligned all-real layout,
+// two-level addressing, a total and injective index map, and every
+// touchable offset inside the buffer. notRealCode distinguishes the dataset
+// (CodeNotAllReal) from hot variables (CodeHotNotAllReal).
+func checkAccess(ds Diagnostics, pos string, a Access, notRealCode Code) Diagnostics {
+	at := pos + ": " + a.Name
+	if !a.AllReal {
+		if notRealCode == CodeNotAllReal {
+			ds = errorf(ds, at, notRealCode, "FREERIDE translation needs an all-real dataset")
+		} else {
+			ds = errorf(ds, at, notRealCode, "opt-2 linearization needs all-real hot state")
+		}
+		return ds // the remaining facts are meaningless without a word view
+	}
+	if a.Levels != 2 {
+		ds = errorf(ds, at, CodeBadLevels, "access needs 2-level addressing (FREERIDE's simple 2-D array view), got %d levels", a.Levels)
+		return ds
+	}
+	// Totality: the map must be defined (non-degenerate) over the whole
+	// split domain [0,Elems) × [0,InnerLen).
+	if a.Elems < 0 || a.InnerLen <= 0 || a.U0 <= 0 || a.U1 <= 0 || a.Off0 < 0 {
+		ds = errorf(ds, at, CodeMapNotTotal,
+			"index map off(i,k) = %d*i + %d + %d*k is not total over rows=%d, inner=%d: strides must be positive and the base non-negative",
+			a.U0, a.Off0, a.U1, a.Elems, a.InnerLen)
+		return ds
+	}
+	// Bounds: the hoisted-index loop nest touches [Off0, maxTouched); prove
+	// it inside the buffer so per-element bounds checks can be elided.
+	if max := a.maxTouched(); max > a.WordLen {
+		ds = errorf(ds, at, CodeOOBOffset,
+			"loop nest touches words [%d,%d) of a %d-word buffer (rows=%d, row stride=%d, inner run=%d words)",
+			a.Off0, max, a.WordLen, a.Elems, a.U0, a.InnerLen*a.U1)
+	}
+	// Word-count consistency: the buffer must hold exactly the rows the
+	// loop nest assumes (rows × row stride), or splits computed from the
+	// row count would disagree with the storage.
+	if a.Name == "data" && a.Elems*a.U0 != a.WordLen {
+		ds = errorf(ds, at, CodeWordCount,
+			"linearized buffer holds %d words but %d rows x %d words/row = %d",
+			a.WordLen, a.Elems, a.U0, a.Elems*a.U0)
+	}
+	// Injectivity: distinct (i,k) must hit distinct words. Within a row,
+	// positive U1 separates the k's; across rows, the row stride must be at
+	// least the row span.
+	if a.U0 < a.InnerLen*a.U1 {
+		ds = errorf(ds, at, CodeMapNotInjective,
+			"index map is not injective: row stride %d words is smaller than the row span %d words, so consecutive rows alias",
+			a.U0, a.InnerLen*a.U1)
+	}
+	return ds
+}
+
+// SpecPlan is the verifier's view of a FREERIDE spec: which callbacks are
+// set and the declared object shape. internal/freeride lowers its Spec into
+// this before every run.
+type SpecPlan struct {
+	HasReduction      bool
+	HasBlockReduction bool
+	Object            Shape
+	HasLocalInit      bool
+	HasLocalCombine   bool
+	HasCombine        bool
+}
+
+// hasObject reports whether the spec declares a non-empty cell-based
+// object. A zero-shaped object is legal only for LocalInit-only specs.
+func (p SpecPlan) hasObject() bool { return p.Object.Groups != 0 || p.Object.Elems != 0 }
+
+// CheckSpec verifies a FREERIDE spec's legality — the structural checks the
+// engine used to scatter through run() as fmt.Errorf, now one diagnostic
+// pass that runs before any worker starts.
+func CheckSpec(p SpecPlan) Diagnostics {
+	var ds Diagnostics
+	const pos = "spec"
+	if !p.HasReduction && !p.HasBlockReduction {
+		ds = errorf(ds, pos, CodeNoReduction, "freeride: Spec.Reduction (or BlockReduction) is required")
+	}
+	if p.HasLocalInit && !p.HasLocalCombine {
+		ds = errorf(ds, pos, CodeLocalInitNoCombine, "freeride: LocalInit requires LocalCombine")
+	}
+	if p.hasObject() && (p.Object.Groups <= 0 || p.Object.Elems <= 0) {
+		ds = errorf(ds, pos, CodeBadObjectShape,
+			"freeride: reduction object shape %dx%d has no cells; declare Groups >= 1 and Elems >= 1, or leave both zero for LocalInit-only state",
+			p.Object.Groups, p.Object.Elems)
+	}
+	if p.HasBlockReduction {
+		if !p.hasObject() {
+			ds = errorf(ds, pos, CodeBlockNeedsObject,
+				"freeride: Spec.BlockReduction requires a cell-based reduction object (set Object.Groups/Elems) — its worker-local block buffer is the object's dense mirror")
+		}
+		if p.HasLocalInit {
+			ds = errorf(ds, pos, CodeBlockLocalInit,
+				"freeride: Spec.BlockReduction cannot be combined with LocalInit — the fused path accumulates only into the cell-based object; use the per-element Reduction for user-managed local state")
+		}
+	}
+	if !p.hasObject() {
+		if p.HasCombine {
+			ds = errorf(ds, pos, CodeCombineNeedsObject,
+				"freeride: Spec.Combine requires a cell-based reduction object (set Object.Groups/Elems); LocalInit-only state is merged by LocalCombine and post-processed in Finalize")
+		}
+		if !p.HasLocalInit {
+			ds = errorf(ds, pos, CodeNoState, "freeride: spec declares neither a reduction object shape nor LocalInit")
+		}
+	}
+	return ds
+}

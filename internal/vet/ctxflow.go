@@ -1,0 +1,144 @@
+package vet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFlow flags engine Run/RunInto calls inside internal/ library code where
+// a context-taking variant (RunContext/RunIntoContext) exists. Library paths
+// must thread context.Context so callers can cancel long reductions; a bare
+// Run call pins context.Background() deep inside a loop and makes the whole
+// session uncancellable.
+//
+// Without go/types the analyzer recognizes engine values structurally: a
+// parameter, variable, or field declared as (*)freeride.Engine or
+// (*)cluster.Cluster, or assigned from freeride.New(...) / cluster.New(...).
+// Calls on mapreduce engines are not flagged (no context variant exists).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "internal/ library code must call RunContext/RunIntoContext, not Run/RunInto",
+	Run:  runCtxFlow,
+}
+
+// ctxflowExempt lists package paths where bare Run is the implementation
+// (the defining packages themselves).
+func ctxflowExempt(path string) bool {
+	if !strings.Contains(path, "internal/") && !strings.HasPrefix(path, "internal") {
+		return true // rule covers library code under internal/ only
+	}
+	for _, p := range []string{"internal/freeride", "internal/cluster", "internal/mapreduce"} {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+var ctxVariants = map[string]string{
+	"Run":     "RunContext",
+	"RunInto": "RunIntoContext",
+}
+
+func runCtxFlow(pass *Pass) {
+	if ctxflowExempt(pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			engines := engineIdents(fd)
+			if len(engines) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				variant, ok := ctxVariants[sel.Sel.Name]
+				if !ok {
+					return true
+				}
+				recv, ok := sel.X.(*ast.Ident)
+				if !ok || !engines[recv.Name] {
+					return true
+				}
+				pass.Report(call, "%s.%s discards the caller's context; library code under internal/ must use %s.%s and thread a context.Context",
+					recv.Name, sel.Sel.Name, recv.Name, variant)
+				return true
+			})
+		}
+	}
+}
+
+// engineIdents collects identifiers in fd that denote freeride engines or
+// cluster sessions: typed parameters/receivers/var declarations, and
+// assignments from the constructors. The scan covers the whole function body
+// including nested function literals, so a closure over an outer engine
+// variable is still recognized.
+func engineIdents(fd *ast.FuncDecl) map[string]bool {
+	engines := map[string]bool{}
+	addTyped := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			if !isEngineType(f.Type) {
+				continue
+			}
+			for _, name := range f.Names {
+				engines[name.Name] = true
+			}
+		}
+	}
+	addTyped(fd.Recv)
+	addTyped(fd.Type.Params)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Rhs) != 1 {
+				return true
+			}
+			if isPkgCall(v.Rhs[0], "freeride", "New") || isPkgCall(v.Rhs[0], "cluster", "New") {
+				if id, ok := v.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					engines[id.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if v.Type != nil && isEngineType(v.Type) {
+				for _, name := range v.Names {
+					engines[name.Name] = true
+				}
+			}
+		case *ast.FuncLit:
+			addTyped(v.Type.Params)
+		}
+		return true
+	})
+	return engines
+}
+
+// isEngineType matches (*)freeride.Engine and (*)cluster.Cluster.
+func isEngineType(t ast.Expr) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return (pkg.Name == "freeride" && sel.Sel.Name == "Engine") ||
+		(pkg.Name == "cluster" && sel.Sel.Name == "Cluster")
+}

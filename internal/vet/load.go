@@ -1,0 +1,108 @@
+package vet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed Go package directory under analysis.
+type Package struct {
+	// Path is the package directory relative to the load root, using
+	// forward slashes ("internal/apps").
+	Path string
+	// Fset resolves positions for Files.
+	Fset *token.FileSet
+	// Files are the package's non-test source files, sorted by name.
+	Files []*ast.File
+	// Filenames are the absolute paths matching Files.
+	Filenames []string
+}
+
+// Load parses every Go package directory under root, skipping test files,
+// testdata trees, vendored code, and hidden/underscore directories. Test
+// files are excluded deliberately: the analyzers encode hot-path and
+// library-API rules (tests legitimately call Run without a context and
+// register throwaway counters in loops).
+func Load(root string) ([]*Package, error) {
+	byDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "node_modules") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		byDir[dir] = append(byDir[dir], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		files := byDir[dir]
+		sort.Strings(files)
+		fset := token.NewFileSet()
+		pkg := &Package{Fset: fset}
+		rel, relErr := filepath.Rel(root, dir)
+		if relErr != nil || rel == "." {
+			rel = filepath.Base(dir)
+		}
+		pkg.Path = filepath.ToSlash(rel)
+		for _, fname := range files {
+			f, err := parser.ParseFile(fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Files = append(pkg.Files, f)
+			pkg.Filenames = append(pkg.Filenames, fname)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// packageLevelVars collects the names of package-level variables across the
+// package's files.
+func (p *Package) packageLevelVars() map[string]bool {
+	vars := map[string]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					vars[name.Name] = true
+				}
+			}
+		}
+	}
+	return vars
+}

@@ -1,0 +1,92 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ObsCount flags obs counter/gauge registration (Registry.Counter,
+// Registry.GaugeFunc) inside loops in regular functions. Registration takes
+// the registry lock and string-formats the label key; it is meant to run
+// once per metric at package scope (var initializer or init()). A
+// registration inside a hot loop turns every iteration into a mutex+map
+// operation — the registry deduplicates, so the counter is *correct* but
+// the cost is pure waste and contends with the metrics endpoint.
+//
+// Allowed loop registrations:
+//   - inside a package-level var initializer or init() (one-time fills of
+//     lookup tables, e.g. per-phase or per-policy counter maps);
+//   - when the loop grows a package-level registry-backed table (the
+//     assignment's target is a package-level variable), e.g. the lazily
+//     extended per-worker counter cache.
+var ObsCount = &Analyzer{
+	Name: "obscount",
+	Doc:  "obs counters must be registered once at package scope, not per loop iteration",
+	Run:  runObsCount,
+}
+
+// obsRegistration matches <registry>.Counter(...) / <registry>.GaugeFunc(...)
+// with the obs signature shape (name and help strings first).
+func obsRegistration(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Counter" && sel.Sel.Name != "GaugeFunc" {
+		return false
+	}
+	return len(call.Args) >= 2
+}
+
+func runObsCount(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		pkgVars := pass.Pkg.packageLevelVars()
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !obsRegistration(call) {
+				return true
+			}
+			if !insideLoop(stack) || registrationAllowed(stack, pkgVars) {
+				return true
+			}
+			sel := call.Fun.(*ast.SelectorExpr)
+			pass.Report(call, "obs registration %s(...) inside a loop; register counters once at package scope (var initializer or init) and reuse the handle",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// insideLoop reports whether any ancestor is a for/range statement.
+func insideLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// registrationAllowed reports the two sanctioned in-loop shapes: the call
+// sits inside init()/a package-level var initializer, or the nearest
+// enclosing assignment writes a package-level variable.
+func registrationAllowed(stack []ast.Node, pkgVars map[string]bool) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if root := rootIdent(lhs); root != nil && pkgVars[root.Name] {
+					return true
+				}
+			}
+		case *ast.FuncDecl:
+			return v.Name.Name == "init" && v.Recv == nil
+		case *ast.GenDecl:
+			// A function literal under a package-level var declaration is a
+			// var initializer (stack reaches GenDecl without a FuncDecl).
+			return v.Tok == token.VAR
+		}
+	}
+	return false
+}

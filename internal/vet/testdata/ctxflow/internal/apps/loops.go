@@ -1,0 +1,51 @@
+// Fixture for the ctxflow analyzer. Parsed, never compiled.
+package apps
+
+import (
+	"context"
+
+	"example.com/cluster"
+	"example.com/freeride"
+	"example.com/mapreduce"
+)
+
+func fromConstructor(cfg freeride.Config, spec freeride.Spec, src any) error {
+	eng := freeride.New(cfg)
+	_, err := eng.Run(spec, src) //want:ctxflow
+	return err
+}
+
+func fromParam(eng *freeride.Engine, spec freeride.Spec, src any, obj any) error {
+	if _, err := eng.RunInto(spec, src, obj); err != nil { //want:ctxflow
+		return err
+	}
+	_, err := eng.RunContext(context.Background(), spec, src) // ctx variant: clean
+	return err
+}
+
+func insideClosure(cfg freeride.Config, spec freeride.Spec, src any) func() error {
+	eng := freeride.New(cfg)
+	return func() error {
+		_, err := eng.Run(spec, src) //want:ctxflow
+		return err
+	}
+}
+
+func clusterSession(cfg cluster.Config, spec any, src any) error {
+	cl := cluster.New(cfg)
+	_, err := cl.Run(spec, src) //want:ctxflow
+	return err
+}
+
+func mapreduceIsExempt(eng *mapreduce.Engine, spec any, src any) error {
+	// mapreduce engines have no context variant; not engine-typed here.
+	_, _, err := eng.Run(spec, src)
+	return err
+}
+
+func suppressed(cfg freeride.Config, spec freeride.Spec, src any) error {
+	eng := freeride.New(cfg)
+	//frds:vet-ignore ctxflow -- one-shot tool path, nothing to cancel
+	_, err := eng.Run(spec, src)
+	return err
+}

@@ -1,0 +1,64 @@
+// Fixture for the kernelpure analyzer. Parsed, never compiled.
+package kernels
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Spec struct {
+	Reduction      func(args *Args) error
+	BlockReduction func(args *Args) error
+	LocalCombine   func(dst, src any) any
+}
+
+type Args struct{ Local any }
+
+var shared float64
+var table = map[int]int{}
+
+func bad() Spec {
+	total := 0.0
+	return Spec{
+		Reduction: func(args *Args) error {
+			total += 1                //want:kernelpure
+			shared = 2                //want:kernelpure
+			table[3] = 4              //want:kernelpure
+			_ = time.Now()            //want:kernelpure
+			_ = rand.Intn(10)         //want:kernelpure
+			go func() { _ = total }() //want:kernelpure
+			return nil
+		},
+	}
+}
+
+func alsoBad() {
+	var s Spec
+	hits := 0
+	s.BlockReduction = func(args *Args) error {
+		hits++ //want:kernelpure
+		return nil
+	}
+	_ = s
+	_ = hits
+}
+
+func good() Spec {
+	scale := 2.0 // captured reads are fine
+	return Spec{
+		Reduction: func(args *Args) error {
+			local := 0.0
+			local += scale
+			args.Local = local
+			for i := 0; i < 3; i++ {
+				local += float64(i)
+			}
+			return nil
+		},
+		LocalCombine: func(dst, src any) any {
+			d := dst.(float64)
+			d += src.(float64)
+			return d
+		},
+	}
+}

@@ -1,0 +1,46 @@
+// Fixture for the obscount analyzer. Parsed, never compiled.
+package counters
+
+import "example.com/obs"
+
+var phases = []string{"split", "reduce"}
+
+// Package-level var initializer: in-loop registration is the sanctioned
+// one-time table fill.
+var phaseCounters = func() map[string]*obs.Counter {
+	m := map[string]*obs.Counter{}
+	for _, p := range phases {
+		m[p] = obs.Default.Counter("phase_ns_total", "time per phase", obs.Label{Key: "phase", Value: p})
+	}
+	return m
+}()
+
+var workerCounters []*obs.Counter
+
+// init: same exemption.
+func init() {
+	for i := 0; i < 4; i++ {
+		workerCounters = append(workerCounters, obs.Default.Counter("w_total", "per worker"))
+	}
+}
+
+// Growing a package-level table lazily: allowed.
+func counterFor(w int) *obs.Counter {
+	for w >= len(workerCounters) {
+		workerCounters = append(workerCounters, obs.Default.Counter("w_total", "per worker"))
+	}
+	return workerCounters[w]
+}
+
+// Hot-loop registration into a local: flagged.
+func process(rows [][]float64) {
+	for range rows {
+		c := obs.Default.Counter("rows_total", "rows processed") //want:obscount
+		c.Inc()
+	}
+}
+
+// Registration outside any loop: clean.
+func setup(r *obs.Registry) *obs.Counter {
+	return r.Counter("setup_total", "one-time")
+}
