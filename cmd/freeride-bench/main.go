@@ -39,8 +39,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -76,9 +79,11 @@ func main() {
 		obsReport   = flag.Bool("obs-report", true, "print the obs counter report after each experiment run")
 		maxCombine  = flag.Float64("max-combine-share", 0, "regression guard: warn when combine phases exceed this fraction of engine wall time per experiment (0 disables)")
 		guardFail   = flag.Bool("guard-fail", false, "exit non-zero when the combine-share guard trips")
+		scrapeCheck = flag.Bool("scrape-check", false, "after the experiments, scrape the -metrics-addr endpoint and verify node-labeled cluster metrics, pass-latency histogram buckets, and a non-empty node-attributed trace; exit non-zero on failure")
 	)
 	flag.Parse()
 
+	metricsBase := ""
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr)
 		if err != nil {
@@ -86,7 +91,8 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "freeride-bench: metrics at http://%s/metrics (also /report, /trace, /debug/vars, /debug/pprof)\n", srv.Addr)
+		metricsBase = "http://" + srv.Addr
+		fmt.Fprintf(os.Stderr, "freeride-bench: metrics at %s/metrics (also /report, /trace, /debug/vars, /debug/pprof)\n", metricsBase)
 	}
 
 	if *listFlag {
@@ -147,6 +153,7 @@ func main() {
 			SessionPasses: *sessionPasses, SessionJobs: jobSweep,
 		}.WithDefaults(e.DefaultScale)
 		phasesBefore := bench.SnapshotPhases()
+		passHistBefore := bench.SnapshotPassHist()
 		tbl, err := e.Run(p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "freeride-bench: %s: %v\n", e.ID, err)
@@ -164,14 +171,36 @@ func main() {
 			guardTripped = true
 			fmt.Fprintf(os.Stderr, "freeride-bench: %s: %s\n", e.ID, diag)
 		}
+		passLatency := bench.PassLatencySince(passHistBefore)
+		if passLatency != nil {
+			fmt.Fprintf(os.Stderr, "freeride-bench: %s: %d engine passes, latency p50\u2264%v p90\u2264%v p99\u2264%v\n",
+				e.ID, passLatency.Count,
+				time.Duration(passLatency.P50ns).Round(time.Microsecond),
+				time.Duration(passLatency.P90ns).Round(time.Microsecond),
+				time.Duration(passLatency.P99ns).Round(time.Microsecond))
+		}
 		if *jsonDir != "" {
 			path := filepath.Join(*jsonDir, "BENCH_"+strings.ReplaceAll(e.ID, "-", "_")+".json")
-			if err := writeReport(path, bench.NewReport(tbl, p, time.Now())); err != nil {
+			rep := bench.NewReport(tbl, p, time.Now())
+			rep.PassLatency = passLatency
+			if err := writeReport(path, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "freeride-bench: json:", err)
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "freeride-bench: wrote %s\n", path)
 		}
+	}
+
+	if *scrapeCheck {
+		if *metricsAddr == "" {
+			fmt.Fprintln(os.Stderr, "freeride-bench: -scrape-check requires -metrics-addr")
+			os.Exit(2)
+		}
+		if err := checkScrape(metricsBase); err != nil {
+			fmt.Fprintln(os.Stderr, "freeride-bench: scrape-check:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "freeride-bench: scrape-check ok (node-labeled metrics, pass-latency buckets, node-attributed trace)")
 	}
 
 	if *obsReport {
@@ -197,6 +226,76 @@ func main() {
 	if guardTripped && *guardFail {
 		os.Exit(1)
 	}
+}
+
+// checkScrape drives the observability acceptance check end to end over
+// HTTP, the way a real scraper would: the Prometheus exposition must carry
+// node-labeled cluster_node_ counters and pass-latency histogram buckets,
+// and the /trace event log must hold at least one run with node-attributed
+// spans (the cluster's merged timeline).
+func checkScrape(base string) error {
+	body, err := httpGet(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"cluster_node_",
+		`node="`,
+		"freeride_pass_duration_seconds_bucket",
+		"cluster_pass_duration_seconds_bucket",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("/metrics exposition is missing %q", want)
+		}
+	}
+	body, err = httpGet(base + "/trace")
+	if err != nil {
+		return err
+	}
+	var log struct {
+		Runs []struct {
+			Job   uint64 `json:"job"`
+			Spans []struct {
+				Node int `json:"node"`
+			} `json:"spans"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &log); err != nil {
+		return fmt.Errorf("/trace JSON: %w", err)
+	}
+	if len(log.Runs) == 0 {
+		return fmt.Errorf("/trace event log is empty")
+	}
+	for _, r := range log.Runs {
+		if r.Job == 0 || len(r.Spans) == 0 {
+			continue
+		}
+		for _, sp := range r.Spans {
+			if sp.Node >= 0 {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("/trace has no job-attributed run with node-attributed spans (no merged cluster timeline)")
+}
+
+// httpGet fetches url and returns the body as a string.
+func httpGet(url string) (string, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(b), nil
 }
 
 // writeReport writes one experiment's JSON report to path.

@@ -71,3 +71,29 @@ func CheckCombineShare(before PhaseSnapshot, maxShare float64) (diag string, ok 
 	return fmt.Sprintf("combine-share guard: combination phases took %.4g%% of %.3fs engine time, above the %.4g%% budget (see freeride_phase_ns_total and robj_* counters)",
 		share*100, total.Seconds(), maxShare*100), false
 }
+
+// SnapshotPassHist reads the engine pass-latency histogram's current state
+// (freeride_pass_duration_seconds), for interval quantiles via
+// PassLatencySince — the histogram analogue of SnapshotPhases.
+func SnapshotPassHist() obs.HistState {
+	if h := obs.Default.FindHistogram("freeride_pass_duration_seconds"); h != nil {
+		return h.State()
+	}
+	return obs.HistState{}
+}
+
+// PassLatencySince summarizes the engine passes observed since the snapshot
+// as count plus p50/p90/p99 nanosecond upper bounds; nil when no pass
+// completed in the interval.
+func PassLatencySince(before obs.HistState) *LatencyQuantiles {
+	h := obs.Default.FindHistogram("freeride_pass_duration_seconds")
+	if h == nil {
+		return nil
+	}
+	d := h.State().Sub(before)
+	if d.Count == 0 {
+		return nil
+	}
+	toNS := func(q float64) int64 { return int64(d.Quantile(q) * 1e9) }
+	return &LatencyQuantiles{Count: d.Count, P50ns: toNS(0.50), P90ns: toNS(0.90), P99ns: toNS(0.99)}
+}

@@ -48,7 +48,11 @@ type Report struct {
 	Rows      [][]string   `json:"rows"`
 	Metrics   []Metric     `json:"metrics,omitempty"`
 	Notes     []string     `json:"notes,omitempty"`
-	Timestamp string       `json:"timestamp"`
+	// PassLatency is the engine pass-latency quantile summary for the
+	// passes this experiment ran (attached by freeride-bench from the
+	// histogram's before/after states); absent when no passes ran.
+	PassLatency *LatencyQuantiles `json:"pass_latency,omitempty"`
+	Timestamp   string            `json:"timestamp"`
 }
 
 // NewReport assembles the report for a finished experiment run. The caller
@@ -74,4 +78,16 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// LatencyQuantiles summarizes an interval of the engine's pass-latency
+// histogram (freeride_pass_duration_seconds): how many passes ran and the
+// log-bucket p50/p90/p99 upper bounds in nanoseconds. Bucket bounds are
+// powers of two, so each quantile is conservative within a factor of two —
+// stable enough for regression tracking across machines.
+type LatencyQuantiles struct {
+	Count int64 `json:"count"`
+	P50ns int64 `json:"p50_ns"`
+	P90ns int64 `json:"p90_ns"`
+	P99ns int64 `json:"p99_ns"`
 }

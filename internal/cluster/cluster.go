@@ -24,13 +24,21 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"chapelfreeride/internal/dataset"
 	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/obs"
 	"chapelfreeride/internal/robj"
 )
+
+// hClusterPass records end-to-end cluster pass wall time (partition through
+// global combination), the cluster-level counterpart of the engine's
+// freeride_pass_duration_seconds.
+var hClusterPass = obs.Default.Histogram("cluster_pass_duration_seconds",
+	"end-to-end cluster pass wall time (partition, node passes, global combination)")
 
 // Transport selects how nodes exchange reduction objects during global
 // combination.
@@ -124,6 +132,9 @@ func (c Config) withDefaults() Config {
 
 // Stats describes one cluster run.
 type Stats struct {
+	// Job is the coordinator-minted job id every node engine pass ran
+	// under; the run's event-log entry and counter deltas carry it.
+	Job obs.JobID
 	// NodeRows is the number of data instances each node processed.
 	NodeRows []int
 	// BytesMoved is the serialized reduction-object volume exchanged
@@ -131,6 +142,15 @@ type Stats struct {
 	BytesMoved int64
 	// Rounds is the number of combination rounds (1 for all-to-one).
 	Rounds int
+	// Spans is the merged node-attributed timeline: the coordinator's own
+	// spans plus every node pass's spans re-based onto the coordinator
+	// clock, each tagged with its node id. Also flushed to obs.Log under
+	// Job.
+	Spans []obs.SpanRecord
+	// NodeDeltas holds each node pass's exact counter deltas, indexed by
+	// node — the same payload published process-wide under the
+	// cluster_node_ prefix with a node label.
+	NodeDeltas [][]obs.MetricDelta
 }
 
 // Result is the cluster-wide reduction outcome.
@@ -160,6 +180,11 @@ type Cluster struct {
 
 	meshMu sync.Mutex
 	mesh   *tcpMesh
+
+	// runMu serializes TCP passes end to end: the announce and combine
+	// frames of one pass must not interleave with another's on the shared
+	// per-connection gob streams.
+	runMu sync.Mutex
 }
 
 // New creates a cluster session. Node engines start lazily on the first Run.
@@ -358,106 +383,205 @@ func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src datase
 	}
 	parts := partition(src.NumRows(), cfg.Nodes)
 
+	// Coordinator-side observability: one job id spans the whole cluster
+	// pass, and the coordinator trace becomes the spine every node pass's
+	// spans are merged onto.
+	job := obs.NextJobID()
+	passStart := time.Now()
+	tr := obs.NewTrace()
+	tr.SetJob(job)
+	runSpan := tr.Start("cluster-run")
+	finishTrace := func() {
+		runSpan.End()
+		hClusterPass.ObserveDuration(time.Since(passStart))
+	}
+
+	// Distributed trace propagation: on the TCP transport the job id is
+	// announced to every node over the mesh before the node passes start, so
+	// each node's engine pass runs under the id it actually received off the
+	// wire. The in-process transport hands the id over directly. The whole
+	// TCP pass holds runMu so announce and combine frames of concurrent
+	// passes never interleave on the shared gob streams.
+	nodeJobs := make([]obs.JobID, cfg.Nodes)
+	for n := range nodeJobs {
+		nodeJobs[n] = job
+	}
+	useMesh := cfg.Transport == TCP && cfg.Nodes > 1
+	var mesh *tcpMesh
+	if useMesh {
+		c.runMu.Lock()
+		defer c.runMu.Unlock()
+		mesh, err = c.ensureMesh()
+		if err != nil {
+			finishTrace()
+			return nil, err
+		}
+		aSpan := runSpan.Child("announce")
+		got, aerr := mesh.announce(job, cfg)
+		aSpan.End()
+		if aerr != nil {
+			c.dropMesh(mesh)
+			finishTrace()
+			obs.Log.AddRun(job, tr.Records())
+			return nil, aerr
+		}
+		nodeJobs = got
+	}
+
 	// Per-node local reduction on the session's persistent node engines.
+	// Each node gets a coordinator span and a clock offset captured at
+	// launch, so its shipped spans can be re-based onto the coordinator
+	// timeline afterwards.
 	finalize := spec.Finalize
 	spec.Finalize = nil
 	results := make([]*freeride.Result, cfg.Nodes)
 	errs := make([]error, cfg.Nodes)
+	nodeSpanIDs := make([]int64, cfg.Nodes)
+	offsets := make([]time.Duration, cfg.Nodes)
 	var wg sync.WaitGroup
 	for n := 0; n < cfg.Nodes; n++ {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
+			nSpan := runSpan.Child("node-" + strconv.Itoa(n))
+			nodeSpanIDs[n] = nSpan.ID()
+			offsets[n] = tr.Elapsed()
+			defer nSpan.End()
 			lo, hi := parts[n][0], parts[n][1]
-			results[n], errs[n] = engines[n].RunContext(ctx, offsetSpec(spec, lo), nodeSource(src, lo, hi))
+			results[n], errs[n] = engines[n].RunContextWithJob(ctx, offsetSpec(spec, lo), nodeSource(src, lo, hi), nodeJobs[n])
 		}(n)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
+		finishTrace()
+		obs.Log.AddRun(job, tr.Records())
 		return nil, err
 	}
 	for _, err := range errs {
 		if err != nil {
+			finishTrace()
+			obs.Log.AddRun(job, tr.Records())
 			return nil, err
 		}
 	}
 
-	// Global combination over the transport.
-	objects := make([]*robj.Object, cfg.Nodes)
-	for n, r := range results {
-		objects[n] = r.Object
-	}
+	// Global combination over the transport. The TCP path ships each node's
+	// spans and counter deltas back with its serialized object; the
+	// in-process path hands them over directly.
+	gSpan := runSpan.Child(freeride.PhaseGlobalCombine)
+	nodeSpans := make([][]obs.SpanRecord, cfg.Nodes)
+	nodeDeltas := make([][]obs.MetricDelta, cfg.Nodes)
+	nodeSpans[0] = results[0].Stats.Spans
+	nodeDeltas[0] = results[0].Stats.JobDeltas
 	var (
 		combined *robj.Object
 		moved    int64
 		rounds   int
 	)
-	switch cfg.Transport {
-	case TCP:
-		combined, moved, rounds, err = c.combineOverMesh(objects)
-	default:
+	if useMesh {
+		payloads := make([]nodePayload, cfg.Nodes)
+		for n, r := range results {
+			payloads[n] = nodePayload{Obj: r.Object, Job: r.Stats.Job, Spans: r.Stats.Spans, Deltas: r.Stats.JobDeltas}
+		}
+		var shipped []*wireObject
+		combined, shipped, moved, rounds, err = mesh.combine(payloads, cfg.Combine, cfg)
+		if err != nil {
+			c.dropMesh(mesh)
+		} else {
+			for n := 1; n < cfg.Nodes; n++ {
+				nodeSpans[n] = shipped[n].Spans
+				nodeDeltas[n] = shipped[n].Deltas
+			}
+		}
+	} else {
+		objects := make([]*robj.Object, cfg.Nodes)
+		for n, r := range results {
+			objects[n] = r.Object
+			nodeSpans[n] = r.Stats.Spans
+			nodeDeltas[n] = r.Stats.JobDeltas
+		}
 		combined, moved, rounds, err = combineInProcess(objects, cfg.Combine)
 	}
+	gSpan.End()
 	if err != nil {
+		finishTrace()
+		obs.Log.AddRun(job, tr.Records())
 		return nil, err
 	}
 	// Both algorithms fold into the root's object, so the non-root objects
 	// are spent; return them to their node engines' pools for the next pass.
 	for n := 1; n < cfg.Nodes; n++ {
 		if rerr := engines[n].Release(results[n]); rerr != nil {
+			finishTrace()
 			return nil, rerr
 		}
 	}
 
 	res := &Result{Object: combined}
+	res.Stats.Job = job
 	for n := range parts {
 		res.Stats.NodeRows = append(res.Stats.NodeRows, parts[n][1]-parts[n][0])
 	}
 	res.Stats.BytesMoved = moved
 	res.Stats.Rounds = rounds
+	res.Stats.NodeDeltas = nodeDeltas
 
 	if finalize != nil {
 		fr := &freeride.Result{Object: combined}
 		if err := finalize(fr); err != nil {
+			finishTrace()
+			obs.Log.AddRun(job, tr.Records())
 			return nil, err
 		}
+	}
+
+	// Merge the node timelines onto the coordinator trace (node spans keep
+	// their internal structure, re-based and re-parented under their node's
+	// coordinator span) and publish each node's counter deltas under the
+	// node-labeled cluster_node_ view. The prefix keeps the node-attributed
+	// family separate from the process-wide counters the in-process node
+	// engines also increment, so neither view double-counts.
+	finishTrace()
+	sets := make([]obs.NodeSpans, 0, cfg.Nodes)
+	for n := 0; n < cfg.Nodes; n++ {
+		sets = append(sets, obs.NodeSpans{Node: n, Offset: offsets[n], Parent: nodeSpanIDs[n], Spans: nodeSpans[n]})
+	}
+	res.Stats.Spans = obs.MergeNodeSpans(tr.Records(), sets)
+	obs.Log.AddRun(job, res.Stats.Spans)
+	for n := 0; n < cfg.Nodes; n++ {
+		obs.Default.AddDeltas("cluster_node_", "per-node counter delta shipped from a node engine pass",
+			nodeDeltas[n], obs.Label{Key: "node", Value: strconv.Itoa(n)})
 	}
 	return res, nil
 }
 
-// combineOverMesh performs the TCP global combination on the session's
-// persistent connection mesh, establishing it on the first pass. A failed
-// combine leaves the per-connection gob streams in an undefined state, so
-// the mesh is discarded and the next pass re-dials from scratch — PR 2's
-// per-call timeout and dial-retry semantics apply to that re-dial as they
-// did to the original.
-func (c *Cluster) combineOverMesh(objects []*robj.Object) (*robj.Object, int64, int, error) {
-	if len(objects) == 1 {
-		return objects[0], 0, 0, nil
-	}
+// ensureMesh returns the session's persistent connection mesh, establishing
+// it on first use. The mesh now exists before the node passes run, because
+// the pre-pass job announce travels over it.
+func (c *Cluster) ensureMesh() (*tcpMesh, error) {
 	c.meshMu.Lock()
-	mesh := c.mesh
-	if mesh == nil {
-		var err error
-		mesh, err = newTCPMesh(len(objects), c.cfg)
+	defer c.meshMu.Unlock()
+	if c.mesh == nil {
+		mesh, err := newTCPMesh(c.cfg.Nodes, c.cfg)
 		if err != nil {
-			c.meshMu.Unlock()
-			return nil, 0, 0, err
+			return nil, err
 		}
 		c.mesh = mesh
 	}
-	c.meshMu.Unlock()
-	combined, moved, rounds, err := mesh.combine(objects, c.cfg.Combine, c.cfg)
-	if err != nil {
-		c.meshMu.Lock()
-		if c.mesh == mesh {
-			c.mesh = nil
-		}
-		c.meshMu.Unlock()
-		mesh.close()
-		return nil, 0, 0, err
+	return c.mesh, nil
+}
+
+// dropMesh discards a mesh whose gob streams are in an undefined state (a
+// failed announce or combine); the next pass re-dials from scratch — PR 2's
+// per-call timeout and dial-retry semantics apply to that re-dial as they
+// did to the original.
+func (c *Cluster) dropMesh(mesh *tcpMesh) {
+	c.meshMu.Lock()
+	if c.mesh == mesh {
+		c.mesh = nil
 	}
-	return combined, moved, rounds, nil
+	c.meshMu.Unlock()
+	mesh.close()
 }
 
 // combineInProcess folds the objects without serialization.

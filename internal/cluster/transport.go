@@ -58,14 +58,39 @@ type meshHello struct {
 	Node int
 }
 
-// wireObject is the gob wire format for a merged reduction object: enough
-// to reconstruct and combine it on the receiving node.
+// jobAnnounce is the root→node frame that propagates the coordinator's job
+// id (the distributed trace context) to every node before a pass: each node
+// engine pass runs under the announced id, so the spans and counter deltas
+// it ships back attribute to the coordinator's job. It travels the reverse
+// gob direction of the mesh connections (each TCP connection carries two
+// independent gob streams, one per direction).
+type jobAnnounce struct {
+	Job uint64
+}
+
+// wireObject is the gob wire format for one node's pass outcome: the merged
+// reduction object plus the pass's observability payload — the node engine's
+// span records and exact per-job counter deltas — so the coordinator can
+// assemble a node-attributed timeline and per-node metric view without any
+// side channel.
 type wireObject struct {
 	Node   int
+	Job    uint64
 	Groups int
 	Elems  int
 	Op     robj.Op
 	Cells  []float64
+	Spans  []obs.SpanRecord
+	Deltas []obs.MetricDelta
+}
+
+// nodePayload is one node's contribution to a global combination: the
+// object to fold plus the pass's shipped observability payload.
+type nodePayload struct {
+	Obj    *robj.Object
+	Job    obs.JobID
+	Spans  []obs.SpanRecord
+	Deltas []obs.MetricDelta
 }
 
 // countingConn wraps a connection and counts the bytes written through it.
@@ -108,6 +133,13 @@ type tcpMesh struct {
 	recv []net.Conn
 	decs []*gob.Decoder
 
+	// Reverse direction (root → node), used by the pre-pass job announce:
+	// the root encodes on its end of each connection, the node decodes on
+	// its own. Separate gob streams from the combine direction, so the two
+	// never share descriptor state.
+	rootEncs []*gob.Encoder
+	nodeDecs []*gob.Decoder
+
 	moved   int64
 	movedMu sync.Mutex
 }
@@ -127,11 +159,13 @@ func newTCPMesh(n int, cfg Config) (*tcpMesh, error) {
 	addr := ln.Addr().String()
 
 	m := &tcpMesh{
-		n:    n,
-		send: make([]net.Conn, n),
-		encs: make([]*gob.Encoder, n),
-		recv: make([]net.Conn, n),
-		decs: make([]*gob.Decoder, n),
+		n:        n,
+		send:     make([]net.Conn, n),
+		encs:     make([]*gob.Encoder, n),
+		recv:     make([]net.Conn, n),
+		decs:     make([]*gob.Decoder, n),
+		rootEncs: make([]*gob.Encoder, n),
+		nodeDecs: make([]*gob.Decoder, n),
 	}
 
 	var dialers sync.WaitGroup
@@ -203,7 +237,73 @@ func newTCPMesh(n int, cfg Config) (*tcpMesh, error) {
 		m.close()
 		return nil, acceptErr
 	}
+	for node := 1; node < n; node++ {
+		m.rootEncs[node] = gob.NewEncoder(m.recv[node])
+		m.nodeDecs[node] = gob.NewDecoder(m.send[node])
+	}
 	return m, nil
+}
+
+// announce propagates the coordinator's job id to every node over the
+// reverse gob direction and returns the id each node actually received (the
+// simulated node side reads its own connection, so the context genuinely
+// crosses the wire). An error leaves the reverse streams in an undefined
+// state; the caller must discard the mesh.
+func (m *tcpMesh) announce(job obs.JobID, cfg Config) ([]obs.JobID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.n
+	deadline := time.Now().Add(cfg.IOTimeout)
+	got := make([]obs.JobID, n)
+	got[0] = job
+
+	var senders sync.WaitGroup
+	sendErrs := make([]error, n)
+	for node := 1; node < n; node++ {
+		senders.Add(1)
+		go func(node int) {
+			defer senders.Done()
+			m.recv[node].SetDeadline(deadline)
+			if err := m.rootEncs[node].Encode(jobAnnounce{Job: uint64(job)}); err != nil {
+				if isTimeout(err) {
+					mIOTimeouts.Inc()
+				}
+				sendErrs[node] = fmt.Errorf("cluster: node %d announce send: %w", node, err)
+				return
+			}
+			m.recv[node].SetDeadline(time.Time{})
+		}(node)
+	}
+	recvErrs := make([]error, n)
+	var receivers sync.WaitGroup
+	for node := 1; node < n; node++ {
+		receivers.Add(1)
+		go func(node int) {
+			defer receivers.Done()
+			m.send[node].SetDeadline(deadline)
+			var a jobAnnounce
+			if err := m.nodeDecs[node].Decode(&a); err != nil {
+				if isTimeout(err) {
+					mIOTimeouts.Inc()
+				}
+				recvErrs[node] = fmt.Errorf("cluster: node %d announce receive: %w", node, err)
+				return
+			}
+			m.send[node].SetDeadline(time.Time{})
+			got[node] = obs.JobID(a.Job)
+		}(node)
+	}
+	receivers.Wait()
+	senders.Wait()
+	for node := 1; node < n; node++ {
+		if recvErrs[node] != nil {
+			return nil, recvErrs[node]
+		}
+		if sendErrs[node] != nil {
+			return nil, sendErrs[node]
+		}
+	}
+	return got, nil
 }
 
 // close tears down every mesh connection. Safe on a partially built mesh.
@@ -228,7 +328,7 @@ func (m *tcpMesh) close() {
 // differ only in who folds, so the simulation folds at the root and reports
 // ⌈log2 N⌉ rounds). An error leaves the gob streams in an undefined state;
 // the caller must discard the mesh.
-func (m *tcpMesh) combine(objects []*robj.Object, algo CombineAlgo, cfg Config) (*robj.Object, int64, int, error) {
+func (m *tcpMesh) combine(payloads []nodePayload, algo CombineAlgo, cfg Config) (*robj.Object, []*wireObject, int64, int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := m.n
@@ -248,14 +348,18 @@ func (m *tcpMesh) combine(objects []*robj.Object, algo CombineAlgo, cfg Config) 
 		senders.Add(1)
 		go func(node int) {
 			defer senders.Done()
-			o := objects[node]
+			p := payloads[node]
+			o := p.Obj
 			m.send[node].SetDeadline(deadline)
 			err := m.encs[node].Encode(wireObject{
 				Node:   node,
+				Job:    uint64(p.Job),
 				Groups: o.Groups(),
 				Elems:  o.ElemsPerGroup(),
 				Op:     o.Op(),
 				Cells:  o.Snapshot(),
+				Spans:  p.Spans,
+				Deltas: p.Deltas,
 			})
 			if err != nil {
 				if isTimeout(err) {
@@ -296,21 +400,21 @@ func (m *tcpMesh) combine(objects []*robj.Object, algo CombineAlgo, cfg Config) 
 	senders.Wait()
 	for node := 1; node < n; node++ {
 		if recvErrs[node] != nil {
-			return nil, 0, 0, recvErrs[node]
+			return nil, nil, 0, 0, recvErrs[node]
 		}
 		if sendErrs[node] != nil {
-			return nil, 0, 0, sendErrs[node]
+			return nil, nil, 0, 0, sendErrs[node]
 		}
 	}
 
-	dst := objects[0]
+	dst := payloads[0].Obj
 	for node := 1; node < n; node++ {
 		w := received[node]
 		if w.Groups != dst.Groups() || w.Elems != dst.ElemsPerGroup() || w.Op != dst.Op() {
-			return nil, 0, 0, fmt.Errorf("cluster: node %d object shape/op mismatch", node)
+			return nil, nil, 0, 0, fmt.Errorf("cluster: node %d object shape/op mismatch", node)
 		}
 		if err := dst.CombineCells(w.Cells); err != nil {
-			return nil, 0, 0, fmt.Errorf("cluster: node %d: %w", node, err)
+			return nil, nil, 0, 0, fmt.Errorf("cluster: node %d: %w", node, err)
 		}
 	}
 
@@ -324,5 +428,5 @@ func (m *tcpMesh) combine(objects []*robj.Object, algo CombineAlgo, cfg Config) 
 			rounds++
 		}
 	}
-	return dst, moved, rounds, nil
+	return dst, received, moved, rounds, nil
 }

@@ -71,6 +71,13 @@ var (
 	mRuns          = obs.Default.Counter("freeride_runs_total", "engine passes executed")
 	mRunsFailed    = obs.Default.Counter("freeride_runs_failed_total", "engine passes that returned a non-cancellation error")
 	mRunsCancelled = obs.Default.Counter("freeride_runs_cancelled_total", "engine passes cancelled or timed out via context")
+	// Latency histograms: end-to-end pass wall time (success and failure
+	// both observed, so tail latency includes error paths), per-split
+	// processing time on the workers, and the combine phase (local merge +
+	// user Combine). Log-bucketed; quantiles via obs.HistState.Quantile.
+	hPass    = obs.Default.Histogram("freeride_pass_duration_seconds", "end-to-end engine pass wall time")
+	hSplit   = obs.Default.Histogram("freeride_split_duration_seconds", "per-split processing time (read + user reduction + flush)")
+	hCombine = obs.Default.Histogram("freeride_combine_duration_seconds", "combination phase wall time (local merge + user Combine)")
 	// phaseNS accumulates per-phase wall time in nanoseconds, resolved once
 	// at init so the engine never does registry lookups mid-run.
 	phaseNS = func() map[string]*obs.Counter {
@@ -257,6 +264,13 @@ func (s Spec) Verify() verify.Diagnostics {
 
 // Stats is the timing breakdown of a Run.
 type Stats struct {
+	// Job is the pass's job id (obs.NextJobID, process-unique). Cluster
+	// passes run every node's engine pass under the coordinator's id.
+	Job obs.JobID
+	// JobDeltas is the pass's exact counter deltas — the job-scoped view of
+	// the same increments the process-wide obs registry received, sorted by
+	// key. Concurrent jobs on one session never blur into each other here.
+	JobDeltas []obs.MetricDelta
 	// SplitTime is time spent computing the split table.
 	SplitTime time.Duration
 	// ReduceTime is the wall time of the parallel local-reduction phase.

@@ -34,6 +34,7 @@ type job struct {
 	errOnce  sync.Once
 	firstErr error
 
+	jm           *obs.JobMetrics
 	locals       []any
 	workerCPU    []time.Duration
 	workerSplits []int64
@@ -75,11 +76,19 @@ func (j *job) runSlot(slot int, ws *workerState) {
 	wSpan := j.reduceSpan.Child("worker")
 	wSpan.SetWorker(slot)
 	defer wSpan.End()
+	var blockFlushes, rowsFused int64
 	defer func() {
 		wc := countersForWorker(slot)
 		wc.splits.Add(j.workerSplits[slot])
 		wc.rows.Add(j.workerRows[slot])
 		wc.busyNS.Add(int64(j.workerBusy[slot]))
+		// Job-scoped deltas flush once per slot, not per split, so the hot
+		// loop pays no extra locking and the alloc guards stay flat.
+		j.jm.Add("freeride_splits_total", j.workerSplits[slot])
+		j.jm.Add("freeride_rows_total", j.workerRows[slot])
+		j.jm.Add("freeride_busy_ns_total", int64(j.workerBusy[slot]))
+		j.jm.Add("freeride_block_flushes_total", blockFlushes)
+		j.jm.Add("freeride_rows_fused_total", rowsFused)
 	}()
 	// Fused path: validated by run() to imply a cell-based object and no
 	// LocalInit. The worker-local accumulation buffer comes from the pool
@@ -157,6 +166,8 @@ func (j *job) runSlot(slot int, ws *workerState) {
 				fillIdentity(bargs.acc, accID)
 				mBlockFlushes.Inc()
 				mRowsFused.Add(int64(n))
+				blockFlushes++
+				rowsFused += int64(n)
 			} else {
 				args.Data = data
 				args.NumRows = n
@@ -166,7 +177,9 @@ func (j *job) runSlot(slot int, ws *workerState) {
 					return
 				}
 			}
-			j.workerBusy[slot] += time.Since(splitStart)
+			splitDur := time.Since(splitStart)
+			hSplit.ObserveDuration(splitDur)
+			j.workerBusy[slot] += splitDur
 			j.workerSplits[slot]++
 			j.workerRows[slot] += int64(n)
 		}
@@ -178,7 +191,7 @@ func (j *job) runSlot(slot int, ws *workerState) {
 // merged and ready for Get/Snapshot; hand it back with Engine.Release when
 // done to let the next pass reuse the allocation.
 func (e *Engine) Run(spec Spec, src dataset.Source) (*Result, error) {
-	return e.run(context.Background(), spec, src, nil)
+	return e.run(context.Background(), spec, src, nil, 0)
 }
 
 // RunContext is Run under a context: workers check for cancellation between
@@ -188,7 +201,15 @@ func (e *Engine) Run(spec Spec, src dataset.Source) (*Result, error) {
 // slow source read. First error wins; a cancelled run returns no partial
 // result.
 func (e *Engine) RunContext(ctx context.Context, spec Spec, src dataset.Source) (*Result, error) {
-	return e.run(ctx, spec, src, nil)
+	return e.run(ctx, spec, src, nil, 0)
+}
+
+// RunContextWithJob is RunContext under a caller-minted job id, so a
+// coordinator (the cluster layer) can run several node engine passes under
+// one job and aggregate their traces and counter deltas. A zero id mints a
+// fresh one, making it equivalent to RunContext.
+func (e *Engine) RunContextWithJob(ctx context.Context, spec Spec, src dataset.Source, job obs.JobID) (*Result, error) {
+	return e.run(ctx, spec, src, nil, job)
 }
 
 // RunInto is Run reusing the reduction object of a previous Result: reuse
@@ -221,7 +242,7 @@ func (e *Engine) RunIntoContext(ctx context.Context, spec Spec, src dataset.Sour
 			reuse.Strategy(), reuse.Workers(), e.cfg.Strategy, e.cfg.Threads)
 	}
 	reuse.Reset()
-	return e.run(ctx, spec, src, reuse)
+	return e.run(ctx, spec, src, reuse, 0)
 }
 
 // run validates the spec, submits one job to the worker pool, waits for it,
@@ -231,7 +252,7 @@ func (e *Engine) RunIntoContext(ctx context.Context, spec Spec, src dataset.Sour
 // source with zero rows yields an identity-valued reduction object (no
 // splits are scheduled, so the merged object holds the Op's identity in
 // every cell).
-func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *robj.Object) (*Result, error) {
+func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *robj.Object, jobID obs.JobID) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -265,7 +286,15 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 	mJobs.Inc()
 	jobsInflight.Add(1)
 	defer jobsInflight.Add(-1)
+	if jobID == 0 {
+		jobID = obs.NextJobID()
+	}
+	jm := obs.NewJobMetrics(jobID)
+	jm.Add("freeride_runs_total", 1)
+	res.Stats.Job = jobID
+	passStart := time.Now()
 	tr := obs.NewTrace()
+	tr.SetJob(jobID)
 	runSpan := tr.Start("run")
 	// fail finishes the run on an error path: any still-open child spans are
 	// ended, the run span closes, and the partial trace is flushed to obs.Log
@@ -275,13 +304,22 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 			s.End()
 		}
 		runSpan.End()
-		obs.Log.Add(tr.Records())
+		hPass.ObserveDuration(time.Since(passStart))
+		obs.Log.AddRun(jobID, tr.Records())
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			mRunsCancelled.Inc()
+			jm.Add("freeride_runs_cancelled_total", 1)
 		} else {
 			mRunsFailed.Inc()
+			jm.Add("freeride_runs_failed_total", 1)
 		}
 		return nil, err
+	}
+
+	// addPhase records one phase's wall time both process-wide and job-scoped.
+	addPhase := func(phase string, d time.Duration) {
+		phaseNS[phase].Add(int64(d))
+		jm.Add("freeride_phase_ns_total", int64(d), obs.Label{Key: "phase", Value: phase})
 	}
 
 	// Split phase. The default splitter fills a pooled per-engine table;
@@ -299,7 +337,7 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 	splitErr := validateSplits(splits, src.NumRows())
 	res.Stats.SplitTime = time.Since(t0)
 	splitSpan.End()
-	phaseNS[PhaseSplit].Add(int64(res.Stats.SplitTime))
+	addPhase(PhaseSplit, res.Stats.SplitTime)
 	if splitErr != nil {
 		return fail(splitErr)
 	}
@@ -314,6 +352,7 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 	j := &job{
 		ctx:          ctx,
 		spec:         spec,
+		jm:           jm,
 		reader:       dataset.NewReader(src),
 		splits:       splits,
 		sched:        e.acquireSched(len(splits)),
@@ -353,7 +392,7 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 	if abandoned {
 		// The straggler still holds the scheduler and split table, so they
 		// are dropped for the GC instead of returned to the pools.
-		phaseNS[PhaseReduce].Add(int64(time.Since(t0)))
+		addPhase(PhaseReduce, time.Since(t0))
 		return fail(ctx.Err(), reduceSpan)
 	}
 	e.releaseSched(j.sched)
@@ -362,7 +401,7 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 	}
 	res.Stats.ReduceTime = time.Since(t0)
 	reduceSpan.End()
-	phaseNS[PhaseReduce].Add(int64(res.Stats.ReduceTime))
+	addPhase(PhaseReduce, res.Stats.ReduceTime)
 	if j.measureCPU {
 		res.Stats.WorkerCPU = j.workerCPU
 	}
@@ -390,18 +429,19 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 		res.Local = merged
 	}
 	lcSpan.End()
-	phaseNS[PhaseLocalCombine].Add(int64(time.Since(t0)))
+	addPhase(PhaseLocalCombine, time.Since(t0))
 	if spec.Combine != nil {
 		tc := time.Now()
 		cSpan := runSpan.Child(PhaseCombine)
 		err := spec.Combine(obj)
 		cSpan.End()
-		phaseNS[PhaseCombine].Add(int64(time.Since(tc)))
+		addPhase(PhaseCombine, time.Since(tc))
 		if err != nil {
 			return fail(err)
 		}
 	}
 	res.Stats.CombineTime = time.Since(t0)
+	hCombine.ObserveDuration(res.Stats.CombineTime)
 
 	// Finalize.
 	if spec.Finalize != nil {
@@ -410,14 +450,16 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 		err := spec.Finalize(res)
 		fSpan.End()
 		res.Stats.FinalizeTime = time.Since(t0)
-		phaseNS[PhaseFinalize].Add(int64(res.Stats.FinalizeTime))
+		addPhase(PhaseFinalize, res.Stats.FinalizeTime)
 		if err != nil {
 			return fail(err)
 		}
 	}
 	runSpan.End()
+	hPass.ObserveDuration(time.Since(passStart))
 	res.Stats.Spans = tr.Records()
-	obs.Log.Add(res.Stats.Spans)
+	res.Stats.JobDeltas = jm.Deltas()
+	obs.Log.AddRun(jobID, res.Stats.Spans)
 	return res, nil
 }
 

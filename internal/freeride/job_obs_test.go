@@ -1,0 +1,120 @@
+package freeride
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/obs"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/sched"
+)
+
+// TestJobScopedDeltasConcurrent is the acceptance check for job-scoped
+// observability: several jobs with different row counts run concurrently on
+// one session's shared pool, and each Result's JobDeltas must report exactly
+// that job's rows — the per-job view never blurs across concurrent jobs the
+// way a registry-wide diff would.
+func TestJobScopedDeltasConcurrent(t *testing.T) {
+	e := New(Config{Threads: 4, SplitRows: 16, Scheduler: sched.Dynamic})
+	defer e.Close()
+
+	rowCounts := []int{100, 500, 900, 1300}
+	results := make([]*Result, len(rowCounts))
+	errs := make([]error, len(rowCounts))
+	var wg sync.WaitGroup
+	for i, rows := range rowCounts {
+		wg.Add(1)
+		go func(i, rows int) {
+			defer wg.Done()
+			src := dataset.NewMemorySource(dataset.UniformMatrix(rows, 2, int64(i+1), 0, 1))
+			results[i], errs[i] = e.Run(sumSpec(), src)
+		}(i, rows)
+	}
+	wg.Wait()
+
+	seenJobs := map[obs.JobID]bool{}
+	for i, rows := range rowCounts {
+		if errs[i] != nil {
+			t.Fatalf("job %d failed: %v", i, errs[i])
+		}
+		st := results[i].Stats
+		if st.Job == 0 {
+			t.Fatalf("job %d has no job id", i)
+		}
+		if seenJobs[st.Job] {
+			t.Fatalf("job id %d assigned twice", st.Job)
+		}
+		seenJobs[st.Job] = true
+		deltas := map[string]int64{}
+		for _, d := range st.JobDeltas {
+			deltas[d.Key()] = d.Value
+		}
+		if got := deltas["freeride_rows_total"]; got != int64(rows) {
+			t.Errorf("job %d: freeride_rows_total = %d, want exactly %d", i, got, rows)
+		}
+		if got := deltas["freeride_runs_total"]; got != 1 {
+			t.Errorf("job %d: freeride_runs_total = %d, want 1", i, got)
+		}
+		if got := deltas["freeride_splits_total"]; got != int64(st.Splits) {
+			t.Errorf("job %d: freeride_splits_total = %d, want %d", i, got, st.Splits)
+		}
+		if deltas[`freeride_phase_ns_total{phase="reduce"}`] <= 0 {
+			t.Errorf("job %d: no reduce-phase time attributed", i)
+		}
+		e.Release(results[i])
+	}
+}
+
+// TestRunContextWithJob checks that a caller-minted id is honored (the
+// cluster coordinator path) and that the run's trace and event-log entry
+// carry it.
+func TestRunContextWithJob(t *testing.T) {
+	e := New(Config{Threads: 2})
+	defer e.Close()
+	src := dataset.NewMemorySource(dataset.UniformMatrix(64, 1, 1, 0, 1))
+
+	id := obs.NextJobID()
+	res, err := e.RunContextWithJob(context.Background(), sumSpec(), src, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Release(res)
+	if res.Stats.Job != id {
+		t.Fatalf("Stats.Job = %d, want caller-minted %d", res.Stats.Job, id)
+	}
+	if len(res.Stats.JobDeltas) == 0 {
+		t.Fatal("no job deltas recorded")
+	}
+}
+
+// TestPassHistogramRecords checks the engine observes pass, split, and
+// combine latency into the registered histograms.
+func TestPassHistogramRecords(t *testing.T) {
+	for _, name := range []string{
+		"freeride_pass_duration_seconds",
+		"freeride_split_duration_seconds",
+		"freeride_combine_duration_seconds",
+	} {
+		if obs.Default.FindHistogram(name) == nil {
+			t.Fatalf("histogram %s not registered", name)
+		}
+	}
+	before := obs.Default.FindHistogram("freeride_pass_duration_seconds").State()
+	e := New(Config{Threads: 2, Strategy: robj.FullLocking})
+	defer e.Close()
+	src := dataset.NewMemorySource(dataset.UniformMatrix(256, 1, 1, 0, 1))
+	res, err := e.Run(sumSpec(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Release(res)
+	d := obs.Default.FindHistogram("freeride_pass_duration_seconds").State().Sub(before)
+	if d.Count < 1 {
+		t.Fatalf("pass histogram recorded %d observations, want >= 1", d.Count)
+	}
+	if p99 := d.Quantile(0.99); p99 <= 0 {
+		t.Errorf("pass p99 = %g, want > 0", p99)
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Log-bucketed latency histogram. The engine's latency distributions span
+// five orders of magnitude (a microsecond split read to a multi-second
+// cluster pass), so buckets are powers of two over seconds: the first finite
+// upper bound is 2^histMinExp s (≈ 1 µs) and the last 2^histMaxExp s (256 s),
+// with one overflow (+Inf) bucket. Observations are two atomic adds — cheap
+// enough to record per split on the engine hot path — and quantiles are
+// extracted from the bucket counts with at most a factor-of-two error, which
+// is what p50/p99 dashboards and the auto-tuner need (orders of magnitude,
+// not nanosecond precision).
+const (
+	histMinExp = -20 // first finite bucket bound: 2^-20 s ≈ 0.95 µs
+	histMaxExp = 8   // last finite bucket bound: 2^8 s = 256 s
+	// histBuckets counts the finite buckets plus the +Inf overflow bucket.
+	histBuckets = histMaxExp - histMinExp + 2
+)
+
+// histBounds holds the finite bucket upper bounds in seconds, index-aligned
+// with Histogram.counts; the final bucket is +Inf and has no entry here.
+var histBounds = func() [histBuckets - 1]float64 {
+	var b [histBuckets - 1]float64
+	for i := range b {
+		b[i] = math.Ldexp(1, histMinExp+i)
+	}
+	return b
+}()
+
+// Histogram is a fixed-shape, log-bucketed distribution of non-negative
+// values (seconds). All methods are safe for concurrent use, and a nil
+// *Histogram is a valid no-op receiver so call sites never need nil checks.
+type Histogram struct {
+	counts  [histBuckets]atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+// bucketIndex returns the index of the smallest bucket whose upper bound
+// is >= v.
+func bucketIndex(v float64) int {
+	if v <= histBounds[0] {
+		return 0
+	}
+	// v = frac * 2^exp with frac in [0.5, 1): the smallest power-of-two
+	// bound >= v is 2^(exp-1) exactly when frac == 0.5, 2^exp otherwise.
+	frac, exp := math.Frexp(v)
+	if frac == 0.5 {
+		exp--
+	}
+	idx := exp - histMinExp
+	if idx >= histBuckets {
+		return histBuckets - 1 // +Inf bucket
+	}
+	return idx
+}
+
+// Observe records one value. Negative and NaN values are clamped into the
+// first bucket so a clock hiccup never corrupts the distribution.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// State reads the histogram's current bucket counts, total count, and sum.
+func (h *Histogram) State() HistState {
+	var s HistState
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of everything observed so
+// far; see HistState.Quantile.
+func (h *Histogram) Quantile(q float64) float64 { return h.State().Quantile(q) }
+
+// HistState is one reading of a Histogram: per-bucket counts (index-aligned
+// with Buckets()), total observation count, and value sum. States taken from
+// the same histogram can be subtracted to scope a distribution to an
+// interval (a benchmark experiment, one service window).
+type HistState struct {
+	Counts [histBuckets]int64
+	Count  int64
+	Sum    float64
+}
+
+// Sub returns the distribution observed between prev and s (s - prev,
+// element-wise). Both states must come from the same histogram, s after prev.
+func (s HistState) Sub(prev HistState) HistState {
+	out := HistState{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return out
+}
+
+// Quantile returns the upper bound of the bucket containing the q-quantile
+// observation (0 <= q <= 1) — a conservative estimate within one power of
+// two of the true value. It returns 0 when nothing was observed; the +Inf
+// bucket reports the largest finite bound.
+func (s HistState) Quantile(q float64) float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			if i >= len(histBounds) {
+				return histBounds[len(histBounds)-1]
+			}
+			return histBounds[i]
+		}
+	}
+	return histBounds[len(histBounds)-1]
+}
+
+// Buckets returns the finite bucket upper bounds in seconds (the final,
+// +Inf bucket is implicit).
+func Buckets() []float64 {
+	out := make([]float64, len(histBounds))
+	copy(out, histBounds[:])
+	return out
+}
+
+// Histogram returns the histogram registered under name+labels, creating
+// and registering it on first use, mirroring Registry.Counter. Histograms
+// are rendered in the Prometheus exposition as a classic histogram family
+// (<name>_bucket{le="..."} cumulative counts, <name>_sum, <name>_count).
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[key]; ok && m.h != nil {
+		return m.h
+	}
+	m := &metric{family: name, labels: ls, help: help, h: &Histogram{}}
+	r.index[key] = m
+	r.metrics = append(r.metrics, m)
+	return m.h
+}
+
+// FindHistogram returns the histogram registered under name+labels, or nil
+// when no such histogram exists. Like Registry.Value it never creates
+// metrics, so it is safe to probe from reports and guards.
+func (r *Registry) FindHistogram(name string, labels ...Label) *Histogram {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[key]; ok {
+		return m.h
+	}
+	return nil
+}
+
+// HistSample is one histogram reading taken by HistSnapshot.
+type HistSample struct {
+	// Name is the metric family name.
+	Name string
+	// Labels is the rendered label set ({k="v",...}) or "".
+	Labels string
+	// Help is the family's help text.
+	Help string
+	// State is the histogram reading.
+	State HistState
+}
+
+// HistSnapshot reads every registered histogram, sorted by family name then
+// label set (the histogram counterpart of Snapshot).
+func (r *Registry) HistSnapshot() []HistSample {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		if m.h != nil {
+			ms = append(ms, m)
+		}
+	}
+	r.mu.Unlock()
+	out := make([]HistSample, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, HistSample{Name: m.family, Labels: m.labels, Help: m.help, State: m.h.State()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}

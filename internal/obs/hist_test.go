@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewRegistry().Histogram("h_seconds", "test")
+	bounds := Buckets()
+	// Each finite bound must land in the bucket it bounds (le is inclusive).
+	for i, b := range bounds {
+		idx := bucketIndex(b)
+		if idx != i {
+			t.Errorf("bound %g landed in bucket %d, want %d", b, idx, i)
+		}
+	}
+	// A value just above a bound belongs to the next bucket.
+	if idx := bucketIndex(bounds[3] * 1.001); idx != 4 {
+		t.Errorf("value above bounds[3] landed in bucket %d, want 4", idx)
+	}
+	h.Observe(1e-9) // below the smallest bound → bucket 0
+	h.Observe(1e9)  // above the largest bound → +Inf bucket
+	h.Observe(0)    // zero clamps into bucket 0
+	h.Observe(-5)   // negative clamps to 0
+	h.Observe(math.NaN())
+	st := h.State()
+	if st.Count != 5 {
+		t.Fatalf("Count = %d, want 5", st.Count)
+	}
+	if st.Counts[0] != 4 {
+		t.Errorf("bucket 0 holds %d, want 4 (tiny, zero, negative, NaN)", st.Counts[0])
+	}
+	if st.Counts[len(st.Counts)-1] != 1 {
+		t.Errorf("+Inf bucket holds %d, want 1", st.Counts[len(st.Counts)-1])
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewRegistry().Histogram("h_seconds", "test")
+	// 90 fast observations (~1ms) and 10 slow (~1s): p50 must bound the fast
+	// cluster, p99 the slow one. Bounds are powers of two, so the quantile is
+	// the bucket's upper bound.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1.0)
+	}
+	st := h.State()
+	p50 := st.Quantile(0.50)
+	p99 := st.Quantile(0.99)
+	if p50 < 0.001 || p50 > 0.002 {
+		t.Errorf("p50 = %g, want within [0.001, 0.002]", p50)
+	}
+	if p99 < 1.0 || p99 > 2.0 {
+		t.Errorf("p99 = %g, want within [1, 2]", p99)
+	}
+	if p50 > p99 {
+		t.Errorf("p50 (%g) > p99 (%g)", p50, p99)
+	}
+	if q := (HistState{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty-state quantile = %g, want 0", q)
+	}
+}
+
+func TestHistStateSub(t *testing.T) {
+	h := NewRegistry().Histogram("h_seconds", "test")
+	h.Observe(0.01)
+	before := h.State()
+	h.Observe(0.5)
+	h.Observe(0.5)
+	d := h.State().Sub(before)
+	if d.Count != 2 {
+		t.Fatalf("interval Count = %d, want 2", d.Count)
+	}
+	if math.Abs(d.Sum-1.0) > 1e-9 {
+		t.Errorf("interval Sum = %g, want 1.0", d.Sum)
+	}
+	if q := d.Quantile(0.5); q < 0.5 || q > 1.0 {
+		t.Errorf("interval p50 = %g, want within [0.5, 1]", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("h_seconds", "test")
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveDuration(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	st := h.State()
+	if st.Count != goroutines*per {
+		t.Fatalf("Count = %d, want %d", st.Count, goroutines*per)
+	}
+	want := float64(goroutines*per) * 0.001
+	if math.Abs(st.Sum-want) > 1e-6 {
+		t.Errorf("Sum = %g, want %g", st.Sum, want)
+	}
+}
+
+func TestHistogramRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("h_seconds", "test", Label{Key: "k", Value: "v"})
+	b := r.Histogram("h_seconds", "other help", Label{Key: "k", Value: "v"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct histograms")
+	}
+	if r.FindHistogram("h_seconds", Label{Key: "k", Value: "v"}) != a {
+		t.Error("FindHistogram did not return the registered histogram")
+	}
+	if r.FindHistogram("absent_seconds") != nil {
+		t.Error("FindHistogram of an absent family returned non-nil")
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.State().Count != 0 {
+		t.Error("nil histogram state not empty")
+	}
+}

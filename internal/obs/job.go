@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job-scoped observability. Process-wide counters answer "what has this
+// process done since it started"; a service multiplexing concurrent jobs
+// onto shared engine sessions also needs "what did job N cost, exactly". A
+// JobID is minted per engine submission (NextJobID), carried through the run
+// (RunContext → trace → event log), and every per-job increment is recorded
+// twice: once into the global registry and once into the job's JobMetrics —
+// so concurrent jobs on one session never blur into each other's deltas.
+// CounterSnapshot/Diff give the same interval semantics over the whole
+// registry for callers that own the process (benchmarks, tests).
+
+// JobID identifies one engine or cluster submission. IDs are process-unique
+// and monotonically increasing; 0 means "no job attributed".
+type JobID uint64
+
+var jobIDs atomic.Uint64
+
+// NextJobID mints a process-unique job id.
+func NextJobID() JobID { return JobID(jobIDs.Add(1)) }
+
+// MetricDelta is one named counter delta attributed to a job (or shipped
+// from a cluster node). Fields are exported so deltas cross the cluster's
+// gob mesh as-is.
+type MetricDelta struct {
+	// Name is the metric family name.
+	Name string
+	// Labels is the structured label set (may be empty).
+	Labels []Label
+	// Value is the counted delta.
+	Value int64
+}
+
+// Key returns the delta's registry-style key: family name plus rendered
+// label set.
+func (d MetricDelta) Key() string { return d.Name + renderLabels(d.Labels) }
+
+// JobMetrics collects one job's exact counter deltas. The engine routes
+// each per-job increment here in addition to the global counter; Deltas and
+// Snapshot read them back. All methods are safe for concurrent use and a
+// nil *JobMetrics is a valid no-op receiver, so recording sites never
+// branch.
+type JobMetrics struct {
+	id JobID
+
+	mu sync.Mutex
+	ds []MetricDelta
+	// keys caches ds[i].Key() so the Add scan and the Deltas sort compare
+	// without re-concatenating name+labels per probe (the engine's alloc
+	// guards count every pass allocation).
+	keys []string
+}
+
+// NewJobMetrics creates an empty per-job counter set.
+func NewJobMetrics(id JobID) *JobMetrics { return &JobMetrics{id: id} }
+
+// ID reports the job this set is scoped to (0 for a nil receiver).
+func (j *JobMetrics) ID() JobID {
+	if j == nil {
+		return 0
+	}
+	return j.id
+}
+
+// Add accumulates n into the job's delta for name+labels. The entry count is
+// small and bounded (one per engine counter family), so lookup is a linear
+// scan — no map allocation on the per-pass path.
+func (j *JobMetrics) Add(name string, n int64, labels ...Label) {
+	if j == nil || n == 0 {
+		return
+	}
+	key := name
+	if len(labels) > 0 {
+		key = name + renderLabels(labels)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, k := range j.keys {
+		if k == key {
+			j.ds[i].Value += n
+			return
+		}
+	}
+	j.ds = append(j.ds, MetricDelta{Name: name, Labels: labels, Value: n})
+	j.keys = append(j.keys, key)
+}
+
+// Deltas returns the job's counter deltas sorted by key, ready to attach to
+// a Result, ship over the cluster mesh, or feed the auto-tuner.
+func (j *JobMetrics) Deltas() []MetricDelta {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	out := make([]MetricDelta, len(j.ds))
+	keys := make([]string, len(j.keys))
+	copy(out, j.ds)
+	copy(keys, j.keys)
+	j.mu.Unlock()
+	sort.Sort(&deltasByKey{ds: out, keys: keys})
+	return out
+}
+
+// deltasByKey sorts deltas by their cached keys without re-rendering them.
+type deltasByKey struct {
+	ds   []MetricDelta
+	keys []string
+}
+
+func (s *deltasByKey) Len() int           { return len(s.ds) }
+func (s *deltasByKey) Less(a, b int) bool { return s.keys[a] < s.keys[b] }
+func (s *deltasByKey) Swap(a, b int) {
+	s.ds[a], s.ds[b] = s.ds[b], s.ds[a]
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+}
+
+// Snapshot returns the job's deltas as a CounterSnapshot, so job-scoped and
+// registry-scoped readings diff with the same API.
+func (j *JobMetrics) Snapshot() CounterSnapshot {
+	ds := j.Deltas()
+	out := make(CounterSnapshot, len(ds))
+	for _, d := range ds {
+		out[d.Key()] = d.Value
+	}
+	return out
+}
+
+// CounterSnapshot is a point-in-time reading of counters, keyed by family
+// name plus rendered label set.
+type CounterSnapshot map[string]int64
+
+// CounterSnapshot reads every registered counter (gauges and histograms are
+// excluded: deltas of instantaneous or bucketed readings have no counter
+// semantics).
+func (r *Registry) CounterSnapshot() CounterSnapshot {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	out := make(CounterSnapshot, len(ms))
+	for _, m := range ms {
+		if m.c != nil {
+			out[m.family+m.labels] = m.c.Value()
+		}
+	}
+	return out
+}
+
+// Diff returns the counters that changed since prev as key → delta. Counters
+// absent from prev (registered since) diff against zero.
+func (s CounterSnapshot) Diff(prev CounterSnapshot) CounterSnapshot {
+	out := CounterSnapshot{}
+	for k, v := range s {
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// AddDeltas folds shipped counter deltas into the registry under
+// prefix+Name with extra labels appended — the coordinator-side publication
+// of per-node counters (prefix "cluster_node_", extra label node="N"). The
+// prefix keeps the node-attributed view a separate family from the
+// process-wide counters the in-process simulation also increments, so sums
+// over either family never double-count.
+func (r *Registry) AddDeltas(prefix, help string, deltas []MetricDelta, extra ...Label) {
+	for _, d := range deltas {
+		labels := make([]Label, 0, len(d.Labels)+len(extra))
+		labels = append(labels, d.Labels...)
+		labels = append(labels, extra...)
+		//frds:vet-ignore obscount -- one registration per shipped delta per cluster pass (not a hot loop); repeats dedupe to a registry map hit
+		r.Counter(prefix+d.Name, help, labels...).Add(d.Value)
+	}
+}
+
+// NodeSpans is one node's contribution to a merged cluster timeline: the
+// spans its engine pass recorded, the node id to attribute them to, the
+// offset of that pass's start on the coordinator's clock, and the
+// coordinator span to parent the node's root spans under.
+type NodeSpans struct {
+	// Node is the node id the spans ran on.
+	Node int
+	// Offset is the node pass's start relative to the coordinator trace's
+	// start; node-local span offsets are re-based by it.
+	Offset time.Duration
+	// Parent is the coordinator span id the node's root spans nest under
+	// (0 to keep them roots).
+	Parent int64
+	// Spans are the node pass's records, with node-local ids and offsets.
+	Spans []SpanRecord
+}
+
+// MergeNodeSpans builds one node-attributed timeline from the coordinator's
+// own spans plus each node's shipped spans: node span ids are re-based past
+// the largest id in use so they stay unique, offsets move onto the
+// coordinator clock, parents are preserved within a node (roots re-parent to
+// the node's coordinator span), and every node span gets its node id. The
+// result is sorted like Trace.Records.
+func MergeNodeSpans(coordinator []SpanRecord, nodes []NodeSpans) []SpanRecord {
+	out := make([]SpanRecord, 0, len(coordinator))
+	var maxID int64
+	for _, r := range coordinator {
+		if r.ID > maxID {
+			maxID = r.ID
+		}
+		out = append(out, r)
+	}
+	for _, n := range nodes {
+		base := maxID
+		for _, r := range n.Spans {
+			if base+r.ID > maxID {
+				maxID = base + r.ID
+			}
+			r.ID += base
+			if r.Parent != 0 {
+				r.Parent += base
+			} else {
+				r.Parent = n.Parent
+			}
+			r.Start += n.Offset
+			r.Node = n.Node
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

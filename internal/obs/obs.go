@@ -64,13 +64,15 @@ const (
 	KindGauge
 )
 
-// metric is one registered sample: a counter or a gauge function.
+// metric is one registered sample: a counter, a gauge function, or a
+// histogram (read through HistSnapshot rather than Snapshot).
 type metric struct {
 	family string // metric family name, e.g. "robj_updates_total"
 	labels string // rendered label set, e.g. `{strategy="atomic"}`, or ""
 	help   string
 	c      *Counter
 	gauge  func() float64
+	h      *Histogram
 }
 
 // Sample is one metric reading taken by Snapshot.
@@ -171,8 +173,9 @@ func (r *Registry) Value(name string, labels ...Label) int64 {
 	return m.c.Value()
 }
 
-// Snapshot reads every registered metric, sorted by family name then label
-// set, so output (and golden tests) are deterministic.
+// Snapshot reads every registered counter and gauge, sorted by family name
+// then label set, so output (and golden tests) are deterministic. Histograms
+// are read separately through HistSnapshot.
 func (r *Registry) Snapshot() []Sample {
 	r.mu.Lock()
 	ms := make([]*metric, len(r.metrics))
@@ -180,6 +183,9 @@ func (r *Registry) Snapshot() []Sample {
 	r.mu.Unlock()
 	out := make([]Sample, 0, len(ms))
 	for _, m := range ms {
+		if m.h != nil {
+			continue
+		}
 		s := Sample{Name: m.family, Labels: m.labels, Help: m.help}
 		if m.c != nil {
 			s.Value = float64(m.c.Value())

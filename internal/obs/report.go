@@ -30,8 +30,9 @@ func WriteReport(w io.Writer, r *Registry) {
 		}
 		groups[g] = append(groups[g], s)
 	}
+	hists := r.HistSnapshot()
 	fmt.Fprintln(w, "== obs report ==")
-	if len(order) == 0 {
+	if len(order) == 0 && !anyHistActivity(hists) {
 		fmt.Fprintln(w, "  (no activity recorded)")
 		return
 	}
@@ -47,6 +48,50 @@ func WriteReport(w io.Writer, r *Registry) {
 		}
 		tw.Flush()
 	}
+	writeHistReport(w, hists)
+	if dropped := r.Value("obs_trace_events_dropped_total"); dropped > 0 {
+		fmt.Fprintf(w, "warning: %d trace span events dropped by retention bounds — raise the trace/event-log limits or scrape /trace more often\n", dropped)
+	}
+}
+
+// anyHistActivity reports whether any histogram has observations.
+func anyHistActivity(hists []HistSample) bool {
+	for _, h := range hists {
+		if h.State.Count > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// writeHistReport summarizes every histogram with observations: count and
+// log-bucket quantiles, rendered as durations (histograms record seconds).
+func writeHistReport(w io.Writer, hists []HistSample) {
+	printed := false
+	var tw *tabwriter.Writer
+	for _, h := range hists {
+		if h.State.Count == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Fprintln(w, "latency (log-bucket quantiles):")
+			tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			printed = true
+		}
+		q := func(p float64) string {
+			return secondsDuration(h.State.Quantile(p)).String()
+		}
+		fmt.Fprintf(tw, "  %s%s\tn=%d\tp50≤%s\tp90≤%s\tp99≤%s\n",
+			h.Name, h.Labels, h.State.Count, q(0.50), q(0.90), q(0.99))
+	}
+	if printed {
+		tw.Flush()
+	}
+}
+
+// secondsDuration converts a seconds reading to a rounded time.Duration.
+func secondsDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
 }
 
 // Report returns WriteReport's output as a string.

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Go runtime health gauges, registered alongside the engine counters so one
+// scrape answers both "what is the engine doing" and "what is it costing the
+// process": live goroutines (a leak in the session pool or mesh shows up
+// here first), heap in use, cumulative GC pause time, and GC cycles.
+// runtime.ReadMemStats stops the world briefly, so one cached reading (TTL
+// below) serves all gauges of a scrape instead of one read per gauge.
+
+// memStatsTTL bounds how stale the cached MemStats reading may be; all
+// gauges of one exposition pass share a single ReadMemStats.
+const memStatsTTL = 100 * time.Millisecond
+
+var memCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	m    runtime.MemStats
+	init bool
+}
+
+// cachedMemStats returns a MemStats reading at most memStatsTTL old.
+func cachedMemStats() runtime.MemStats {
+	memCache.mu.Lock()
+	defer memCache.mu.Unlock()
+	if !memCache.init || time.Since(memCache.at) > memStatsTTL {
+		runtime.ReadMemStats(&memCache.m)
+		memCache.at = time.Now()
+		memCache.init = true
+	}
+	return memCache.m
+}
+
+func init() {
+	Default.GaugeFunc("go_goroutines",
+		"goroutines currently live in the process",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	Default.GaugeFunc("go_heap_inuse_bytes",
+		"heap bytes in in-use spans",
+		func() float64 { return float64(cachedMemStats().HeapInuse) })
+	Default.GaugeFunc("go_heap_alloc_bytes",
+		"heap bytes allocated and not yet freed",
+		func() float64 { return float64(cachedMemStats().HeapAlloc) })
+	Default.GaugeFunc("go_gc_pause_seconds_total",
+		"cumulative stop-the-world GC pause time, seconds",
+		func() float64 { return float64(cachedMemStats().PauseTotalNs) / 1e9 })
+	Default.GaugeFunc("go_gc_cycles_total",
+		"completed GC cycles",
+		func() float64 { return float64(cachedMemStats().NumGC) })
+}

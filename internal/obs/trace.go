@@ -20,6 +20,10 @@ type SpanRecord struct {
 	Name string
 	// Worker is the worker id the span ran on, or -1 when not worker-bound.
 	Worker int
+	// Node is the cluster node the span ran on, or -1 when the span is
+	// local (single-engine passes, coordinator-side spans). Only cluster
+	// timeline merging (MergeNodeSpans) assigns node ids.
+	Node int
 	// Start is the span's begin time as an offset from the trace's start.
 	Start time.Duration
 	// Dur is the span's duration.
@@ -32,6 +36,7 @@ type SpanRecord struct {
 type Trace struct {
 	begin   time.Time
 	limit   int
+	job     JobID
 	next    atomic.Int64
 	dropped atomic.Int64
 
@@ -47,6 +52,40 @@ const traceSpanLimit = 1 << 16
 func NewTrace() *Trace {
 	return &Trace{begin: time.Now(), limit: traceSpanLimit}
 }
+
+// SetJob attributes the trace (and every run-log entry flushed from it) to a
+// job. Call before End/Records.
+func (t *Trace) SetJob(id JobID) {
+	if t != nil {
+		t.job = id
+	}
+}
+
+// Job reports the job the trace is attributed to (0 when unattributed).
+func (t *Trace) Job() JobID {
+	if t == nil {
+		return 0
+	}
+	return t.job
+}
+
+// Elapsed reports the time since the trace's clock began — the offset a
+// span started now would get. Cluster coordination uses it to re-base
+// node-local span offsets onto the coordinator clock.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.begin)
+}
+
+// mTraceDropped counts span events lost to retention bounds anywhere in the
+// trace pipeline: spans beyond one trace's limit and spans of runs evicted
+// from the event-log ring. Both bounds previously dropped silently; the
+// counter makes the loss visible on the metrics endpoint and in the human
+// report.
+var mTraceDropped = Default.Counter("obs_trace_events_dropped_total",
+	"trace span events dropped by retention bounds (per-trace span limit + event-log ring eviction)")
 
 // Span is an in-flight interval of a Trace. End it exactly once; extra Ends
 // are ignored.
@@ -78,6 +117,16 @@ func (s *Span) Child(name string) *Span {
 	return s.tr.span(name, s.id)
 }
 
+// ID reports the span's id within its trace (0 for a nil span) — the handle
+// timeline merging uses to parent shipped node spans under their
+// coordinator span.
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // SetWorker tags the span with a worker id. Call before End.
 func (s *Span) SetWorker(w int) {
 	if s != nil {
@@ -95,6 +144,7 @@ func (s *Span) End() {
 		Parent: s.parent,
 		Name:   s.name,
 		Worker: s.worker,
+		Node:   -1,
 		Start:  s.start.Sub(s.tr.begin),
 		Dur:    time.Since(s.start),
 	}
@@ -104,6 +154,7 @@ func (s *Span) End() {
 		t.recs = append(t.recs, rec)
 	} else {
 		t.dropped.Add(1)
+		mTraceDropped.Inc()
 	}
 	t.mu.Unlock()
 }
@@ -157,6 +208,7 @@ type EventLog struct {
 
 type logEntry struct {
 	run   int64
+	job   JobID
 	spans []SpanRecord
 }
 
@@ -172,13 +224,18 @@ func NewEventLog(limit int) *EventLog {
 var Log = NewEventLog(512)
 
 // Add appends one run's span records and returns its run id. When the ring
-// is full the oldest run is dropped.
-func (l *EventLog) Add(spans []SpanRecord) int64 {
+// is full the oldest run is dropped (and its span events counted as lost).
+func (l *EventLog) Add(spans []SpanRecord) int64 { return l.AddRun(0, spans) }
+
+// AddRun is Add with a job attribution, so the exported event log maps runs
+// back to the jobs that produced them.
+func (l *EventLog) AddRun(job JobID, spans []SpanRecord) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.nextRun++
-	l.runs = append(l.runs, logEntry{run: l.nextRun, spans: spans})
+	l.runs = append(l.runs, logEntry{run: l.nextRun, job: job, spans: spans})
 	for len(l.runs) > l.limit {
+		mTraceDropped.Add(int64(len(l.runs[0].spans)))
 		l.runs = l.runs[1:]
 		l.dropped++
 	}
@@ -199,12 +256,14 @@ type jsonSpan struct {
 	Parent  int64   `json:"parent"`
 	Name    string  `json:"name"`
 	Worker  int     `json:"worker"`
+	Node    int     `json:"node"`
 	StartUS float64 `json:"start_us"`
 	DurUS   float64 `json:"dur_us"`
 }
 
 type jsonRun struct {
 	Run   int64      `json:"run"`
+	Job   uint64     `json:"job,omitempty"`
 	Spans []jsonSpan `json:"spans"`
 }
 
@@ -218,13 +277,14 @@ func (l *EventLog) WriteJSON(w io.Writer) error {
 	l.mu.Lock()
 	doc := jsonLog{DroppedRuns: l.dropped, Runs: make([]jsonRun, 0, len(l.runs))}
 	for _, e := range l.runs {
-		jr := jsonRun{Run: e.run, Spans: make([]jsonSpan, 0, len(e.spans))}
+		jr := jsonRun{Run: e.run, Job: uint64(e.job), Spans: make([]jsonSpan, 0, len(e.spans))}
 		for _, s := range e.spans {
 			jr.Spans = append(jr.Spans, jsonSpan{
 				ID:      s.ID,
 				Parent:  s.Parent,
 				Name:    s.Name,
 				Worker:  s.Worker,
+				Node:    s.Node,
 				StartUS: float64(s.Start) / float64(time.Microsecond),
 				DurUS:   float64(s.Dur) / float64(time.Microsecond),
 			})

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"chapelfreeride/internal/obs"
 )
@@ -39,6 +40,12 @@ var (
 		"failed compare-and-swap attempts retried by the atomic strategy")
 	mAllocs = obs.Default.Counter("robj_allocs_total", "reduction objects allocated")
 	mMerges = obs.Default.Counter("robj_merges_total", "local combination (Merge) passes")
+	// Lock-wait and merge latency distributions: the counters above say how
+	// often contention happened, the histograms say how long it cost — the
+	// signal the auto-tuner needs to decide replication vs locking.
+	hLockWait = map[Strategy]*obs.Histogram{}
+	hMerge    = obs.Default.Histogram("robj_merge_duration_seconds",
+		"local combination (Merge) wall time per pass")
 )
 
 func init() {
@@ -48,6 +55,8 @@ func init() {
 			"reduction-object cell updates (Accumulate calls)", label)
 		mLockWait[s] = obs.Default.Counter("robj_lock_waits_total",
 			"Accumulate calls that found their cell lock held", label)
+		hLockWait[s] = obs.Default.Histogram("robj_lock_wait_seconds",
+			"time spent blocked acquiring a contended cell lock", label)
 	}
 }
 
@@ -191,6 +200,7 @@ type Object struct {
 	// Counters resolved once at Alloc so Accumulate never does map lookups.
 	updatesC  *obs.Counter
 	lockWaitC *obs.Counter
+	lockWaitH *obs.Histogram
 }
 
 // padCount pads a per-worker counter to its own cache line to avoid false
@@ -222,6 +232,7 @@ func Alloc(strategy Strategy, op Op, groups, elems, workers int) (*Object, error
 	o.updates = make([]padCount, workers)
 	o.updatesC = mUpdates[strategy]
 	o.lockWaitC = mLockWait[strategy]
+	o.lockWaitH = hLockWait[strategy]
 	cells := groups * elems
 	id := op.Identity()
 	fill := func(s []float64) {
@@ -290,6 +301,16 @@ func (o *Object) cell(group, elem int) int {
 	return group*o.elems + elem
 }
 
+// waitLock acquires l on the already-contended path: the failed TryLock has
+// established contention, so the two clock reads here time only waits that
+// actually blocked — the uncontended fast path never reaches this function.
+func (o *Object) waitLock(l *sync.Mutex) {
+	o.lockWaitC.Inc()
+	t := time.Now()
+	l.Lock()
+	o.lockWaitH.ObserveDuration(time.Since(t))
+}
+
 // Accumulate applies the object's operator to cell (group, elem) with v, on
 // behalf of worker w. Safe for concurrent use by distinct workers. It mirrors
 // FREERIDE's accumulate(int, int, void* value).
@@ -303,24 +324,21 @@ func (o *Object) Accumulate(w, group, elem int, v float64) {
 	case FullLocking:
 		l := &o.locks[i]
 		if !l.TryLock() {
-			o.lockWaitC.Inc()
-			l.Lock()
+			o.waitLock(l)
 		}
 		o.shared[i] = o.op.Apply(o.shared[i], v)
 		l.Unlock()
 	case OptimizedFullLocking:
 		c := &o.padded[i]
 		if !c.mu.TryLock() {
-			o.lockWaitC.Inc()
-			c.mu.Lock()
+			o.waitLock(&c.mu)
 		}
 		c.val = o.op.Apply(c.val, v)
 		c.mu.Unlock()
 	case FixedLocking:
 		l := &o.locks[i%len(o.locks)]
 		if !l.TryLock() {
-			o.lockWaitC.Inc()
-			l.Lock()
+			o.waitLock(l)
 		}
 		o.shared[i] = o.op.Apply(o.shared[i], v)
 		l.Unlock()
@@ -381,8 +399,7 @@ func (o *Object) AccumulateBlock(w int, block []float64) {
 			}
 			l := &o.locks[i]
 			if !l.TryLock() {
-				o.lockWaitC.Inc()
-				l.Lock()
+				o.waitLock(l)
 			}
 			o.shared[i] = o.op.Apply(o.shared[i], v)
 			l.Unlock()
@@ -394,8 +411,7 @@ func (o *Object) AccumulateBlock(w int, block []float64) {
 			}
 			c := &o.padded[i]
 			if !c.mu.TryLock() {
-				o.lockWaitC.Inc()
-				c.mu.Lock()
+				o.waitLock(&c.mu)
 			}
 			c.val = o.op.Apply(c.val, v)
 			c.mu.Unlock()
@@ -407,8 +423,7 @@ func (o *Object) AccumulateBlock(w int, block []float64) {
 		for start := 0; start < pool && start < cells; start++ {
 			l := &o.locks[start]
 			if !l.TryLock() {
-				o.lockWaitC.Inc()
-				l.Lock()
+				o.waitLock(l)
 			}
 			for i := start; i < cells; i += pool {
 				if v := block[i]; v != id {
@@ -455,6 +470,8 @@ func (o *Object) Merge() {
 	}
 	o.done = true
 	mMerges.Inc()
+	mergeStart := time.Now()
+	defer func() { hMerge.ObserveDuration(time.Since(mergeStart)) }()
 	// Flush the per-worker update counts gathered since Alloc or Reset into
 	// the global per-strategy counter.
 	var updated int64

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"chapelfreeride/internal/obs"
 )
@@ -26,6 +27,7 @@ import (
 var (
 	mChunks    = map[Policy]*obs.Counter{}
 	mLockWaits = map[Policy]*obs.Counter{}
+	hLockWaits = map[Policy]*obs.Histogram{}
 	mResets    = map[Policy]*obs.Counter{}
 	mSteals    = obs.Default.Counter("sched_steals_total",
 		"chunks stolen from another worker's deque (worksteal policy)")
@@ -40,6 +42,8 @@ func init() {
 			"chunks handed to workers", label)
 		mLockWaits[p] = obs.Default.Counter("sched_lock_waits_total",
 			"Next calls that found the scheduler lock held", label)
+		hLockWaits[p] = obs.Default.Histogram("sched_lock_wait_seconds",
+			"time spent blocked acquiring a contended scheduler lock", label)
 		mResets[p] = obs.Default.Counter("sched_resets_total",
 			"schedulers re-armed over a new index space instead of reallocated", label)
 	}
@@ -131,7 +135,7 @@ func New(p Policy, n, workers, chunkSize int) Scheduler {
 		return &dynamic{n: int64(n), chunk: int64(chunkSize), chunkC: mChunks[Dynamic]}
 	case Guided:
 		return &guided{n: int64(n), workers: int64(workers), minChunk: int64(chunkSize),
-			chunkC: mChunks[Guided], lockWaitC: mLockWaits[Guided]}
+			chunkC: mChunks[Guided], lockWaitC: mLockWaits[Guided], lockWaitH: hLockWaits[Guided]}
 	case WorkStealing:
 		return newWorkStealing(n, workers, chunkSize)
 	default:
@@ -241,12 +245,12 @@ type guided struct {
 	minChunk  int64
 	chunkC    *obs.Counter
 	lockWaitC *obs.Counter
+	lockWaitH *obs.Histogram
 }
 
 func (g *guided) Next(worker int) (Chunk, bool) {
 	if !g.mu.TryLock() {
-		g.lockWaitC.Inc()
-		g.mu.Lock()
+		waitSchedLock(&g.mu, g.lockWaitC, g.lockWaitH)
 	}
 	defer g.mu.Unlock()
 	remaining := g.n - g.cursor
@@ -291,12 +295,24 @@ type wsDeque struct {
 	chunks    []Chunk // owner pops from the back; thieves steal from the front
 	head      int     // chunks[:head] have been stolen; keeps the backing array reusable by Reset
 	lockWaitC *obs.Counter
+	lockWaitH *obs.Histogram
+}
+
+// waitSchedLock acquires mu on the already-contended path, timing only
+// waits the failed TryLock proved would block (the uncontended fast path
+// never reaches it).
+func waitSchedLock(mu *sync.Mutex, c *obs.Counter, h *obs.Histogram) {
+	c.Inc()
+	t := time.Now()
+	mu.Lock()
+	h.ObserveDuration(time.Since(t))
 }
 
 func newWorkStealing(n, workers, chunkSize int) *workStealing {
 	ws := &workStealing{deques: make([]wsDeque, workers), chunkSize: chunkSize, chunkC: mChunks[WorkStealing]}
 	for w := range ws.deques {
 		ws.deques[w].lockWaitC = mLockWaits[WorkStealing]
+		ws.deques[w].lockWaitH = hLockWaits[WorkStealing]
 	}
 	ws.fill(n)
 	return ws
@@ -363,8 +379,7 @@ func (ws *workStealing) Next(worker int) (Chunk, bool) {
 
 func (d *wsDeque) popBack() (Chunk, bool) {
 	if !d.mu.TryLock() {
-		d.lockWaitC.Inc()
-		d.mu.Lock()
+		waitSchedLock(&d.mu, d.lockWaitC, d.lockWaitH)
 	}
 	defer d.mu.Unlock()
 	if len(d.chunks) <= d.head {
@@ -377,8 +392,7 @@ func (d *wsDeque) popBack() (Chunk, bool) {
 
 func (d *wsDeque) popFront() (Chunk, bool) {
 	if !d.mu.TryLock() {
-		d.lockWaitC.Inc()
-		d.mu.Lock()
+		waitSchedLock(&d.mu, d.lockWaitC, d.lockWaitH)
 	}
 	defer d.mu.Unlock()
 	if len(d.chunks) <= d.head {

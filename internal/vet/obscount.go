@@ -5,13 +5,16 @@ import (
 	"go/token"
 )
 
-// ObsCount flags obs counter/gauge registration (Registry.Counter,
-// Registry.GaugeFunc) inside loops in regular functions. Registration takes
-// the registry lock and string-formats the label key; it is meant to run
-// once per metric at package scope (var initializer or init()). A
-// registration inside a hot loop turns every iteration into a mutex+map
-// operation — the registry deduplicates, so the counter is *correct* but
-// the cost is pure waste and contends with the metrics endpoint.
+// ObsCount flags obs metric registration (Registry.Counter,
+// Registry.GaugeFunc, Registry.Histogram) inside loops in regular
+// functions. Registration takes the registry lock and string-formats the
+// label key; it is meant to run once per metric at package scope (var
+// initializer or init()). A registration inside a hot loop turns every
+// iteration into a mutex+map operation — the registry deduplicates, so the
+// metric is *correct* but the cost is pure waste and contends with the
+// metrics endpoint. Histograms are the worst offenders: each registration
+// probe renders the label set before the dedup hit, and hot loops observe
+// into histograms far more often than they register them.
 //
 // Allowed loop registrations:
 //   - inside a package-level var initializer or init() (one-time fills of
@@ -26,13 +29,14 @@ var ObsCount = &Analyzer{
 }
 
 // obsRegistration matches <registry>.Counter(...) / <registry>.GaugeFunc(...)
-// with the obs signature shape (name and help strings first).
+// / <registry>.Histogram(...) with the obs signature shape (name and help
+// strings first).
 func obsRegistration(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	if sel.Sel.Name != "Counter" && sel.Sel.Name != "GaugeFunc" {
+	if sel.Sel.Name != "Counter" && sel.Sel.Name != "GaugeFunc" && sel.Sel.Name != "Histogram" {
 		return false
 	}
 	return len(call.Args) >= 2

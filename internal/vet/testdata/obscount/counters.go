@@ -44,3 +44,27 @@ func process(rows [][]float64) {
 func setup(r *obs.Registry) *obs.Counter {
 	return r.Counter("setup_total", "one-time")
 }
+
+// Hot-loop histogram registration: flagged — the same dedup-probe cost as a
+// counter, paid per iteration.
+func timeSplits(splits [][]float64) {
+	for range splits {
+		h := obs.Default.Histogram("split_seconds", "per split") //want:obscount
+		h.Observe(0)
+	}
+}
+
+var splitHists []*obs.Histogram
+
+// Growing a package-level histogram table lazily: allowed, like counters.
+func histFor(w int) *obs.Histogram {
+	for w >= len(splitHists) {
+		splitHists = append(splitHists, obs.Default.Histogram("w_seconds", "per worker"))
+	}
+	return splitHists[w]
+}
+
+// Histogram registration outside any loop: clean.
+func setupHist(r *obs.Registry) *obs.Histogram {
+	return r.Histogram("setup_seconds", "one-time")
+}
