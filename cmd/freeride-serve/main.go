@@ -1,0 +1,99 @@
+// Command freeride-serve runs the reduction-as-a-service frontend: an
+// HTTP/JSON job server that accepts reduction jobs (a registered kernel —
+// kmeans, pca, em, or custom — applied to a registered dataset recipe) and
+// executes them on a pool of persistent freeride.Engine sessions.
+//
+// Usage:
+//
+//	freeride-serve -addr :8080
+//	freeride-serve -addr 127.0.0.1:0 -engines 2 -threads 4 -concurrency 8
+//	freeride-serve -queue 1024 -tenant-quota 4 -cache-bytes 268435456
+//
+// API (also mounted: /metrics, /report, /trace, /debug/pprof):
+//
+//	POST /v1/datasets      register a dataset recipe (name, kind, rows, ...)
+//	GET  /v1/datasets      list recipes
+//	POST /v1/jobs          submit {kernel, dataset, tenant, params, wait}
+//	GET  /v1/jobs/{id}     poll a job
+//	GET  /v1/kernels       list kernels
+//	GET  /healthz          liveness (503 once draining)
+//
+// Admission control: the queue depth is bounded (-queue); overflow answers
+// 429 with a Retry-After hint. Each tenant runs at most -tenant-quota jobs
+// concurrently and runner slots rotate across tenants fairly, so one greedy
+// tenant cannot starve the rest.
+//
+// Shutdown: SIGTERM/SIGINT stops intake (new submissions get 503), lets the
+// admitted backlog and running jobs finish, then exits. -drain-timeout
+// bounds the wait; past it, in-flight passes are cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		engines      = flag.Int("engines", 2, "engine sessions in the pool")
+		threads      = flag.Int("threads", 0, "worker threads per engine session (0 = GOMAXPROCS)")
+		splitRows    = flag.Int("split", 0, "rows per split (0 = engine default)")
+		concurrency  = flag.Int("concurrency", 0, "jobs executing at once (0 = 2×engines)")
+		queueDepth   = flag.Int("queue", 1024, "admission queue depth; overflow is rejected with 429")
+		tenantQuota  = flag.Int("tenant-quota", 0, "per-tenant concurrent-job cap (0 = concurrency/2, -1 = unlimited)")
+		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "resident dataset cache bound in bytes")
+		retainJobs   = flag.Int("retain-jobs", 4096, "finished jobs kept pollable")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound after SIGTERM")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Engines:        *engines,
+		Engine:         freeride.Config{Threads: *threads, SplitRows: *splitRows},
+		MaxConcurrency: *concurrency,
+		QueueDepth:     *queueDepth,
+		TenantQuota:    *tenantQuota,
+		CacheBytes:     *cacheBytes,
+		RetainJobs:     *retainJobs,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "freeride-serve: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	fmt.Printf("freeride-serve listening on %s\n", ln.Addr())
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-sigCtx.Done()
+	fmt.Println("freeride-serve: draining (intake stopped, finishing admitted jobs)")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "freeride-serve: drain cut short: %v\n", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = httpSrv.Shutdown(shutCtx)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "freeride-serve: close: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("freeride-serve: drained cleanly")
+}

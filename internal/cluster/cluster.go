@@ -557,10 +557,17 @@ func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src datase
 
 // ensureMesh returns the session's persistent connection mesh, establishing
 // it on first use. The mesh now exists before the node passes run, because
-// the pre-pass job announce travels over it.
+// the pre-pass job announce travels over it. A mesh that latched broken on a
+// failed announce/combine frame is never handed back: its gob streams are in
+// an undefined state, so it is torn down here and rebuilt from scratch even
+// if the pass that broke it failed to call dropMesh.
 func (c *Cluster) ensureMesh() (*tcpMesh, error) {
 	c.meshMu.Lock()
 	defer c.meshMu.Unlock()
+	if c.mesh != nil && c.mesh.broken.Load() {
+		c.mesh.close()
+		c.mesh = nil
+	}
 	if c.mesh == nil {
 		mesh, err := newTCPMesh(c.cfg.Nodes, c.cfg)
 		if err != nil {

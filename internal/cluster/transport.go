@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chapelfreeride/internal/obs"
@@ -24,6 +25,8 @@ var (
 		"TCP connections dialed for the global-combination mesh")
 	mConnReuses = obs.Default.Counter("cluster_conn_reuses_total",
 		"global-combination exchanges served over an already-established connection")
+	mMeshBroken = obs.Default.Counter("cluster_mesh_breaks_total",
+		"mesh teardowns forced by a failed announce/combine frame (half-written gob streams)")
 )
 
 // dialRetry dials addr with the configured per-attempt timeout, retrying
@@ -125,6 +128,15 @@ type tcpMesh struct {
 	// frame per pass, so two concurrent combines must not interleave.
 	mu   sync.Mutex
 	used bool
+
+	// broken latches on the first announce/combine frame error. A gob stream
+	// that failed mid-frame is half-written: reusing it would desynchronize
+	// the decoder on the other end and poison every later pass with opaque
+	// "unexpected EOF"/type-mismatch errors far from the original fault. The
+	// mesh therefore refuses all further exchanges once broken, so even a
+	// caller that forgets to discard it gets a clean, attributable error and
+	// ensureMesh rebuilds the fabric on the next pass.
+	broken atomic.Bool
 
 	// Sender side (simulated nodes 1..n-1) and root side of each
 	// connection, indexed by node id; slot 0 is unused.
@@ -244,14 +256,32 @@ func newTCPMesh(n int, cfg Config) (*tcpMesh, error) {
 	return m, nil
 }
 
+// errMeshBroken reports an exchange attempted on a mesh whose gob streams
+// were poisoned by an earlier failed frame. It always signals a caller bug
+// (the pass that hit the original fault should have discarded the mesh), but
+// it fails that pass cleanly instead of letting a desynchronized gob stream
+// produce an unrelated decode error several passes later.
+var errMeshBroken = fmt.Errorf("cluster: mesh broken by an earlier failed exchange; discard and re-establish")
+
+// markBroken latches the mesh broken after a failed announce/combine frame.
+func (m *tcpMesh) markBroken() {
+	if m.broken.CompareAndSwap(false, true) {
+		mMeshBroken.Inc()
+	}
+}
+
 // announce propagates the coordinator's job id to every node over the
 // reverse gob direction and returns the id each node actually received (the
 // simulated node side reads its own connection, so the context genuinely
 // crosses the wire). An error leaves the reverse streams in an undefined
-// state; the caller must discard the mesh.
+// state: the mesh marks itself broken so it can never be reused, and the
+// caller must discard it (dropMesh) so the next pass re-dials.
 func (m *tcpMesh) announce(job obs.JobID, cfg Config) ([]obs.JobID, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.broken.Load() {
+		return nil, errMeshBroken
+	}
 	n := m.n
 	deadline := time.Now().Add(cfg.IOTimeout)
 	got := make([]obs.JobID, n)
@@ -297,9 +327,11 @@ func (m *tcpMesh) announce(job obs.JobID, cfg Config) ([]obs.JobID, error) {
 	senders.Wait()
 	for node := 1; node < n; node++ {
 		if recvErrs[node] != nil {
+			m.markBroken()
 			return nil, recvErrs[node]
 		}
 		if sendErrs[node] != nil {
+			m.markBroken()
 			return nil, sendErrs[node]
 		}
 	}
@@ -326,11 +358,15 @@ func (m *tcpMesh) close() {
 // floating-point result is deterministic regardless of arrival order (the
 // tree algorithm moves the same non-root objects over the wire — the rounds
 // differ only in who folds, so the simulation folds at the root and reports
-// ⌈log2 N⌉ rounds). An error leaves the gob streams in an undefined state;
-// the caller must discard the mesh.
+// ⌈log2 N⌉ rounds). An error leaves the gob streams in an undefined state:
+// the mesh marks itself broken so it can never be reused, and the caller
+// must discard it (dropMesh) so the next pass re-dials.
 func (m *tcpMesh) combine(payloads []nodePayload, algo CombineAlgo, cfg Config) (*robj.Object, []*wireObject, int64, int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.broken.Load() {
+		return nil, nil, 0, 0, errMeshBroken
+	}
 	n := m.n
 	if m.used {
 		mConnReuses.Add(int64(n - 1))
@@ -400,9 +436,11 @@ func (m *tcpMesh) combine(payloads []nodePayload, algo CombineAlgo, cfg Config) 
 	senders.Wait()
 	for node := 1; node < n; node++ {
 		if recvErrs[node] != nil {
+			m.markBroken()
 			return nil, nil, 0, 0, recvErrs[node]
 		}
 		if sendErrs[node] != nil {
+			m.markBroken()
 			return nil, nil, 0, 0, sendErrs[node]
 		}
 	}

@@ -73,11 +73,12 @@ var (
 	mRunsCancelled = obs.Default.Counter("freeride_runs_cancelled_total", "engine passes cancelled or timed out via context")
 	// Latency histograms: end-to-end pass wall time (success and failure
 	// both observed, so tail latency includes error paths), per-split
-	// processing time on the workers, and the combine phase (local merge +
-	// user Combine). Log-bucketed; quantiles via obs.HistState.Quantile.
+	// processing time on the workers, and the user-combination phase
+	// (observed only when the spec sets Combine; the local merge is a
+	// separate phase). Log-bucketed; quantiles via obs.HistState.Quantile.
 	hPass    = obs.Default.Histogram("freeride_pass_duration_seconds", "end-to-end engine pass wall time")
 	hSplit   = obs.Default.Histogram("freeride_split_duration_seconds", "per-split processing time (read + user reduction + flush)")
-	hCombine = obs.Default.Histogram("freeride_combine_duration_seconds", "combination phase wall time (local merge + user Combine)")
+	hCombine = obs.Default.Histogram("freeride_combine_duration_seconds", "user combination phase wall time (local merge reported under PhaseLocalCombine, not here)")
 	// phaseNS accumulates per-phase wall time in nanoseconds, resolved once
 	// at init so the engine never does registry lookups mid-run.
 	phaseNS = func() map[string]*obs.Counter {
@@ -275,7 +276,13 @@ type Stats struct {
 	SplitTime time.Duration
 	// ReduceTime is the wall time of the parallel local-reduction phase.
 	ReduceTime time.Duration
-	// CombineTime covers local combination (merge) plus the user Combine.
+	// LocalCombineTime covers the local-combination phase: the per-worker
+	// merge of the cell-based object plus the LocalCombine fold of
+	// user-managed state.
+	LocalCombineTime time.Duration
+	// CombineTime covers the user Combine phase only (0 when the spec set no
+	// Combine). Local combination is reported separately under
+	// LocalCombineTime; the two phases no longer blur into one number.
 	CombineTime time.Duration
 	// FinalizeTime covers the user Finalize.
 	FinalizeTime time.Duration
@@ -319,7 +326,7 @@ func (s Stats) WorkerIdle(w int) time.Duration {
 
 // Total returns the sum of all phases.
 func (s Stats) Total() time.Duration {
-	return s.SplitTime + s.ReduceTime + s.CombineTime + s.FinalizeTime
+	return s.SplitTime + s.ReduceTime + s.LocalCombineTime + s.CombineTime + s.FinalizeTime
 }
 
 // CPUTotal returns the summed worker CPU time of the reduction phase, or 0

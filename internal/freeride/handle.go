@@ -1,0 +1,63 @@
+package freeride
+
+import (
+	"context"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/obs"
+)
+
+// JobHandle is an asynchronously submitted engine pass: Submit returns
+// immediately and the pass runs on the session's worker pool in the
+// background. A handle is the engine-level primitive the serving frontend
+// (internal/serve) builds job polling on — submit, hand back an id, collect
+// the result later — without holding a goroutine per caller inside the
+// engine itself.
+type JobHandle struct {
+	job  obs.JobID
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Job reports the pass's job id, valid immediately after Submit — the
+// polling key that also attributes the run's trace and counter deltas.
+func (h *JobHandle) Job() obs.JobID { return h.job }
+
+// Done returns a channel closed when the pass finishes (select-friendly).
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the pass finishes and returns its outcome, with
+// RunContext's semantics (first error wins, cancellation via the submit
+// context). Wait may be called from any number of goroutines; all observe
+// the same result. The caller owns the Result and should hand its object
+// back with Engine.Release when finished.
+func (h *JobHandle) Wait() (*Result, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+// TryResult returns the outcome without blocking; ok is false while the
+// pass is still running.
+func (h *JobHandle) TryResult() (res *Result, err error, ok bool) {
+	select {
+	case <-h.done:
+		return h.res, h.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// Submit starts one reduction pass asynchronously on the engine session and
+// returns a handle for it. The pass runs under a freshly minted job id
+// (available from the handle immediately), observes ctx exactly as
+// RunContext does, and publishes its Result through Wait/TryResult. Submit
+// never blocks on the pass itself.
+func (e *Engine) Submit(ctx context.Context, spec Spec, src dataset.Source) *JobHandle {
+	h := &JobHandle{job: obs.NextJobID(), done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		h.res, h.err = e.run(ctx, spec, src, nil, h.job)
+	}()
+	return h
+}

@@ -69,6 +69,13 @@ func (j *job) finishTickets(n int32) {
 // closing done publishes them to the submitter.
 func (j *job) runSlot(slot int, ws *workerState) {
 	defer j.finishTickets(1)
+	// A slot whose job already failed or was cancelled while its ticket sat
+	// in the queue (a cancel mid-enqueue, a sibling slot's error) bails out
+	// before any setup: no spans, no LocalInit user code, and — critically —
+	// no scheduler traffic. Orphan tickets of a dead job retire for free.
+	if j.stop.Load() {
+		return
+	}
 	if j.measureCPU {
 		start := cputime.ThreadCPU()
 		defer func() { j.workerCPU[slot] = cputime.ThreadCPU() - start }()
@@ -416,6 +423,10 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 	}
 
 	// Local combination (default combination function) + user combination.
+	// Each phase is measured from its own start: CombineTime (and the
+	// freeride_combine histogram) covers only the user-combination phase —
+	// folding the local merge into it would double-count work already
+	// reported under PhaseLocalCombine.
 	t0 = time.Now()
 	lcSpan := runSpan.Child(PhaseLocalCombine)
 	if obj != nil {
@@ -429,19 +440,20 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 		res.Local = merged
 	}
 	lcSpan.End()
-	addPhase(PhaseLocalCombine, time.Since(t0))
+	res.Stats.LocalCombineTime = time.Since(t0)
+	addPhase(PhaseLocalCombine, res.Stats.LocalCombineTime)
 	if spec.Combine != nil {
 		tc := time.Now()
 		cSpan := runSpan.Child(PhaseCombine)
 		err := spec.Combine(obj)
 		cSpan.End()
-		addPhase(PhaseCombine, time.Since(tc))
+		res.Stats.CombineTime = time.Since(tc)
+		addPhase(PhaseCombine, res.Stats.CombineTime)
+		hCombine.ObserveDuration(res.Stats.CombineTime)
 		if err != nil {
 			return fail(err)
 		}
 	}
-	res.Stats.CombineTime = time.Since(t0)
-	hCombine.ObserveDuration(res.Stats.CombineTime)
 
 	// Finalize.
 	if spec.Finalize != nil {

@@ -1,0 +1,274 @@
+package freeride
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/obs"
+	"chapelfreeride/internal/robj"
+)
+
+// TestCombineTimeExcludesLocalCombine pins the combine-timing fix: with a
+// deliberately slow LocalCombine and a fast user Combine, Stats.CombineTime
+// must track the PhaseCombine span alone and not absorb the local-combine
+// work already reported under PhaseLocalCombine — the regression was
+// CombineTime (and the freeride_combine histogram) double-counting the
+// local-combine phase because it was measured from the local-combine start.
+func TestCombineTimeExcludesLocalCombine(t *testing.T) {
+	const localDelay = 60 * time.Millisecond
+	eng := New(Config{Threads: 2, SplitRows: 8})
+	defer eng.Close()
+	src := dataset.NewMemorySource(rowMatrix(64, 2))
+
+	spec := Spec{
+		Object: ObjectSpec{Groups: 1, Elems: 2, Op: robj.OpAdd},
+		Reduction: func(a *ReductionArgs) error {
+			for i := 0; i < a.NumRows; i++ {
+				a.Accumulate(0, 0, a.Row(i)[0])
+			}
+			return nil
+		},
+		LocalInit: func() any { return 0 },
+		LocalCombine: func(dst, src any) any {
+			time.Sleep(localDelay) // make the local-combine phase unmistakable
+			return dst.(int) + src.(int)
+		},
+		Combine: func(o *robj.Object) error { return nil },
+	}
+
+	hist := obs.Default.FindHistogram("freeride_combine_duration_seconds")
+	if hist == nil {
+		t.Fatal("freeride_combine_duration_seconds not registered")
+	}
+	before := hist.State()
+
+	res, err := eng.RunContext(context.Background(), spec, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Release(res)
+
+	if res.Stats.LocalCombineTime < localDelay {
+		t.Fatalf("LocalCombineTime = %v, want >= %v (slow LocalCombine ran there)",
+			res.Stats.LocalCombineTime, localDelay)
+	}
+	if res.Stats.CombineTime >= localDelay {
+		t.Fatalf("CombineTime = %v still absorbs the %v local-combine phase", res.Stats.CombineTime, localDelay)
+	}
+
+	// CombineTime must agree with the PhaseCombine span, not the
+	// local-combine + combine window.
+	var combineSpan time.Duration
+	found := false
+	for _, sp := range res.Stats.Spans {
+		if sp.Name == PhaseCombine {
+			combineSpan, found = sp.Dur, true
+		}
+	}
+	if !found {
+		t.Fatal("no PhaseCombine span recorded")
+	}
+	if diff := res.Stats.CombineTime - combineSpan; diff < -localDelay/2 || diff > localDelay/2 {
+		t.Fatalf("CombineTime %v diverges from PhaseCombine span %v", res.Stats.CombineTime, combineSpan)
+	}
+
+	// The histogram observation carries the same fix: the pass recorded one
+	// combine observation well below the local-combine delay.
+	d := hist.State().Sub(before)
+	if d.Count != 1 {
+		t.Fatalf("combine histogram recorded %d observations, want 1", d.Count)
+	}
+	if d.Sum >= localDelay.Seconds() {
+		t.Fatalf("combine histogram sum %.3fs includes the %v local-combine phase", d.Sum, localDelay)
+	}
+
+	// Total still accounts for every phase, including the split-out one.
+	want := res.Stats.SplitTime + res.Stats.ReduceTime + res.Stats.LocalCombineTime +
+		res.Stats.CombineTime + res.Stats.FinalizeTime
+	if res.Stats.Total() != want {
+		t.Fatalf("Stats.Total() = %v, want %v", res.Stats.Total(), want)
+	}
+}
+
+// TestCombineHistogramOnlyWhenCombineRuns: specs without a user Combine no
+// longer observe anything into the combine histogram (previously every pass
+// recorded its local-combine wall time there).
+func TestCombineHistogramOnlyWhenCombineRuns(t *testing.T) {
+	eng := New(Config{Threads: 2, SplitRows: 8})
+	defer eng.Close()
+	src := dataset.NewMemorySource(rowMatrix(32, 2))
+	hist := obs.Default.FindHistogram("freeride_combine_duration_seconds")
+	before := hist.State()
+	res, err := eng.RunContext(context.Background(), Spec{
+		Object: ObjectSpec{Groups: 1, Elems: 2, Op: robj.OpAdd},
+		Reduction: func(a *ReductionArgs) error {
+			for i := 0; i < a.NumRows; i++ {
+				a.Accumulate(0, 0, 1)
+			}
+			return nil
+		},
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Release(res)
+	if res.Stats.CombineTime != 0 {
+		t.Fatalf("CombineTime = %v without a user Combine, want 0", res.Stats.CombineTime)
+	}
+	if d := hist.State().Sub(before); d.Count != 0 {
+		t.Fatalf("combine histogram recorded %d observations for a pass with no Combine", d.Count)
+	}
+}
+
+// TestCancelDuringFullTicketChannelRunsNoOrphanSlots: when a job is
+// cancelled while its tickets are still queued behind another job's, the
+// queued slots must observe the stop flag at slot start and retire without
+// running any user code (LocalInit, Reduction) or touching the scheduler.
+func TestCancelDuringFullTicketChannelRunsNoOrphanSlots(t *testing.T) {
+	const threads = 4
+	eng := New(Config{Threads: threads, SplitRows: 4})
+	defer eng.Close()
+	src := dataset.NewMemorySource(rowMatrix(64, 2))
+
+	// Job A wedges every pool worker until released, so job B's tickets sit
+	// in the (full enough) channel while B is cancelled.
+	release := make(chan struct{})
+	var wedged atomic.Int32
+	jobA := Spec{
+		Object: ObjectSpec{Groups: 1, Elems: 2, Op: robj.OpAdd},
+		Reduction: func(a *ReductionArgs) error {
+			if wedged.Add(1) <= threads {
+				<-release
+			}
+			return nil
+		},
+	}
+	aDone := make(chan error, 1)
+	go func() {
+		res, err := eng.RunContext(context.Background(), jobA, src)
+		if err == nil {
+			err = eng.Release(res)
+		}
+		aDone <- err
+	}()
+	// Wait until every worker is wedged inside job A.
+	for deadline := time.Now().Add(5 * time.Second); wedged.Load() < threads; {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never wedged on job A")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var localInits, reductions atomic.Int32
+	jobB := Spec{
+		Object: ObjectSpec{Groups: 1, Elems: 2, Op: robj.OpAdd},
+		LocalInit: func() any {
+			localInits.Add(1)
+			return 0
+		},
+		LocalCombine: func(dst, src any) any { return dst },
+		Reduction: func(a *ReductionArgs) error {
+			reductions.Add(1)
+			return nil
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bDone := make(chan error, 1)
+	go func() {
+		_, err := eng.RunContext(ctx, jobB, src)
+		bDone <- err
+	}()
+	// Give B's submitter time to enqueue its tickets behind A's, then cancel
+	// while every one of them is still queued.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-bDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("job B returned %v, want context.Canceled", err)
+	}
+
+	// Release job A; its workers drain B's orphan tickets on the way out.
+	close(release)
+	if err := <-aDone; err != nil {
+		t.Fatalf("job A: %v", err)
+	}
+	// Orphan slots must not have run any of B's user code.
+	if n := localInits.Load(); n != 0 {
+		t.Fatalf("cancelled job's LocalInit ran %d times on orphan slots", n)
+	}
+	if n := reductions.Load(); n != 0 {
+		t.Fatalf("cancelled job's Reduction ran %d times on orphan slots", n)
+	}
+}
+
+// TestSubmitHandle: Submit runs the pass asynchronously under a pre-minted
+// job id, TryResult is non-blocking, and Wait returns the same outcome to
+// every caller.
+func TestSubmitHandle(t *testing.T) {
+	eng := New(Config{Threads: 2, SplitRows: 8})
+	defer eng.Close()
+	src := dataset.NewMemorySource(rowMatrix(64, 2))
+	gate := make(chan struct{})
+	h := eng.Submit(context.Background(), Spec{
+		Object: ObjectSpec{Groups: 1, Elems: 2, Op: robj.OpAdd},
+		Reduction: func(a *ReductionArgs) error {
+			<-gate
+			for i := 0; i < a.NumRows; i++ {
+				a.Accumulate(0, 0, 1)
+			}
+			return nil
+		},
+	}, src)
+	if h.Job() == 0 {
+		t.Fatal("Submit handle has no job id")
+	}
+	if _, _, ok := h.TryResult(); ok {
+		t.Fatal("TryResult reported completion while the pass is gated")
+	}
+	close(gate)
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Release(res)
+	if got := res.Object.Get(0, 0); got != 64 {
+		t.Fatalf("async pass summed %v rows, want 64", got)
+	}
+	if res.Stats.Job != h.Job() {
+		t.Fatalf("result ran under job %d, handle promised %d", res.Stats.Job, h.Job())
+	}
+	if res2, err2, ok := h.TryResult(); !ok || res2 != res || err2 != nil {
+		t.Fatal("TryResult disagrees with Wait after completion")
+	}
+}
+
+// TestSubmitHandleCancel: a cancelled async pass surfaces ctx.Err() through
+// the handle.
+func TestSubmitHandleCancel(t *testing.T) {
+	eng := New(Config{Threads: 2, SplitRows: 8})
+	defer eng.Close()
+	src := dataset.NewMemorySource(rowMatrix(64, 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := eng.Submit(ctx, Spec{
+		Object: ObjectSpec{Groups: 1, Elems: 2, Op: robj.OpAdd},
+		Reduction: func(a *ReductionArgs) error {
+			return nil
+		},
+	}, src)
+	if _, err := h.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait returned %v, want context.Canceled", err)
+	}
+}
+
+// rowMatrix builds an n×cols matrix with every cell set to 1.
+func rowMatrix(n, cols int) *dataset.Matrix {
+	m := dataset.NewMatrix(n, cols)
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	return m
+}

@@ -123,8 +123,17 @@ func (s HistState) Sub(prev HistState) HistState {
 
 // Quantile returns the upper bound of the bucket containing the q-quantile
 // observation (0 <= q <= 1) — a conservative estimate within one power of
-// two of the true value. It returns 0 when nothing was observed; the +Inf
-// bucket reports the largest finite bound.
+// two of the true value. Edge cases are pinned by tests and part of the
+// contract:
+//
+//   - empty state (Count == 0): returns 0, whatever q is
+//   - q <= 0: clamps to the first observation's bucket bound (rank 1),
+//     never 0 — so p0 of a non-empty distribution is a real bound
+//   - q >= 1 (and any q > 1, which clamps to 1): the largest observation's
+//     bucket bound
+//   - a single observation: every q returns that observation's bucket bound
+//   - observations in the +Inf overflow bucket report the largest finite
+//     bound (256 s) rather than +Inf, keeping dashboards finite
 func (s HistState) Quantile(q float64) float64 {
 	if s.Count <= 0 {
 		return 0

@@ -127,3 +127,60 @@ func TestHistogramRegistryIdempotent(t *testing.T) {
 		t.Error("nil histogram state not empty")
 	}
 }
+
+// TestQuantileEdgeCases pins the documented contract of HistState.Quantile:
+// empty histograms return 0 for every q, q=0 clamps to rank 1 (the smallest
+// observation's bucket), q=1 reports the largest observation's bucket, a
+// single observation answers every q identically, out-of-range q clamps
+// into [0, 1], and +Inf-bucket observations report the largest finite bound.
+func TestQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single-observation", func(t *testing.T) {
+		var h Histogram
+		h.Observe(0.010) // 10 ms → bucket bound 2^-6 s = 0.015625
+		want := math.Ldexp(1, -6)
+		for _, q := range []float64{0, 0.25, 0.5, 1} {
+			if got := h.Quantile(q); got != want {
+				t.Errorf("single-obs Quantile(%g) = %g, want %g", q, got, want)
+			}
+		}
+	})
+
+	t.Run("q0-and-q1-bracket-the-range", func(t *testing.T) {
+		var h Histogram
+		h.Observe(0.001) // above 2^-10, so the 2^-9 bucket
+		h.Observe(0.001)
+		h.Observe(1.5) // 2^1 bucket
+		lo, hi := math.Ldexp(1, -9), math.Ldexp(1, 1)
+		if got := h.Quantile(0); got != lo {
+			t.Errorf("Quantile(0) = %g, want smallest observation's bound %g", got, lo)
+		}
+		if got := h.Quantile(1); got != hi {
+			t.Errorf("Quantile(1) = %g, want largest observation's bound %g", got, hi)
+		}
+		// Out-of-range q clamps, so the bracket holds beyond [0, 1] too.
+		if got := h.Quantile(-3); got != lo {
+			t.Errorf("Quantile(-3) = %g, want clamp to %g", got, lo)
+		}
+		if got := h.Quantile(7); got != hi {
+			t.Errorf("Quantile(7) = %g, want clamp to %g", got, hi)
+		}
+	})
+
+	t.Run("overflow-bucket-reports-largest-finite-bound", func(t *testing.T) {
+		var h Histogram
+		h.Observe(1e9) // far beyond the 256 s last finite bound
+		want := math.Ldexp(1, histMaxExp)
+		if got := h.Quantile(1); got != want {
+			t.Errorf("overflow Quantile(1) = %g, want largest finite bound %g", got, want)
+		}
+	})
+}

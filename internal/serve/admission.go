@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+var (
+	// ErrQueueFull reports a submission bounced off the admission queue's
+	// depth bound; the HTTP layer maps it to 429 with a Retry-After hint.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDraining reports a submission against a server that has stopped
+	// intake (SIGTERM drain); the HTTP layer maps it to 503.
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// admitQueue is the server's bounded, tenant-fair admission queue. Each
+// tenant gets its own FIFO; runners dequeue by scanning the tenant ring
+// round-robin, skipping tenants at their in-flight quota. The combination
+// gives two properties the load test pins down:
+//
+//   - backpressure: total queued work is bounded by max, and overflow is
+//     rejected synchronously at submit time (ErrQueueFull) rather than
+//     buffered without bound;
+//   - fairness: a greedy tenant with thousands of queued jobs holds at most
+//     quota runner slots, and the ring rotation interleaves the remaining
+//     slots across the other tenants' FIFOs instead of serving the longest
+//     queue first.
+type admitQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	max    int // total queued-job bound
+	quota  int // per-tenant in-flight cap (0 = unlimited)
+	size   int
+	closed bool
+
+	tenants  map[string]*tenantQueue
+	ring     []*tenantQueue // tenants with queued work, round-robin order
+	next     int            // ring cursor
+	inflight map[string]int // per-tenant dequeued-but-not-done counts
+}
+
+// tenantQueue is one tenant's FIFO of queued jobs.
+type tenantQueue struct {
+	name   string
+	jobs   []*job
+	inRing bool
+}
+
+func newAdmitQueue(max, quota int) *admitQueue {
+	q := &admitQueue{
+		max:      max,
+		quota:    quota,
+		tenants:  map[string]*tenantQueue{},
+		inflight: map[string]int{},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits one job into its tenant's FIFO, or rejects it synchronously
+// when the queue is at its depth bound or the server is draining.
+func (q *admitQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if q.size >= q.max {
+		return ErrQueueFull
+	}
+	tq := q.tenants[j.Tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: j.Tenant}
+		q.tenants[j.Tenant] = tq
+	}
+	tq.jobs = append(tq.jobs, j)
+	if !tq.inRing {
+		tq.inRing = true
+		q.ring = append(q.ring, tq)
+	}
+	q.size++
+	q.cond.Broadcast()
+	return nil
+}
+
+// pop blocks until a job whose tenant is under quota is available and claims
+// it (the tenant's in-flight count stays raised until done). It returns nil
+// only when the queue is closed AND empty: a drain stops intake but lets the
+// already-admitted backlog run to completion.
+func (q *admitQueue) pop() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if j := q.takeLocked(); j != nil {
+			return j
+		}
+		if q.closed && q.size == 0 {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// takeLocked claims the next eligible job round-robin across tenant FIFOs,
+// or returns nil when every queued tenant is at quota (or nothing is queued).
+func (q *admitQueue) takeLocked() *job {
+	n := len(q.ring)
+	for i := 0; i < n; i++ {
+		idx := (q.next + i) % n
+		tq := q.ring[idx]
+		if q.quota > 0 && q.inflight[tq.name] >= q.quota {
+			continue
+		}
+		j := tq.jobs[0]
+		tq.jobs[0] = nil // release the dequeued slot for GC
+		tq.jobs = tq.jobs[1:]
+		q.size--
+		q.inflight[tq.name]++
+		if len(tq.jobs) == 0 {
+			q.ring = append(q.ring[:idx], q.ring[idx+1:]...)
+			tq.inRing = false
+			if len(q.ring) == 0 {
+				q.next = 0
+			} else {
+				q.next = idx % len(q.ring)
+			}
+		} else {
+			q.next = (idx + 1) % n
+		}
+		return j
+	}
+	return nil
+}
+
+// done releases one of tenant's in-flight slots, unblocking runners waiting
+// on the quota.
+func (q *admitQueue) done(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.inflight[tenant] <= 1 {
+		delete(q.inflight, tenant)
+	} else {
+		q.inflight[tenant]--
+	}
+	q.cond.Broadcast()
+}
+
+// depth reports the number of queued (not yet claimed) jobs.
+func (q *admitQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// close stops intake: pushes fail with ErrDraining, pops drain the backlog
+// and then return nil.
+func (q *admitQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

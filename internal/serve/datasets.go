@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/obs"
+)
+
+// Dataset-cache traffic counters: hit/miss tells whether the working set
+// fits CacheBytes; evictions say how often jobs force re-materialization.
+var (
+	mCacheHits = obs.Default.Counter("serve_dataset_cache_hits_total",
+		"jobs that found their dataset resident in the serve cache")
+	mCacheMisses = obs.Default.Counter("serve_dataset_cache_misses_total",
+		"jobs that had to materialize their dataset from its recipe")
+	mCacheEvictions = obs.Default.Counter("serve_dataset_cache_evictions_total",
+		"resident datasets evicted to stay under the cache byte bound")
+)
+
+// DatasetSpec is a registered dataset's recipe — also its JSON wire shape.
+// The server stores recipes, not data: a dataset is materialized on first
+// use, cached LRU under the server's byte bound, and re-materialized from
+// the recipe (deterministically, via the seed) after an eviction. Recipes
+// make registration O(1) regardless of dataset size and keep the cache an
+// optimization rather than a correctness concern.
+type DatasetSpec struct {
+	Name string `json:"name"`
+	// Kind selects the generator: "gaussian" (mixture of Groups gaussians,
+	// the clustering kernels' natural input) or "uniform".
+	Kind string `json:"kind"`
+	Rows int    `json:"rows"`
+	Dim  int    `json:"dim"`
+	// Groups is the gaussian mixture's component count (gaussian kind only).
+	Groups int   `json:"groups,omitempty"`
+	Seed   int64 `json:"seed"`
+}
+
+func (s DatasetSpec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("serve: dataset needs a name")
+	}
+	if s.Rows < 1 || s.Dim < 1 {
+		return fmt.Errorf("serve: dataset %q needs rows >= 1 and dim >= 1", s.Name)
+	}
+	switch s.Kind {
+	case "gaussian":
+		if s.Groups < 1 {
+			return fmt.Errorf("serve: gaussian dataset %q needs groups >= 1", s.Name)
+		}
+	case "uniform":
+	default:
+		return fmt.Errorf("serve: dataset %q has unknown kind %q (want gaussian or uniform)", s.Name, s.Kind)
+	}
+	return nil
+}
+
+// sizeBytes is the materialized footprint the cache accounts for.
+func (s DatasetSpec) sizeBytes() int64 { return int64(s.Rows) * int64(s.Dim) * 8 }
+
+// materialize generates the matrix from the recipe.
+func (s DatasetSpec) materialize() *dataset.Matrix {
+	switch s.Kind {
+	case "gaussian":
+		points, _ := dataset.GaussianMixture(s.Rows, s.Dim, s.Groups, s.Seed)
+		return points
+	default: // uniform; validate() rejects anything else at registration
+		return dataset.UniformMatrix(s.Rows, s.Dim, s.Seed, 0, 1)
+	}
+}
+
+// datasetCache holds the registered recipes plus an LRU-by-bytes cache of
+// materialized matrices.
+type datasetCache struct {
+	mu       sync.Mutex
+	max      int64
+	used     int64
+	specs    map[string]DatasetSpec
+	resident map[string]*dataset.Matrix
+	lru      []string // resident names, least recently used first
+}
+
+func newDatasetCache(maxBytes int64) *datasetCache {
+	return &datasetCache{
+		max:      maxBytes,
+		specs:    map[string]DatasetSpec{},
+		resident: map[string]*dataset.Matrix{},
+	}
+}
+
+// register records a recipe. Re-registering an identical recipe is
+// idempotent; changing an existing name is rejected so running jobs never
+// observe a dataset swapped underneath them.
+func (c *datasetCache) register(s DatasetSpec) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.specs[s.Name]; ok {
+		if prev != s {
+			return fmt.Errorf("serve: dataset %q already registered with a different recipe", s.Name)
+		}
+		return nil
+	}
+	c.specs[s.Name] = s
+	return nil
+}
+
+// list returns the registered recipes sorted by name.
+func (c *datasetCache) list() []DatasetSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DatasetSpec, 0, len(c.specs))
+	for _, s := range c.specs {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// known reports whether name is registered.
+func (c *datasetCache) known(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.specs[name]
+	return ok
+}
+
+// touch moves name to the most-recently-used end of the LRU order.
+func (c *datasetCache) touch(name string) {
+	for i, n := range c.lru {
+		if n == name {
+			c.lru = append(append(c.lru[:i:i], c.lru[i+1:]...), name)
+			return
+		}
+	}
+	c.lru = append(c.lru, name)
+}
+
+// source returns a Source over the named dataset, materializing it on a
+// cache miss and evicting least-recently-used residents to stay under the
+// byte bound. A dataset larger than the whole bound is still served — it
+// just never stays resident. Jobs already holding an evicted matrix keep it
+// alive through their own reference; eviction only drops the cache's.
+func (c *datasetCache) source(name string) (dataset.Source, error) {
+	c.mu.Lock()
+	spec, ok := c.specs[name]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("serve: unknown dataset %q", name)
+	}
+	if m, ok := c.resident[name]; ok {
+		c.touch(name)
+		c.mu.Unlock()
+		mCacheHits.Inc()
+		return dataset.NewMemorySource(m), nil
+	}
+	c.mu.Unlock()
+
+	// Materialize outside the lock: generation is the expensive part, and
+	// concurrent jobs for other datasets must not stall behind it. Two jobs
+	// racing on the same cold dataset both materialize; the second insert
+	// wins the cache slot and the loser's copy dies with its job.
+	mCacheMisses.Inc()
+	m := spec.materialize()
+
+	c.mu.Lock()
+	if _, ok := c.resident[name]; !ok {
+		c.resident[name] = m
+		c.used += spec.sizeBytes()
+		c.touch(name)
+		for c.used > c.max && len(c.lru) > 1 {
+			victim := c.lru[0]
+			if victim == name {
+				break // never evict the dataset just brought in for this job
+			}
+			c.lru = c.lru[1:]
+			c.used -= c.specs[victim].sizeBytes()
+			delete(c.resident, victim)
+			mCacheEvictions.Inc()
+		}
+	}
+	c.mu.Unlock()
+	return dataset.NewMemorySource(m), nil
+}
+
+// residentBytes reports the cache's current accounted footprint.
+func (c *datasetCache) residentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

@@ -14,7 +14,11 @@ import (
 // Without go/types the analyzer recognizes engine values structurally: a
 // parameter, variable, or field declared as (*)freeride.Engine or
 // (*)cluster.Cluster, or assigned from freeride.New(...) / cluster.New(...).
-// Calls on mapreduce engines are not flagged (no context variant exists).
+// Struct fields count too: a package declaring `type Server struct { eng
+// *freeride.Engine }` (or a slice of engines) gets `s.eng.Run(...)` and
+// `s.engines[i].Run(...)` flagged in every function of that package — the
+// shape long-lived services use to hold their engine pool. Calls on
+// mapreduce engines are not flagged (no context variant exists).
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
 	Doc:  "internal/ library code must call RunContext/RunIntoContext, not Run/RunInto",
@@ -44,6 +48,7 @@ func runCtxFlow(pass *Pass) {
 	if ctxflowExempt(pass.Pkg.Path) {
 		return
 	}
+	fields := engineFieldNames(pass)
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -51,7 +56,7 @@ func runCtxFlow(pass *Pass) {
 				continue
 			}
 			engines := engineIdents(fd)
-			if len(engines) == 0 {
+			if len(engines) == 0 && len(fields) == 0 {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -67,16 +72,76 @@ func runCtxFlow(pass *Pass) {
 				if !ok {
 					return true
 				}
-				recv, ok := sel.X.(*ast.Ident)
-				if !ok || !engines[recv.Name] {
+				name, ok := engineRecvName(sel.X, engines, fields)
+				if !ok {
 					return true
 				}
 				pass.Report(call, "%s.%s discards the caller's context; library code under internal/ must use %s.%s and thread a context.Context",
-					recv.Name, sel.Sel.Name, recv.Name, variant)
+					name, sel.Sel.Name, name, variant)
 				return true
 			})
 		}
 	}
+}
+
+// engineRecvName reports whether recv denotes an engine: a recognized local
+// identifier, a selector naming an engine-typed struct field of this
+// package (s.eng), or an index into an engine-slice field (s.engines[i]).
+// It returns the printable receiver name for the diagnostic.
+func engineRecvName(recv ast.Expr, engines, fields map[string]bool) (string, bool) {
+	switch v := recv.(type) {
+	case *ast.Ident:
+		if engines[v.Name] {
+			return v.Name, true
+		}
+	case *ast.SelectorExpr:
+		if fields[v.Sel.Name] {
+			if base, ok := v.X.(*ast.Ident); ok {
+				return base.Name + "." + v.Sel.Name, true
+			}
+			return v.Sel.Name, true
+		}
+	case *ast.IndexExpr:
+		if sel, ok := v.X.(*ast.SelectorExpr); ok && fields[sel.Sel.Name] {
+			if base, ok := sel.X.(*ast.Ident); ok {
+				return base.Name + "." + sel.Sel.Name + "[...]", true
+			}
+			return sel.Sel.Name + "[...]", true
+		}
+	}
+	return "", false
+}
+
+// engineFieldNames collects the names of engine-typed struct fields declared
+// anywhere in the package — direct engine fields and slices/arrays of
+// engines. Matching on the field name alone (no receiver type resolution) is
+// the same structural over-approximation the rest of the analyzer makes; a
+// false positive from an unrelated same-named field is suppressible with
+// frds:vet-ignore like every other finding.
+func engineFieldNames(pass *Pass) map[string]bool {
+	fields := map[string]bool{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				t := f.Type
+				if arr, ok := t.(*ast.ArrayType); ok {
+					t = arr.Elt
+				}
+				if !isEngineType(t) {
+					continue
+				}
+				for _, name := range f.Names {
+					fields[name.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields
 }
 
 // engineIdents collects identifiers in fd that denote freeride engines or

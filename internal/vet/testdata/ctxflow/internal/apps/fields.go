@@ -1,0 +1,40 @@
+// Fixture for ctxflow's struct-field extension. Parsed, never compiled.
+package apps
+
+import (
+	"context"
+
+	"example.com/freeride"
+)
+
+// server holds its engines the way long-lived services do: one direct field
+// and one pooled slice.
+type server struct {
+	eng     *freeride.Engine
+	engines []*freeride.Engine
+	name    string
+}
+
+func (s *server) fieldReceiver(spec freeride.Spec, src any) error {
+	_, err := s.eng.Run(spec, src) //want:ctxflow
+	return err
+}
+
+func (s *server) pooledReceiver(spec freeride.Spec, src any, obj any) error {
+	if _, err := s.engines[0].RunInto(spec, src, obj); err != nil { //want:ctxflow
+		return err
+	}
+	_, err := s.eng.RunContext(context.Background(), spec, src) // ctx variant: clean
+	return err
+}
+
+func (s *server) nonEngineFieldClean() string {
+	// A method named Run on a non-engine field must not be flagged.
+	return s.name
+}
+
+func (s *server) suppressedField(spec freeride.Spec, src any) error {
+	//frds:vet-ignore ctxflow -- shutdown path runs detached from any caller
+	_, err := s.eng.Run(spec, src)
+	return err
+}
