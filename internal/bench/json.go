@@ -25,6 +25,15 @@ type Metric struct {
 	Strategy  string `json:"strategy,omitempty"`
 	// NsPerOp is the measured cost per op in nanoseconds.
 	NsPerOp int64 `json:"ns_per_op"`
+	// InspectorNs is the translate-time inspector cost (COO→CSR sort +
+	// index-table materialization) behind this measurement, in nanoseconds;
+	// 0 for dense workloads, which have no inspector. Reported separately
+	// from NsPerOp so table construction is never hidden inside pass
+	// latency.
+	InspectorNs int64 `json:"inspector_ns,omitempty"`
+	// IndexTableBytes is the size of the inspector-materialized index
+	// tables behind this measurement; 0 for dense workloads.
+	IndexTableBytes int64 `json:"index_table_bytes,omitempty"`
 }
 
 // ReportParams is the subset of Params a report records — enough to rerun

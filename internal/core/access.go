@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"chapelfreeride/internal/obs"
+	"chapelfreeride/internal/verify"
+)
+
+// AccessPlan is the translator's pluggable addressing model: the thing that
+// knows how an executor finds the reduction target and gather source for
+// each element of its iteration domain. Two implementations exist:
+//
+//   - AffinePlan — the paper's closed-form dense addressing
+//     off(i,k) = U0·i + Off0 + U1·k, proven safe by the verifier's
+//     closed-form bounds checks (FRV010/FRV011/FRV012). Every dense app
+//     uses it; SpecFromWords and EmitC bake its constants into the loop
+//     nest.
+//   - InspectorPlan — the inspector–executor model for sparse/irregular
+//     sources: a translate-time inspector materializes per-entry index
+//     tables (scatter target and gather offset per nonzero), and the
+//     verifier proves the tables total and element-wise in bounds
+//     (FRV013/FRV014) because no closed form exists.
+//
+// The split mirrors the inspector–executor compilation of irregular PGAS
+// accesses: pay an analysis pass once at translate time so the per-pass
+// executor runs without bounds checks or mapping arithmetic.
+type AccessPlan interface {
+	// Kind names the addressing model: "affine" or "inspector".
+	Kind() string
+	// Domain is the executor's iteration-domain length: top-level data
+	// elements for affine plans, materialized nonzeros for inspector plans.
+	Domain() int
+	// Verify appends the plan's proof obligations to a verifier plan:
+	// affine plans contribute the closed-form data Access, inspector plans
+	// contribute their materialized TableAccess entries.
+	Verify(p *verify.Plan)
+}
+
+// AffinePlan is the closed-form dense addressing model: element i's real
+// run starts at U0*i + Off0 and holds Inner elements with stride U1. The
+// constants come straight from the Fig. 6 mapping metadata; units follow
+// the Meta they were derived from (words for executor plans, bytes for the
+// EmitC rendering).
+type AffinePlan struct {
+	// U0 is the outer (row) stride; Off0 the hoisted base offset; U1 the
+	// inner stride.
+	U0, Off0, U1 int
+	// Inner is the run length in elements.
+	Inner int
+	// NumRows is the outer domain length; WordLen the linearized buffer
+	// length. Both are zero when the plan only feeds codegen (EmitC),
+	// which never indexes storage.
+	NumRows, WordLen int
+}
+
+// AffinePlanFromMeta extracts the affine constants the strength-reduced
+// loop nest uses from mapping metadata — the single definition SpecFromWords,
+// the verifier lowering, and EmitC all share. rows and wordLen size the
+// plan's domain and buffer for verification; pass zero when unknown.
+func AffinePlanFromMeta(meta *Meta, rows, wordLen int) AffinePlan {
+	return AffinePlan{
+		U0:      meta.UnitSize[0],
+		Off0:    meta.UnitOffset[0][meta.Position[0][0]] + meta.LeafOffset,
+		U1:      meta.Stride(),
+		Inner:   meta.InnerLen,
+		NumRows: rows,
+		WordLen: wordLen,
+	}
+}
+
+// Kind implements AccessPlan.
+func (a AffinePlan) Kind() string { return "affine" }
+
+// Domain implements AccessPlan.
+func (a AffinePlan) Domain() int { return a.NumRows }
+
+// access lowers the plan into the verifier's closed-form Access form.
+func (a AffinePlan) access(name string) verify.Access {
+	return verify.Access{
+		Name:     name,
+		Elems:    a.NumRows,
+		InnerLen: a.Inner,
+		U0:       a.U0,
+		Off0:     a.Off0,
+		U1:       a.U1,
+		WordLen:  a.WordLen,
+		Levels:   2,
+		AllReal:  true,
+	}
+}
+
+// Verify implements AccessPlan: the plan's proof obligation is the
+// closed-form data access map.
+func (a AffinePlan) Verify(p *verify.Plan) {
+	acc := a.access("data")
+	p.Data = &acc
+}
+
+// View binds the plan to a linearized word buffer as the opt-3 block view.
+func (a AffinePlan) View(words []float64) BlockView {
+	return BlockView{Words: words, RowStride: a.U0, RunOff: a.Off0, RunLen: a.Inner * a.U1}
+}
+
+// Inspector-cost counters (the translate-time analog of the engine's
+// per-phase counters): how long inspectors spend building index tables and
+// how much table memory they materialize. Surfaced in the bench JSON report
+// next to pass latency so inspector overhead is never invisible.
+var (
+	mInspectorBuildNS = obs.Default.Counter("freeride_inspector_build_ns",
+		"translate-time inspector index-table construction, nanoseconds")
+	mIndexTableBytes = obs.Default.Counter("freeride_index_table_bytes",
+		"bytes of inspector-materialized index tables")
+)
+
+// InspectorPlan is the table-driven addressing model for sparse sources:
+// the inspector sorts a COO source into CSR order once at translate time
+// and materializes, per nonzero entry e,
+//
+//	out[e] — the reduction-object cell the entry accumulates into
+//	in[e]  — the gather offset into the hot vector (column index)
+//
+// plus the CSR-ordered values the engine streams as an nnz×1 source. The
+// executor walks the tables with no mapping arithmetic; safety comes from
+// the verifier's table proofs (every entry in [0,Bound), one entry per
+// domain element), not from per-element checks.
+type InspectorPlan struct {
+	rows, cols int // logical sparse-matrix shape
+	nnz        int
+
+	vals []float64
+	out  []int32
+	in   []int32
+
+	buildTime  time.Duration
+	tableBytes int
+}
+
+// NewInspectorPlan runs the inspector over a COO source: sorts the entries
+// into CSR order (row-major, column within row — deterministic, so results
+// are reproducible across runs) and materializes the executor's index
+// tables. Entry coordinates are NOT bounds-checked here; the verifier's
+// table proofs (FRV013/FRV014) reject out-of-range entries when the plan is
+// bound to a class, which keeps the proof in one place.
+func NewInspectorPlan(coo *SparseCOO) (*InspectorPlan, error) {
+	if coo == nil {
+		return nil, fmt.Errorf("core: inspector needs a COO source")
+	}
+	nnz := len(coo.V)
+	if len(coo.R) != nnz || len(coo.C) != nnz {
+		return nil, fmt.Errorf("core: COO arrays disagree: %d rows, %d cols, %d values",
+			len(coo.R), len(coo.C), nnz)
+	}
+	t0 := time.Now()
+	perm := make([]int, nnz)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		pa, pb := perm[a], perm[b]
+		if coo.R[pa] != coo.R[pb] {
+			return coo.R[pa] < coo.R[pb]
+		}
+		return coo.C[pa] < coo.C[pb]
+	})
+	p := &InspectorPlan{
+		rows: coo.Rows, cols: coo.Cols, nnz: nnz,
+		vals: make([]float64, nnz),
+		out:  make([]int32, nnz),
+		in:   make([]int32, nnz),
+	}
+	for i, src := range perm {
+		p.vals[i] = coo.V[src]
+		p.out[i] = coo.R[src]
+		p.in[i] = coo.C[src]
+	}
+	p.buildTime = time.Since(t0)
+	p.tableBytes = 4 * (len(p.out) + len(p.in))
+	mInspectorBuildNS.Add(p.buildTime.Nanoseconds())
+	mIndexTableBytes.Add(int64(p.tableBytes))
+	return p, nil
+}
+
+// Kind implements AccessPlan.
+func (p *InspectorPlan) Kind() string { return "inspector" }
+
+// Domain implements AccessPlan: the executor iterates the nonzeros.
+func (p *InspectorPlan) Domain() int { return p.nnz }
+
+// Verify implements AccessPlan: the proof obligations are the materialized
+// tables themselves, bounded by the logical matrix shape. Callers that bind
+// the plan to a class additionally check the object and hot-vector shapes
+// match that logical shape (VerifySparse), so in-bounds here means in
+// bounds for the executor.
+func (p *InspectorPlan) Verify(vp *verify.Plan) {
+	vp.Tables = append(vp.Tables,
+		verify.TableAccess{Name: "out", Domain: p.nnz, Entries: p.out, Bound: p.rows},
+		verify.TableAccess{Name: "in", Domain: p.nnz, Entries: p.in, Bound: p.cols},
+	)
+}
+
+// Rows and Cols report the logical sparse-matrix shape.
+func (p *InspectorPlan) Rows() int { return p.rows }
+
+// Cols reports the logical column count (gather-vector length).
+func (p *InspectorPlan) Cols() int { return p.cols }
+
+// NNZ reports the nonzero count.
+func (p *InspectorPlan) NNZ() int { return p.nnz }
+
+// BuildTime reports how long the inspector spent sorting and materializing
+// tables — the translate-time cost the bench report surfaces.
+func (p *InspectorPlan) BuildTime() time.Duration { return p.buildTime }
+
+// TableBytes reports the index tables' memory footprint.
+func (p *InspectorPlan) TableBytes() int { return p.tableBytes }

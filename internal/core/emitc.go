@@ -71,10 +71,10 @@ func EmitC(class *ReductionClass, dataType *chapel.Type, opt OptLevel) (string, 
 		fmt.Fprintf(&b, "            elem[k] = linear_data[index];\n")
 		fmt.Fprintf(&b, "        }\n")
 	default:
+		ap := AffinePlanFromMeta(meta, 0, 0)
 		fmt.Fprintf(&b, "        /* opt-1 strength reduction: start point computed before the first\n")
 		fmt.Fprintf(&b, "           iteration, pre-computed offset added per iteration (§V) */\n")
-		fmt.Fprintf(&b, "        int base = %d * (args->begin + i) + %d;\n",
-			meta.UnitSize[0], meta.UnitOffset[0][meta.Position[0][0]]+meta.LeafOffset)
+		fmt.Fprintf(&b, "        int base = %d * (args->begin + i) + %d;\n", ap.U0, ap.Off0)
 		fmt.Fprintf(&b, "        double* elem = &linear_data[base]; /* %d contiguous elements */\n", inner)
 	}
 
@@ -116,9 +116,9 @@ func emitCFused(class *ReductionClass, dataType *chapel.Type, meta *Meta, name s
 		fmt.Fprintf(&b, "    /* hot variable %d linearized by the compiler (opt-2) */\n", i)
 		fmt.Fprintf(&b, "    double* hot%d = linearized_hot_%d; /* was: %s */\n", i, i, hv.Value.Type())
 	}
+	ap := AffinePlanFromMeta(meta, 0, 0)
 	fmt.Fprintf(&b, "    /* opt-1 strength reduction: start point computed once per split */\n")
-	fmt.Fprintf(&b, "    int base = %d * args->begin + %d;\n",
-		meta.UnitSize[0], meta.UnitOffset[0][meta.Position[0][0]]+meta.LeafOffset)
+	fmt.Fprintf(&b, "    int base = %d * args->begin + %d;\n", ap.U0, ap.Off0)
 	fmt.Fprintf(&b, "    for (int i = 0; i < args->num_rows; i++) {\n")
 	fmt.Fprintf(&b, "        double* elem = &linear_data[base]; /* %d contiguous elements */\n", inner)
 	fmt.Fprintf(&b, "        /* accumulate body fused inline (user logic, cf. Fig. 3/Fig. 5): */\n")
@@ -126,7 +126,7 @@ func emitCFused(class *ReductionClass, dataType *chapel.Type, meta *Meta, name s
 		fmt.Fprintf(&b, "        /*   hot%d[j]            — dense storage, no per-access branch */\n", i)
 	}
 	fmt.Fprintf(&b, "        /*   acc[group * %d + elem] op= value — no lock, no CAS */\n", class.Object.Elems)
-	fmt.Fprintf(&b, "        base += %d;\n", meta.UnitSize[0])
+	fmt.Fprintf(&b, "        base += %d;\n", ap.U0)
 	fmt.Fprintf(&b, "    }\n")
 	fmt.Fprintf(&b, "    /* one synchronization event per cell-range per split */\n")
 	fmt.Fprintf(&b, "    accumulate_block(args->worker, acc);\n")

@@ -299,6 +299,83 @@ func wordsInto(dst []float64, off int, v chapel.Value) int {
 	}
 }
 
+// SparseCOO is the raw coordinate-form sparse matrix the inspector consumes:
+// nnz entries (R[e], C[e], V[e]) with 0-based coordinates in a logical
+// Rows×Cols shape. Coordinates are deliberately NOT bounds-checked at
+// construction — the verifier's table proofs (FRV013) reject out-of-range
+// entries when an InspectorPlan built from the COO is bound to a class.
+type SparseCOO struct {
+	// Rows and Cols are the logical matrix shape.
+	Rows, Cols int
+	// R, C, V hold one entry per nonzero: row, column, value.
+	R, C []int32
+	V    []float64
+}
+
+// LinearizeCOO is the sparse branch of the linearizer: it unboxes a Chapel
+// [lo..hi] array of record { r: real; c: real; v: real } entries — the
+// natural Chapel-side form of a COO sparse matrix with coordinates stored
+// as whole-number reals so the record stays an all-real layout — into the
+// raw SparseCOO the inspector consumes. r and c are 1-based (Chapel domain
+// style) and converted to 0-based; rows and cols declare the logical shape.
+// Structural problems (wrong record shape, fractional coordinates) are
+// linearization errors; out-of-range coordinates pass through for the
+// verifier to reject with its table proofs.
+func LinearizeCOO(arr *chapel.Array, rows, cols int) (*SparseCOO, error) {
+	if arr == nil {
+		return nil, fmt.Errorf("core: LinearizeCOO needs a COO array")
+	}
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("core: LinearizeCOO shape %dx%d is negative", rows, cols)
+	}
+	rec := arr.Ty.Elem
+	if rec.Kind != chapel.KindRecord {
+		return nil, fmt.Errorf("core: COO array must hold records, got %s", arr.Ty)
+	}
+	ri, ci, vi := rec.FieldIndex("r"), rec.FieldIndex("c"), rec.FieldIndex("v")
+	if ri < 0 || ci < 0 || vi < 0 {
+		return nil, fmt.Errorf("core: COO record %s needs fields r, c, v", rec.Name)
+	}
+	for _, f := range []int{ri, ci, vi} {
+		if rec.Fields[f].Type.Kind != chapel.KindReal {
+			return nil, fmt.Errorf("core: COO field %q must be real, got %s",
+				rec.Fields[f].Name, rec.Fields[f].Type)
+		}
+	}
+	nnz := arr.Len()
+	coo := &SparseCOO{
+		Rows: rows, Cols: cols,
+		R: make([]int32, nnz), C: make([]int32, nnz), V: make([]float64, nnz),
+	}
+	for i, e := range arr.Elems {
+		fields := e.(*chapel.Record).Fields
+		r, err := wholeCoord(fields[ri].(*chapel.Real).Val, "r", i)
+		if err != nil {
+			return nil, err
+		}
+		c, err := wholeCoord(fields[ci].(*chapel.Real).Val, "c", i)
+		if err != nil {
+			return nil, err
+		}
+		coo.R[i] = r - 1 // Chapel 1-based → 0-based
+		coo.C[i] = c - 1
+		coo.V[i] = fields[vi].(*chapel.Real).Val
+	}
+	return coo, nil
+}
+
+// wholeCoord converts a real-stored coordinate to int32, rejecting
+// fractional values (a fractional coordinate is a construction bug, not an
+// out-of-range entry the verifier should handle).
+func wholeCoord(v float64, field string, entry int) (int32, error) {
+	c := int32(v)
+	if float64(c) != v {
+		return 0, fmt.Errorf("core: COO entry %d field %q holds %v, not a whole-number coordinate",
+			entry, field, v)
+	}
+	return c, nil
+}
+
 // WordsBack writes a []float64 word view back into a boxed all-real value,
 // the word-level inverse used to return FREERIDE results (e.g. updated
 // centroids) to Chapel structures.

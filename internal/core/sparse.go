@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/verify"
+)
+
+// SparseKernel is the per-entry accumulate body of a sparse reduction: v is
+// the entry's stored value, g the hot-vector element gathered at the
+// entry's in-table offset (0 when the class declares no gather vector), and
+// the result is accumulated into the entry's out-table cell. The executor
+// owns the table walk, the gather, and the accumulate — the kernel is pure
+// arithmetic, which is what lets one kernel serve every optimization level
+// (SpMV: v*g; PageRank push: v*g over contributions; degree count: 1).
+type SparseKernel func(v, g float64) float64
+
+// SparseClass is the sparse analog of ReductionClass: a push reduction over
+// a COO/CSR source described declaratively. The reduction object is a
+// vector (Elems must be 1) with one cell per matrix row — SpMV's y, a
+// histogram's bins, PageRank's rank vector. The optional gather vector Hot
+// is a boxed [lo..hi] real array with one element per matrix column.
+type SparseClass struct {
+	// Name identifies the reduction in diagnostics.
+	Name string
+	// Object is the FREERIDE reduction-object shape; Groups must equal the
+	// matrix row count and Elems must be 1 (scatter targets are cells of a
+	// vector).
+	Object freeride.ObjectSpec
+	// Hot is the optional gather vector ([lo..hi] real, one element per
+	// matrix column). nil for gather-free reductions (degree counting).
+	Hot *chapel.Array
+	// Kernel is the per-entry accumulate body.
+	Kernel SparseKernel
+	// Combine optionally post-processes the merged object.
+	Combine func(o *robj.Object) error
+	// Finalize optionally runs on the run result.
+	Finalize func(r *freeride.Result) error
+}
+
+// SparseTranslation is the compiled output of TranslateSparse: the
+// inspector's plan (tables + CSR-ordered values) plus the executor specs
+// for the requested optimization level.
+type SparseTranslation struct {
+	class *SparseClass
+	opt   OptLevel
+	plan  *InspectorPlan
+
+	// hotWords is the linearized gather vector (opt-2+ executors), nil
+	// when the class declares none.
+	hotWords []float64
+
+	// InspectTime is the inspector's table-construction cost — the sparse
+	// analog of LinearizeTime, surfaced next to pass latency in bench
+	// reports so inspector overhead is never invisible.
+	InspectTime time.Duration
+	// HotLinearizeTime is the gather-vector linearization cost.
+	HotLinearizeTime time.Duration
+}
+
+// VerifySparse statically checks a sparse class bound to an inspector plan
+// at an optimization level — the sparse analog of Verify. Structural facts
+// (kernel present, vector-shaped object matching the matrix rows, gather
+// vector matching the matrix columns) become Pre diagnostics; the plan
+// contributes its table proofs (FRV013/FRV014). Unlike the dense verifier,
+// the table proofs are data-dependent by nature: they check the
+// materialized entries, not a closed form, so verification necessarily runs
+// after the inspector.
+func VerifySparse(class *SparseClass, plan *InspectorPlan, opt OptLevel) verify.Diagnostics {
+	p := &verify.Plan{Opt: int(opt), OptName: opt.String()}
+	if class == nil {
+		p.Class = "class"
+		p.HasKernel = true
+		p.Object = verify.Shape{Groups: 1, Elems: 1}
+		p.Pre = verify.Diagnostics{{
+			Pos: "class", Severity: verify.SeverityError, Code: verify.CodeNoKernel,
+			Msg: "core: sparse translation needs a class with a kernel",
+		}}
+		return verify.CheckPlan(p)
+	}
+	p.Class = class.Name
+	if p.Class == "" {
+		p.Class = "class"
+	}
+	p.HasKernel = class.Kernel != nil
+	// The fused executor is derived from the same SparseKernel, so opt-3 is
+	// always available — no FRV030 fallback warning applies.
+	p.HasBlockKernel = class.Kernel != nil
+	p.Object = verify.Shape{Groups: class.Object.Groups, Elems: class.Object.Elems}
+
+	if class.Object.Elems > 1 {
+		p.Pre = append(p.Pre, verify.Diagnostic{
+			Pos: p.Class, Severity: verify.SeverityError, Code: verify.CodeBadObjectShape,
+			Msg: fmt.Sprintf("core: sparse scatter targets are vector cells; object shape %dx%d needs Elems == 1",
+				class.Object.Groups, class.Object.Elems),
+		})
+	}
+	if plan != nil {
+		if class.Object.Groups != plan.Rows() {
+			p.Pre = append(p.Pre, verify.Diagnostic{
+				Pos: p.Class, Severity: verify.SeverityError, Code: verify.CodeBadObjectShape,
+				Msg: fmt.Sprintf("core: reduction object has %d groups but the sparse matrix has %d rows; the out table scatters one cell per row",
+					class.Object.Groups, plan.Rows()),
+			})
+		}
+		if class.Hot != nil {
+			hotTy := class.Hot.Ty
+			if hotTy.Kind != chapel.KindArray || hotTy.Elem.Kind != chapel.KindReal {
+				p.Pre = append(p.Pre, verify.Diagnostic{
+					Pos: p.Class + ": hot[0]", Severity: verify.SeverityError, Code: verify.CodeHotShape,
+					Msg: fmt.Sprintf("core: sparse gather vector must be a real vector, got %s", hotTy),
+				})
+			} else if class.Hot.Len() != plan.Cols() {
+				p.Pre = append(p.Pre, verify.Diagnostic{
+					Pos: p.Class + ": hot[0]", Severity: verify.SeverityError, Code: verify.CodeHotShape,
+					Msg: fmt.Sprintf("core: gather vector holds %d elements but the sparse matrix has %d columns; the in table gathers one element per column",
+						class.Hot.Len(), plan.Cols()),
+				})
+			}
+		}
+		// The plan's proof obligations: every table entry in bounds, one
+		// entry per nonzero.
+		plan.Verify(p)
+	}
+	return verify.CheckPlan(p)
+}
+
+// TranslateSparse compiles a SparseClass over a COO source into a FREERIDE
+// execution: the inspector sorts the source into CSR order and materializes
+// the index tables once at translate time; the verifier proves the tables
+// safe (rejecting with FRV013/FRV014 on out-of-range or non-total maps);
+// the executor specs then walk the tables with no per-element checks.
+func TranslateSparse(class *SparseClass, coo *SparseCOO, opt OptLevel) (*SparseTranslation, error) {
+	if class == nil {
+		return nil, VerifySparse(nil, nil, opt).Err()
+	}
+	plan, err := NewInspectorPlan(coo)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifySparse(class, plan, opt).Err(); err != nil {
+		return nil, err
+	}
+	tr := &SparseTranslation{class: class, opt: opt, plan: plan, InspectTime: plan.BuildTime()}
+	if class.Hot != nil && opt >= Opt2 {
+		t0 := time.Now()
+		tr.hotWords, err = LinearizeToWords(class.Hot)
+		if err != nil {
+			return nil, fmt.Errorf("core: gather vector: %w", err)
+		}
+		tr.HotLinearizeTime = time.Since(t0)
+	}
+	return tr, nil
+}
+
+// Opt reports the translation's optimization level.
+func (t *SparseTranslation) Opt() OptLevel { return t.opt }
+
+// Plan exposes the inspector plan (tables, build cost, logical shape).
+func (t *SparseTranslation) Plan() *InspectorPlan { return t.plan }
+
+// AccessPlan returns the translation's addressing model — always the
+// inspector plan for sparse translations.
+func (t *SparseTranslation) AccessPlan() AccessPlan { return t.plan }
+
+// RefreshHot re-linearizes the gather vector after its boxed source changed
+// (no-op below opt-2, whose gather is live through the boxed array). Call
+// between iterations, e.g. after a PageRank step updates the rank vector.
+func (t *SparseTranslation) RefreshHot() {
+	if t.hotWords == nil || t.class.Hot == nil {
+		return
+	}
+	t0 := time.Now()
+	wordsInto(t.hotWords, 0, t.class.Hot)
+	t.HotLinearizeTime += time.Since(t0)
+}
+
+// Source returns the CSR-ordered nonzero values as the FREERIDE data
+// source: one engine row per nonzero entry, one word per row. Splits over
+// this source are subranges of the entry domain, which is exactly the
+// domain the verifier proved the index tables total over.
+func (t *SparseTranslation) Source() dataset.Source {
+	return NewWordSource(t.plan.vals, t.plan.nnz, 1)
+}
+
+// Spec assembles the FREERIDE spec whose executor walks the inspector's
+// index tables at the translation's optimization level:
+//
+//	generated — per-entry, gather through the boxed Chapel vector
+//	opt-1/2   — per-entry, gather on linearized words (opt-1 keeps the
+//	            boxed gather, matching the dense levels' hot treatment)
+//	opt-3     — fused: one call per split walks the tables and accumulates
+//	            into the worker-local buffer (dense, or hashed when the
+//	            engine decides the touched-cell set is sparse), flushed to
+//	            the shared object once per split
+func (t *SparseTranslation) Spec() freeride.Spec {
+	spec := freeride.Spec{Object: t.class.Object, Combine: t.class.Combine, Finalize: t.class.Finalize}
+	kernel := t.class.Kernel
+	out, in := t.plan.out, t.plan.in
+
+	switch {
+	case t.opt < Opt2:
+		// Generated/opt-1: gather walks the boxed Chapel vector per entry —
+		// the same boxed-hot-state overhead the dense levels carry below
+		// opt-2.
+		hot := t.class.Hot
+		if hot == nil {
+			spec.Reduction = func(args *freeride.ReductionArgs) error {
+				for i := 0; i < args.NumRows; i++ {
+					e := args.Begin + i
+					args.Accumulate(int(out[e]), 0, kernel(args.Data[i], 0))
+				}
+				return nil
+			}
+			break
+		}
+		lo := hot.Ty.Lo
+		spec.Reduction = func(args *freeride.ReductionArgs) error {
+			for i := 0; i < args.NumRows; i++ {
+				e := args.Begin + i
+				g := hot.At(lo + int(in[e])).(*chapel.Real).Val
+				args.Accumulate(int(out[e]), 0, kernel(args.Data[i], g))
+			}
+			return nil
+		}
+	default:
+		// Opt-2: the gather vector is linearized once; the executor reads
+		// dense words.
+		x := t.hotWords
+		if x == nil {
+			spec.Reduction = func(args *freeride.ReductionArgs) error {
+				for i := 0; i < args.NumRows; i++ {
+					e := args.Begin + i
+					args.Accumulate(int(out[e]), 0, kernel(args.Data[i], 0))
+				}
+				return nil
+			}
+		} else {
+			spec.Reduction = func(args *freeride.ReductionArgs) error {
+				for i := 0; i < args.NumRows; i++ {
+					e := args.Begin + i
+					args.Accumulate(int(out[e]), 0, kernel(args.Data[i], x[in[e]]))
+				}
+				return nil
+			}
+		}
+		if t.opt >= Opt3 {
+			// Opt-3 fusion: one call per split; Accumulate lands in the
+			// worker-local buffer (dense mirror or hashed, the engine's
+			// choice) and the engine flushes once per split. ScatterBlock
+			// records that the kernels below never touch Acc() directly,
+			// which is what licenses the hashed substitution.
+			spec.ScatterBlock = true
+			if x == nil {
+				spec.BlockReduction = func(args *freeride.BlockArgs) error {
+					for i := 0; i < args.NumRows; i++ {
+						e := args.Begin + i
+						args.Accumulate(int(out[e]), 0, kernel(args.Data[i], 0))
+					}
+					return nil
+				}
+			} else {
+				spec.BlockReduction = func(args *freeride.BlockArgs) error {
+					for i := 0; i < args.NumRows; i++ {
+						e := args.Begin + i
+						args.Accumulate(int(out[e]), 0, kernel(args.Data[i], x[in[e]]))
+					}
+					return nil
+				}
+			}
+		}
+	}
+	return spec
+}

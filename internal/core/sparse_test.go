@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/verify"
+)
+
+// boxCOO builds the boxed Chapel COO array: [1..nnz] record nz { r, c, v }
+// with 1-based whole-number coordinates stored as reals.
+func boxCOO(entries [][3]float64) *chapel.Array {
+	nz := chapel.RecordType("nz",
+		chapel.Field{Name: "r", Type: chapel.RealType()},
+		chapel.Field{Name: "c", Type: chapel.RealType()},
+		chapel.Field{Name: "v", Type: chapel.RealType()})
+	arr := chapel.NewArray(chapel.ArrayType(nz, 1, len(entries)))
+	for i, e := range entries {
+		rec := arr.At(i + 1).(*chapel.Record)
+		rec.Fields[0] = &chapel.Real{Val: e[0]}
+		rec.Fields[1] = &chapel.Real{Val: e[1]}
+		rec.Fields[2] = &chapel.Real{Val: e[2]}
+	}
+	return arr
+}
+
+// testCOO is a 3×4 matrix with 5 nonzeros, deliberately out of CSR order.
+func testCOO(t *testing.T) *SparseCOO {
+	t.Helper()
+	boxed := boxCOO([][3]float64{
+		{3, 1, 5}, {1, 2, 2}, {2, 4, 7}, {1, 1, 1}, {3, 3, 4},
+	})
+	coo, err := LinearizeCOO(boxed, 3, 4)
+	if err != nil {
+		t.Fatalf("LinearizeCOO: %v", err)
+	}
+	return coo
+}
+
+func spmvTestClass(rows int, x *chapel.Array) *SparseClass {
+	return &SparseClass{
+		Name:   "spmv",
+		Object: freeride.ObjectSpec{Groups: rows, Elems: 1, Op: robj.OpAdd},
+		Hot:    x,
+		Kernel: func(v, g float64) float64 { return v * g },
+	}
+}
+
+func TestLinearizeCOO(t *testing.T) {
+	coo := testCOO(t)
+	if coo.Rows != 3 || coo.Cols != 4 {
+		t.Fatalf("shape %dx%d, want 3x4", coo.Rows, coo.Cols)
+	}
+	// Coordinates converted to 0-based in entry order.
+	wantR := []int32{2, 0, 1, 0, 2}
+	wantC := []int32{0, 1, 3, 0, 2}
+	for i := range wantR {
+		if coo.R[i] != wantR[i] || coo.C[i] != wantC[i] {
+			t.Fatalf("entry %d = (%d,%d), want (%d,%d)", i, coo.R[i], coo.C[i], wantR[i], wantC[i])
+		}
+	}
+}
+
+func TestLinearizeCOORejections(t *testing.T) {
+	frac := boxCOO([][3]float64{{1.5, 1, 2}})
+	if _, err := LinearizeCOO(frac, 2, 2); err == nil || !strings.Contains(err.Error(), "whole-number") {
+		t.Fatalf("fractional coordinate not rejected: %v", err)
+	}
+	notRec := chapel.RealArray(1, 2, 3)
+	if _, err := LinearizeCOO(notRec, 2, 2); err == nil || !strings.Contains(err.Error(), "records") {
+		t.Fatalf("non-record array not rejected: %v", err)
+	}
+	badField := chapel.NewArray(chapel.ArrayType(chapel.RecordType("bad",
+		chapel.Field{Name: "x", Type: chapel.RealType()}), 1, 1))
+	if _, err := LinearizeCOO(badField, 2, 2); err == nil || !strings.Contains(err.Error(), "fields r, c, v") {
+		t.Fatalf("wrong record fields not rejected: %v", err)
+	}
+}
+
+func TestInspectorPlanCSROrder(t *testing.T) {
+	plan, err := NewInspectorPlan(testCOO(t))
+	if err != nil {
+		t.Fatalf("NewInspectorPlan: %v", err)
+	}
+	if plan.Kind() != "inspector" || plan.Domain() != 5 {
+		t.Fatalf("kind=%s domain=%d", plan.Kind(), plan.Domain())
+	}
+	// CSR order: (0,0,1) (0,1,2) (1,3,7) (2,0,5) (2,2,4).
+	wantOut := []int32{0, 0, 1, 2, 2}
+	wantIn := []int32{0, 1, 3, 0, 2}
+	wantVals := []float64{1, 2, 7, 5, 4}
+	for i := range wantOut {
+		if plan.out[i] != wantOut[i] || plan.in[i] != wantIn[i] || plan.vals[i] != wantVals[i] {
+			t.Fatalf("entry %d = (%d,%d,%v), want (%d,%d,%v)",
+				i, plan.out[i], plan.in[i], plan.vals[i], wantOut[i], wantIn[i], wantVals[i])
+		}
+	}
+	if plan.TableBytes() != 4*(5+5) {
+		t.Fatalf("TableBytes = %d, want 40", plan.TableBytes())
+	}
+}
+
+// TestTranslateSparseRejections pins the sparse verifier's diagnostic codes:
+// out-of-range table entries trip the new table proofs (FRV013), shape
+// mismatches the structural checks.
+func TestTranslateSparseRejections(t *testing.T) {
+	x := chapel.RealArray(1, 2, 3, 4)
+	tests := []struct {
+		name  string
+		class func() *SparseClass
+		coo   func(t *testing.T) *SparseCOO
+		code  verify.Code
+	}{
+		{
+			name:  "no kernel",
+			class: func() *SparseClass { c := spmvTestClass(3, x); c.Kernel = nil; return c },
+			coo:   testCOO,
+			code:  verify.CodeNoKernel,
+		},
+		{
+			name:  "matrix-shaped object",
+			class: func() *SparseClass { c := spmvTestClass(3, x); c.Object.Elems = 2; return c },
+			coo:   testCOO,
+			code:  verify.CodeBadObjectShape,
+		},
+		{
+			name:  "object groups disagree with matrix rows",
+			class: func() *SparseClass { return spmvTestClass(5, x) },
+			coo:   testCOO,
+			code:  verify.CodeBadObjectShape,
+		},
+		{
+			name:  "gather vector shorter than matrix columns",
+			class: func() *SparseClass { return spmvTestClass(3, chapel.RealArray(1, 2)) },
+			coo:   testCOO,
+			code:  verify.CodeHotShape,
+		},
+		{
+			name:  "row entry past matrix rows",
+			class: func() *SparseClass { return spmvTestClass(3, x) },
+			coo: func(t *testing.T) *SparseCOO {
+				coo := testCOO(t)
+				coo.R[2] = 9
+				return coo
+			},
+			code: verify.CodeTableOOB,
+		},
+		{
+			name:  "negative column entry",
+			class: func() *SparseClass { return spmvTestClass(3, x) },
+			coo: func(t *testing.T) *SparseCOO {
+				coo := testCOO(t)
+				coo.C[0] = -1
+				return coo
+			},
+			code: verify.CodeTableOOB,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := TranslateSparse(tc.class(), tc.coo(t), Opt1)
+			verr := verify.AsError(err)
+			if verr == nil {
+				t.Fatalf("want *verify.Error, got %v", err)
+			}
+			found := false
+			for _, d := range verr.Diags {
+				if d.Code == tc.code && d.Severity == verify.SeverityError {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want code %s, got:\n%s", tc.code, verr.Diags.Render())
+			}
+		})
+	}
+}
+
+// TestSparseExecutorMatchesDense runs the SpMV executor at every opt level
+// and checks it against the densified mat-vec reference — the core-level
+// half of the sparse ≡ densified property (apps sweeps strategies and
+// schedulers on top).
+func TestSparseExecutorMatchesDense(t *testing.T) {
+	coo := testCOO(t)
+	xv := []float64{3, 1, 4, 2}
+	x := chapel.RealArray(xv...)
+
+	// Densified reference.
+	want := make([]float64, coo.Rows)
+	for e := range coo.V {
+		want[coo.R[e]] += coo.V[e] * xv[coo.C[e]]
+	}
+
+	for _, opt := range OptLevels() {
+		tr, err := TranslateSparse(spmvTestClass(coo.Rows, x), coo, opt)
+		if err != nil {
+			t.Fatalf("%s: TranslateSparse: %v", opt, err)
+		}
+		eng := freeride.New(freeride.Config{Threads: 2, SplitRows: 2})
+		res, err := eng.RunContext(context.Background(), tr.Spec(), tr.Source())
+		if err != nil {
+			eng.Close()
+			t.Fatalf("%s: run: %v", opt, err)
+		}
+		got := res.Object.Snapshot()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: y[%d] = %v, want %v", opt, i, got[i], want[i])
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestEmitSparseCGolden pins the rendered sparse executor for SpMV at the
+// two levels the translation pipeline distinguishes most: the per-element
+// table walk (opt-1) and the fused scattered-accumulator shape (opt-3).
+// Regenerate with -update-golden and inspect the diff before committing.
+func TestEmitSparseCGolden(t *testing.T) {
+	x := chapel.RealArray(1, 2, 3, 4)
+	class := spmvTestClass(3, x)
+	for _, opt := range []OptLevel{Opt1, Opt3} {
+		name := fmt.Sprintf("spmv_%s", map[OptLevel]string{Opt1: "opt1", Opt3: "opt3"}[opt])
+		t.Run(name, func(t *testing.T) {
+			got, err := EmitSparseC(class, opt)
+			if err != nil {
+				t.Fatalf("EmitSparseC(%s): %v", opt, err)
+			}
+			path := filepath.Join("testdata", "emitc", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EmitSparseC output for %s drifted from %s.\ngot:\n%s\nwant:\n%s",
+					name, path, got, want)
+			}
+		})
+	}
+}

@@ -279,11 +279,12 @@ func NewWordStateVec(root *chapel.Array, path []string) (*StateVec, error) {
 	if root.Ty.Elem.Kind == chapel.KindReal && len(path) == 0 {
 		elems = 1 // vector promoted to 1×n
 	}
+	ap := AffinePlanFromMeta(wmeta, elems, len(words))
 	return &StateVec{
 		flat:  words,
-		u0:    wmeta.UnitSize[0],
-		off0:  wmeta.UnitOffset[0][wmeta.Position[0][0]] + wmeta.LeafOffset,
-		u1:    wmeta.UnitSize[1],
+		u0:    ap.U0,
+		off0:  ap.Off0,
+		u1:    ap.U1,
 		lo0:   wmeta.Lo[0],
 		lo1:   wmeta.Lo[1],
 		elems: elems,
@@ -498,6 +499,13 @@ func (t *Translation) Words() []float64 { return t.words }
 // Meta exposes the dataset's mapping metadata (word units).
 func (t *Translation) Meta() *Meta { return t.meta }
 
+// AccessPlan returns the translation's addressing model — always the
+// closed-form affine plan for dense translations (sparse translations carry
+// an InspectorPlan; see TranslateSparse).
+func (t *Translation) AccessPlan() AccessPlan {
+	return AffinePlanFromMeta(t.meta, t.rows, len(t.words))
+}
+
 // Source returns the linearized dataset as a FREERIDE data source: one row
 // per top-level element. For streaming translations the source blocks
 // readers until the background linearizer has produced the requested rows.
@@ -550,11 +558,13 @@ func SpecFromWords(class *ReductionClass, words []float64, meta *Meta, hot []*St
 		// Opt-1/Opt-2: strength reduction — "the start point for the
 		// continuous data split is computed before the first iteration,
 		// and an appropriate pre-computed offset is added for each
-		// iteration" (§V). off0 is that pre-computed offset.
-		stride := meta.Stride()
-		inner := meta.InnerLen
-		u0 := meta.UnitSize[0]
-		off0 := meta.UnitOffset[0][meta.Position[0][0]] + meta.LeafOffset
+		// iteration" (§V). off0 is that pre-computed offset; the constants
+		// come from the shared affine access plan.
+		ap := AffinePlanFromMeta(meta, 0, len(words))
+		stride := ap.U1
+		inner := ap.Inner
+		u0 := ap.U0
+		off0 := ap.Off0
 		spec.Reduction = func(args *freeride.ReductionArgs) error {
 			vec := Vec{}
 			for i := 0; i < args.NumRows; i++ {
@@ -568,7 +578,7 @@ func SpecFromWords(class *ReductionClass, words []float64, meta *Meta, hot []*St
 			// Opt-3 fusion: hand the engine a devirtualized split-granular
 			// kernel. The per-element Reduction above stays wired as the
 			// fallback for execution tiers without a fused path.
-			view := BlockView{Words: words, RowStride: u0, RunOff: off0, RunLen: inner * stride}
+			view := ap.View(words)
 			bk := class.BlockKernel
 			spec.BlockReduction = func(args *freeride.BlockArgs) error {
 				return bk(args, view, hot)

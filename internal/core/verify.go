@@ -123,17 +123,10 @@ func dataAccess(class string, ty *chapel.Type, path []string) (*verify.Access, v
 	if err != nil {
 		return nil, preError(class, "data", verify.CodeUnaligned, "%v", err)
 	}
-	return &verify.Access{
-		Name:     "data",
-		Elems:    ty.Len(),
-		InnerLen: wmeta.InnerLen,
-		U0:       wmeta.UnitSize[0],
-		Off0:     wmeta.UnitOffset[0][wmeta.Position[0][0]] + wmeta.LeafOffset,
-		U1:       wmeta.Stride(),
-		WordLen:  SizeOf(ty) / 8,
-		Levels:   wmeta.Levels,
-		AllReal:  true,
-	}, nil
+	ap := AffinePlanFromMeta(wmeta, ty.Len(), SizeOf(ty)/8)
+	p := &verify.Plan{}
+	ap.Verify(p)
+	return p.Data, nil
 }
 
 // wordHotAccess lowers an opt-2 hot variable the way NewWordStateVec will
@@ -164,17 +157,9 @@ func wordHotAccess(class, name string, ty *chapel.Type, path []string) (*verify.
 	if ty.Kind == chapel.KindArray && ty.Elem.Kind == chapel.KindReal && len(path) == 0 {
 		elems = 1 // vector promoted to 1×n
 	}
-	return &verify.Access{
-		Name:     name,
-		Elems:    elems,
-		InnerLen: wmeta.InnerLen,
-		U0:       wmeta.UnitSize[0],
-		Off0:     wmeta.UnitOffset[0][wmeta.Position[0][0]] + wmeta.LeafOffset,
-		U1:       wmeta.Stride(),
-		WordLen:  SizeOf(ty) / 8,
-		Levels:   wmeta.Levels,
-		AllReal:  true,
-	}, nil
+	ap := AffinePlanFromMeta(wmeta, elems, SizeOf(ty)/8)
+	acc := ap.access(name)
+	return &acc, nil
 }
 
 // boxedHotAccess validates a generated/opt-1 hot variable against the

@@ -136,6 +136,16 @@ type Config struct {
 	// SplitRows is the number of data instances per split handed to the
 	// user reduction function. Defaults to 4096.
 	SplitRows int
+	// SparseAccCells is the reduction-object cell count at which the fused
+	// path degrades its worker-local buffer from the dense cell mirror to a
+	// hashed touched-cell map flushed through robj.AccumulateScattered. The
+	// dense mirror pays O(cells) per split (identity fill + flush) no matter
+	// how few cells the split touches; past this threshold that sweep
+	// dominates sparse push reductions, whose splits touch at most one cell
+	// per accumulate. 0 means the default (4096, the default split size —
+	// i.e. objects at least as large as a split's row count); negative
+	// disables the hashed mode entirely.
+	SparseAccCells int
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SplitRows < 1 {
 		c.SplitRows = 4096
+	}
+	if c.SparseAccCells == 0 {
+		c.SparseAccCells = 4096
 	}
 	return c
 }
@@ -226,6 +239,14 @@ type Spec struct {
 	// combined with LocalInit. Specs may set both callbacks: engines (and
 	// future execution tiers) without a fused path fall back to Reduction.
 	BlockReduction func(args *BlockArgs) error
+	// ScatterBlock declares that BlockReduction accumulates exclusively
+	// through BlockArgs.Accumulate and never touches the Acc() buffer
+	// directly. That contract is what lets the engine substitute the hashed
+	// worker-local accumulator for the dense mirror on large objects
+	// (Config.SparseAccCells) — a dense fused kernel that walks Acc()
+	// in place must leave this false. The sparse translator sets it; results
+	// are bit-identical in both accumulator modes.
+	ScatterBlock bool
 	// Splitter optionally overrides the default splitter. It must partition
 	// [0, totalRows) into disjoint, covering chunks. requestedUnits is the
 	// engine's hint (derived from Config.SplitRows).

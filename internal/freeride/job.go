@@ -29,6 +29,10 @@ type job struct {
 	cols       int
 	threads    int
 	measureCPU bool
+	// sparseAcc marks a fused job whose object crossed Config.SparseAccCells:
+	// worker slots accumulate into hashed touched-cell maps instead of dense
+	// mirrors and flush through AccumulateScattered.
+	sparseAcc bool
 
 	stop     atomic.Bool
 	errOnce  sync.Once
@@ -114,13 +118,24 @@ func (j *job) runSlot(slot int, ws *workerState) {
 			elems:   j.obj.ElemsPerGroup(),
 			scratch: ws.scratch,
 		}
-		cells := bargs.groups * bargs.elems
-		if cap(ws.acc) < cells {
-			ws.acc = make([]float64, cells)
+		if j.sparseAcc {
+			// Sparse fused path: the object is large relative to a split, so
+			// the dense mirror's per-split O(cells) sweep would dominate.
+			// Accumulate lands in the worker's pooled hashed map instead.
+			if ws.hash == nil {
+				ws.hash = newCellHash()
+			}
+			ws.hash.reset()
+			bargs.hash = ws.hash
+		} else {
+			cells := bargs.groups * bargs.elems
+			if cap(ws.acc) < cells {
+				ws.acc = make([]float64, cells)
+			}
+			bargs.acc = ws.acc[:cells]
+			accID = bargs.op.Identity()
+			fillIdentity(bargs.acc, accID)
 		}
-		bargs.acc = ws.acc[:cells]
-		accID = bargs.op.Identity()
-		fillIdentity(bargs.acc, accID)
 		// Keep whatever scratch growth the kernel caused for the next pass.
 		defer func() { ws.scratch = bargs.scratch }()
 	} else {
@@ -168,9 +183,16 @@ func (j *job) runSlot(slot int, ws *workerState) {
 					return
 				}
 				// One bulk synchronization event per split, then re-arm the
-				// local buffer with the operator's identity.
-				j.obj.AccumulateBlock(slot, bargs.acc)
-				fillIdentity(bargs.acc, accID)
+				// local buffer: scattered flush of the touched cells on the
+				// sparse path, dense merge + identity refill otherwise.
+				if bargs.hash != nil {
+					j.obj.AccumulateScattered(slot, bargs.hash.cells, bargs.hash.vals)
+					bargs.hash.reset()
+					mScatterFlushes.Inc()
+				} else {
+					j.obj.AccumulateBlock(slot, bargs.acc)
+					fillIdentity(bargs.acc, accID)
+				}
 				mBlockFlushes.Inc()
 				mRowsFused.Add(int64(n))
 				blockFlushes++
@@ -367,6 +389,7 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 		cols:         src.Cols(),
 		threads:      cfg.Threads,
 		measureCPU:   cputime.Supported(),
+		sparseAcc:    sparseAccFor(cfg, spec, obj),
 		locals:       make([]any, cfg.Threads),
 		workerCPU:    make([]time.Duration, cfg.Threads),
 		workerSplits: make([]int64, cfg.Threads),
@@ -473,6 +496,20 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 	res.Stats.JobDeltas = jm.Deltas()
 	obs.Log.AddRun(jobID, res.Stats.Spans)
 	return res, nil
+}
+
+// sparseAccFor decides whether a fused job runs on the hashed worker-local
+// accumulator: the spec opted in (ScatterBlock — the kernel accumulates
+// only through BlockArgs.Accumulate, so the engine may swap the buffer)
+// and the object's cell count has crossed Config.SparseAccCells (negative
+// disables the mode; withDefaults resolved 0 to the default threshold).
+// Dense fused kernels that walk Acc() directly never set ScatterBlock and
+// always keep the dense mirror, whatever their object size.
+func sparseAccFor(cfg Config, spec Spec, obj *robj.Object) bool {
+	if spec.BlockReduction == nil || !spec.ScatterBlock || obj == nil || cfg.SparseAccCells <= 0 {
+		return false
+	}
+	return obj.Groups()*obj.ElemsPerGroup() >= cfg.SparseAccCells
 }
 
 // enqueue sends the job's tickets to the pool. Tickets not sent — because

@@ -453,6 +453,70 @@ func (o *Object) AccumulateBlock(w int, block []float64) {
 	o.updates[w].n += int64(cells)
 }
 
+// AccumulateScattered folds a sparse set of touched cells — flat cell
+// indices with their accumulated values — into the object on behalf of
+// worker w. It is the scattered counterpart of AccumulateBlock, used when a
+// split's touched-cell set is far smaller than the object (the hashed
+// worker-local accumulator of sparse push reductions): where the block path
+// sweeps all groups×elems cells to find the touched ones, the scattered
+// path visits exactly len(cells) non-contiguous cells. Cell indices come
+// from the fused executor's accumulator, whose targets the verifier proved
+// in bounds at translate time (FRV013), so they are not re-checked here;
+// duplicate indices are legal and fold associatively. Safe for concurrent
+// use by distinct workers.
+func (o *Object) AccumulateScattered(w int, cells []int32, vals []float64) {
+	if len(cells) != len(vals) {
+		panic(fmt.Sprintf("robj: AccumulateScattered got %d cells, %d values", len(cells), len(vals)))
+	}
+	switch o.strategy {
+	case FullReplication:
+		r := o.replicas[w]
+		for k, i := range cells {
+			r[i] = o.op.Apply(r[i], vals[k])
+		}
+	case FullLocking:
+		for k, i := range cells {
+			l := &o.locks[i]
+			if !l.TryLock() {
+				o.waitLock(l)
+			}
+			o.shared[i] = o.op.Apply(o.shared[i], vals[k])
+			l.Unlock()
+		}
+	case OptimizedFullLocking:
+		for k, i := range cells {
+			c := &o.padded[i]
+			if !c.mu.TryLock() {
+				o.waitLock(&c.mu)
+			}
+			c.val = o.op.Apply(c.val, vals[k])
+			c.mu.Unlock()
+		}
+	case FixedLocking:
+		for k, i := range cells {
+			l := &o.locks[int(i)%len(o.locks)]
+			if !l.TryLock() {
+				o.waitLock(l)
+			}
+			o.shared[i] = o.op.Apply(o.shared[i], vals[k])
+			l.Unlock()
+		}
+	case AtomicCAS:
+		for k, i := range cells {
+			b := &o.bits[i]
+			for {
+				old := b.Load()
+				next := math.Float64bits(o.op.Apply(math.Float64frombits(old), vals[k]))
+				if b.CompareAndSwap(old, next) {
+					break
+				}
+				mCASRetry.Inc()
+			}
+		}
+	}
+	o.updates[w].n += int64(len(cells))
+}
+
 // parallelMergeThreshold is the cell count above which Merge combines
 // replicas with parallel range-partitioned workers, mirroring the paper's
 // "if the size of the reduction object is large, both local and global

@@ -1,0 +1,120 @@
+package robj
+
+import (
+	"sync"
+	"testing"
+
+	"chapelfreeride/internal/obs"
+)
+
+// TestAccumulateScatteredMatchesPerElement pins the scattered bulk path's
+// semantics: for every strategy and operator, flushing a touched-cell list
+// through AccumulateScattered — including duplicate cells, which must fold
+// associatively — yields the same merged object as per-element Accumulate.
+func TestAccumulateScatteredMatchesPerElement(t *testing.T) {
+	const groups, elems, workers = 40, 3, 4
+	// Worker w's touched cells: a sparse, non-contiguous pattern with
+	// deliberate duplicates, different per worker.
+	touchedFor := func(w int) ([]int32, []float64) {
+		var cells []int32
+		var vals []float64
+		for i := w; i < groups*elems; i += 7 + w {
+			cells = append(cells, int32(i))
+			vals = append(vals, float64((i%13)*(w+1)-20))
+		}
+		// Re-touch the first cell so aliased targets are exercised.
+		if len(cells) > 0 {
+			cells = append(cells, cells[0])
+			vals = append(vals, float64(w+3))
+		}
+		return cells, vals
+	}
+	for _, s := range Strategies() {
+		for _, op := range []Op{OpAdd, OpMin, OpMax} {
+			bulk, err := Alloc(s, op, groups, elems, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Alloc(s, op, groups, elems, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					cells, vals := touchedFor(w)
+					bulk.AccumulateScattered(w, cells, vals)
+					for k, c := range cells {
+						ref.Accumulate(w, int(c)/elems, int(c)%elems, vals[k])
+					}
+				}(w)
+			}
+			wg.Wait()
+			bulk.Merge()
+			ref.Merge()
+			for g := 0; g < groups; g++ {
+				for e := 0; e < elems; e++ {
+					if bulk.Get(g, e) != ref.Get(g, e) {
+						t.Fatalf("%v/%v cell (%d,%d): scattered %v != per-element %v",
+							s, op, g, e, bulk.Get(g, e), ref.Get(g, e))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAccumulateScatteredCountsUpdates checks the update accounting: a
+// scattered flush counts one update per touched cell, like the per-element
+// path it replaces.
+func TestAccumulateScatteredCountsUpdates(t *testing.T) {
+	label := obs.Label{Key: "strategy", Value: FullReplication.String()}
+	before := obs.Default.Value("robj_updates_total", label)
+	o, err := Alloc(FullReplication, OpAdd, 10, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.AccumulateScattered(0, []int32{1, 5, 5, 9}, []float64{1, 2, 3, 4})
+	o.AccumulateScattered(1, []int32{0}, []float64{7})
+	o.Merge()
+	if delta := obs.Default.Value("robj_updates_total", label) - before; delta != 5 {
+		t.Fatalf("updates counter delta = %d, want 5", delta)
+	}
+	if got := o.Get(5, 0); got != 5 {
+		t.Fatalf("aliased cell = %v, want 5", got)
+	}
+}
+
+func TestAccumulateScatteredPanicsOnLengthMismatch(t *testing.T) {
+	o, err := Alloc(FullLocking, OpAdd, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AccumulateScattered with mismatched lengths did not panic")
+		}
+	}()
+	o.AccumulateScattered(0, []int32{1, 2}, []float64{1})
+}
+
+// TestAccumulateScatteredFixedLockingPastPool exercises cells beyond the
+// fixed lock pool, so lock indices wrap (cell % pool).
+func TestAccumulateScatteredFixedLockingPastPool(t *testing.T) {
+	const groups = 200 // > fixedLockPool (64)
+	o, err := Alloc(FixedLocking, OpAdd, groups, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.AccumulateScattered(0, []int32{0, 64, 128, 199}, []float64{1, 2, 3, 4})
+	o.AccumulateScattered(1, []int32{64, 199}, []float64{10, 20})
+	o.Merge()
+	want := map[int]float64{0: 1, 64: 12, 128: 3, 199: 24}
+	for c, v := range want {
+		if got := o.Get(c, 0); got != v {
+			t.Fatalf("cell %d = %v, want %v", c, got, v)
+		}
+	}
+}

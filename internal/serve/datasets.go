@@ -28,13 +28,20 @@ var (
 type DatasetSpec struct {
 	Name string `json:"name"`
 	// Kind selects the generator: "gaussian" (mixture of Groups gaussians,
-	// the clustering kernels' natural input) or "uniform".
+	// the clustering kernels' natural input), "uniform", or "sparse" (a
+	// Rows×Dim sparse matrix served as NNZ (row, col, value) triples with
+	// 0-based whole-number coordinates and integer values — the input shape
+	// the sparse kernels linearize through the inspector).
 	Kind string `json:"kind"`
 	Rows int    `json:"rows"`
 	Dim  int    `json:"dim"`
 	// Groups is the gaussian mixture's component count (gaussian kind only).
-	Groups int   `json:"groups,omitempty"`
-	Seed   int64 `json:"seed"`
+	Groups int `json:"groups,omitempty"`
+	// NNZ is the nonzero count of a sparse recipe (sparse kind only).
+	// Coordinates are drawn uniformly, so duplicates may occur; kernels fold
+	// them under the reduction operator like any other aliased entry.
+	NNZ  int   `json:"nnz,omitempty"`
+	Seed int64 `json:"seed"`
 }
 
 func (s DatasetSpec) validate() error {
@@ -50,14 +57,24 @@ func (s DatasetSpec) validate() error {
 			return fmt.Errorf("serve: gaussian dataset %q needs groups >= 1", s.Name)
 		}
 	case "uniform":
+	case "sparse":
+		if s.NNZ < 1 {
+			return fmt.Errorf("serve: sparse dataset %q needs nnz >= 1", s.Name)
+		}
 	default:
-		return fmt.Errorf("serve: dataset %q has unknown kind %q (want gaussian or uniform)", s.Name, s.Kind)
+		return fmt.Errorf("serve: dataset %q has unknown kind %q (want gaussian, uniform, or sparse)", s.Name, s.Kind)
 	}
 	return nil
 }
 
-// sizeBytes is the materialized footprint the cache accounts for.
-func (s DatasetSpec) sizeBytes() int64 { return int64(s.Rows) * int64(s.Dim) * 8 }
+// sizeBytes is the materialized footprint the cache accounts for. A sparse
+// recipe materializes NNZ×3 triples, not the Rows×Dim logical matrix.
+func (s DatasetSpec) sizeBytes() int64 {
+	if s.Kind == "sparse" {
+		return int64(s.NNZ) * 3 * 8
+	}
+	return int64(s.Rows) * int64(s.Dim) * 8
+}
 
 // materialize generates the matrix from the recipe.
 func (s DatasetSpec) materialize() *dataset.Matrix {
@@ -65,6 +82,19 @@ func (s DatasetSpec) materialize() *dataset.Matrix {
 	case "gaussian":
 		points, _ := dataset.GaussianMixture(s.Rows, s.Dim, s.Groups, s.Seed)
 		return points
+	case "sparse":
+		// NNZ×3 (row, col, value) triples: in-range whole-number coordinates,
+		// small integer values so float accumulation stays exact and kernel
+		// results are order-independent under any scheduler.
+		m := dataset.NewMatrix(s.NNZ, 3)
+		r := s.Seed
+		for i := 0; i < s.NNZ; i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			m.Data[3*i] = float64(uint64(r) >> 33 % uint64(s.Rows))
+			m.Data[3*i+1] = float64(uint64(r) >> 12 % uint64(s.Dim))
+			m.Data[3*i+2] = float64(int64(uint64(r)>>45%17) - 8)
+		}
+		return m
 	default: // uniform; validate() rejects anything else at registration
 		return dataset.UniformMatrix(s.Rows, s.Dim, s.Seed, 0, 1)
 	}

@@ -17,6 +17,10 @@ type Params struct {
 	K int `json:"k,omitempty"`
 	// Iterations is the scan-and-update pass count. Defaults to 1.
 	Iterations int `json:"iterations,omitempty"`
+	// Rows, Cols are the logical matrix dimensions of a sparse job (spmv).
+	// When omitted the kernel infers the tightest shape fitting the triples.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
 }
 
 func (p Params) withDefaults() Params {
@@ -41,6 +45,7 @@ func builtinKernels() map[string]KernelFunc {
 		"kmeans": kmeansKernel,
 		"pca":    pcaKernel,
 		"em":     emKernel,
+		"spmv":   spmvKernel,
 	}
 }
 

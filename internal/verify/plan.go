@@ -23,6 +23,11 @@ type Plan struct {
 	Data *Access
 	// Hot lists the hot-variable accesses, one per declared HotVar.
 	Hot []Access
+	// Tables lists the inspector-materialized index tables (nil for
+	// closed-form affine plans). Each is proven total over its domain and
+	// element-wise in bounds — the table-lookup analog of the affine
+	// off(i,k) proofs in checkAccess.
+	Tables []TableAccess
 	// Pre carries diagnostics produced while lowering the class into the
 	// plan (unresolvable paths, nil inputs); CheckPlan prepends them.
 	Pre Diagnostics
@@ -63,6 +68,28 @@ type Access struct {
 	Levels int
 	// AllReal reports whether the access's full type is an all-real layout.
 	AllReal bool
+}
+
+// TableAccess describes one inspector-materialized index table: a map from
+// the executor's iteration domain [0, Domain) to targets in [0, Bound) —
+// object cells for scatter tables, hot-vector offsets for gather tables.
+// Unlike the affine Access, the map has no closed form; the proof obligation
+// is discharged by checking the materialized entries themselves (totality:
+// exactly one entry per domain element; bounds: every entry in [0, Bound)).
+// Scatter tables are deliberately NOT required to be injective: the
+// reduction object's accumulate is associative, so aliased targets merge
+// correctly — that aliasing is the whole point of a sparse push reduction.
+type TableAccess struct {
+	// Name locates the table in diagnostics: "out" (scatter targets) or
+	// "in" (gather offsets).
+	Name string
+	// Domain is the executor's iteration-domain length the table must
+	// cover (the nonzero count for COO/CSR sources).
+	Domain int
+	// Entries are the materialized table values.
+	Entries []int32
+	// Bound is the exclusive upper bound every entry must satisfy.
+	Bound int
 }
 
 // maxTouched returns the one-past-the-end word offset the strength-reduced
@@ -110,6 +137,9 @@ func CheckPlan(p *Plan) Diagnostics {
 			continue // shape already validated during lowering (CodeHotShape)
 		}
 		ds = checkAccess(ds, pos, h, CodeHotNotAllReal)
+	}
+	for _, t := range p.Tables {
+		ds = checkTable(ds, pos, t)
 	}
 	if p.Opt == 3 && p.HasKernel && !p.HasBlockKernel {
 		ds = warnf(ds, pos, CodeOpt3NoBlockKernel,
@@ -166,6 +196,35 @@ func checkAccess(ds Diagnostics, pos string, a Access, notRealCode Code) Diagnos
 		ds = errorf(ds, at, CodeMapNotInjective,
 			"index map is not injective: row stride %d words is smaller than the row span %d words, so consecutive rows alias",
 			a.U0, a.InnerLen*a.U1)
+	}
+	return ds
+}
+
+// checkTable proves one index table safe: total over its domain (exactly
+// one entry per iteration) and every entry inside [0, Bound). With both
+// facts established at translate time, the executor's table walk —
+// out[Begin+i] into the worker-local accumulator, in[Begin+i] into the hot
+// vector — needs no per-element bounds checks, mirroring how checkAccess
+// lets the affine hot path elide them.
+func checkTable(ds Diagnostics, pos string, t TableAccess) Diagnostics {
+	at := pos + ": table " + t.Name
+	if t.Domain < 0 || len(t.Entries) != t.Domain {
+		ds = errorf(ds, at, CodeTableNotTotal,
+			"index table holds %d entries for a domain of %d; the inspector must materialize exactly one target per split-domain element",
+			len(t.Entries), t.Domain)
+		return ds // bounds findings would just repeat the mismatch
+	}
+	if t.Bound <= 0 && t.Domain > 0 {
+		ds = errorf(ds, at, CodeTableOOB,
+			"index table targets a space of %d cells; a non-empty table needs Bound >= 1", t.Bound)
+		return ds
+	}
+	for i, e := range t.Entries {
+		if e < 0 || int(e) >= t.Bound {
+			ds = errorf(ds, at, CodeTableOOB,
+				"entry %d maps to %d, outside the target space [0,%d)", i, e, t.Bound)
+			return ds // one finding per table; the first OOB entry names the bug
+		}
 	}
 	return ds
 }

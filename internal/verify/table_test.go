@@ -1,0 +1,115 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodTables returns a clean scatter/gather table pair: 6 entries mapping
+// into a 4-cell object and a 5-element hot vector.
+func goodTables() []TableAccess {
+	return []TableAccess{
+		{Name: "out", Domain: 6, Entries: []int32{0, 0, 1, 3, 2, 3}, Bound: 4},
+		{Name: "in", Domain: 6, Entries: []int32{4, 1, 0, 2, 4, 3}, Bound: 5},
+	}
+}
+
+func goodTablePlan() *Plan {
+	p := goodPlan()
+	p.Tables = goodTables()
+	return p
+}
+
+func TestCheckPlanTablesClean(t *testing.T) {
+	ds := CheckPlan(goodTablePlan())
+	if len(ds) != 0 {
+		t.Fatalf("clean table plan produced diagnostics:\n%s", ds.Render())
+	}
+}
+
+// TestCheckPlanTablesAliasedTargetsLegal pins the design decision that
+// scatter tables need not be injective: a push reduction aliasing many
+// entries onto one cell is merged by the associative accumulate.
+func TestCheckPlanTablesAliasedTargetsLegal(t *testing.T) {
+	p := goodTablePlan()
+	p.Tables[0].Entries = []int32{2, 2, 2, 2, 2, 2}
+	if ds := CheckPlan(p); len(ds) != 0 {
+		t.Fatalf("fully aliased scatter table must be legal, got:\n%s", ds.Render())
+	}
+}
+
+// TestCheckPlanEmptyTableClean pins the empty-matrix edge case: a zero-nnz
+// source lowers to zero-domain tables, which are total and trivially in
+// bounds (Bound may even be zero when nothing is ever looked up).
+func TestCheckPlanEmptyTableClean(t *testing.T) {
+	p := goodTablePlan()
+	p.Tables = []TableAccess{
+		{Name: "out", Domain: 0, Entries: nil, Bound: 4},
+		{Name: "in", Domain: 0, Entries: nil, Bound: 0},
+	}
+	if ds := CheckPlan(p); len(ds) != 0 {
+		t.Fatalf("empty tables must be legal, got:\n%s", ds.Render())
+	}
+}
+
+// TestCheckPlanTableRejections is the table-driven pin for every rejected
+// index-table shape: exact code, exact severity, and a message naming the
+// offending entry or count.
+func TestCheckPlanTableRejections(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(p *Plan)
+		code    Code
+		msgPart string
+	}{
+		{
+			name:    "short table",
+			mutate:  func(p *Plan) { p.Tables[0].Entries = p.Tables[0].Entries[:4] },
+			code:    CodeTableNotTotal,
+			msgPart: "4 entries for a domain of 6",
+		},
+		{
+			name:    "overlong table",
+			mutate:  func(p *Plan) { p.Tables[1].Entries = append(p.Tables[1].Entries, 0) },
+			code:    CodeTableNotTotal,
+			msgPart: "7 entries for a domain of 6",
+		},
+		{
+			name:    "negative domain",
+			mutate:  func(p *Plan) { p.Tables[0].Domain = -1 },
+			code:    CodeTableNotTotal,
+			msgPart: "domain of -1",
+		},
+		{
+			name:    "entry past bound",
+			mutate:  func(p *Plan) { p.Tables[0].Entries[3] = 4 },
+			code:    CodeTableOOB,
+			msgPart: "entry 3 maps to 4, outside the target space [0,4)",
+		},
+		{
+			name:    "negative entry",
+			mutate:  func(p *Plan) { p.Tables[1].Entries[0] = -2 },
+			code:    CodeTableOOB,
+			msgPart: "entry 0 maps to -2",
+		},
+		{
+			name:    "zero bound with entries",
+			mutate:  func(p *Plan) { p.Tables[1].Bound = 0 },
+			code:    CodeTableOOB,
+			msgPart: "needs Bound >= 1",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := goodTablePlan()
+			tc.mutate(p)
+			ds := CheckPlan(p)
+			if !hasCode(ds, tc.code, SeverityError) {
+				t.Fatalf("want error %s, got:\n%s", tc.code, ds.Render())
+			}
+			if !strings.Contains(ds.Render(), tc.msgPart) {
+				t.Errorf("diagnostics missing %q:\n%s", tc.msgPart, ds.Render())
+			}
+		})
+	}
+}

@@ -83,6 +83,14 @@ const (
 	// CodeMapNotInjective: two distinct (row, k) indices map to the same
 	// linearized offset, so accumulation order would become visible.
 	CodeMapNotInjective Code = "FRV012"
+	// CodeTableOOB: an inspector-materialized index table holds an entry
+	// outside its declared bound, so the executor's table walk would touch
+	// a cell or gather offset outside the object/vector it targets.
+	CodeTableOOB Code = "FRV013"
+	// CodeTableNotTotal: an index table does not cover its declared domain
+	// (one entry per split-domain element), so some executor iterations
+	// would have no mapping.
+	CodeTableNotTotal Code = "FRV014"
 	// CodeHotShape: a hot variable has a shape the boxed accessors cannot
 	// walk without a dynamic-type panic.
 	CodeHotShape Code = "FRV020"

@@ -99,9 +99,14 @@ func TestObsCountFixture(t *testing.T) { runFixture(t, "obscount", ObsCount) }
 
 func TestLockOrderFixture(t *testing.T) { runFixture(t, "lockorder", LockOrder) }
 
+// TestInspectorHoistFixture also exercises suppression: the fixture's
+// suppressed() call has no //want marker, so runFixture fails if the
+// frds:vet-ignore is not honored.
+func TestInspectorHoistFixture(t *testing.T) { runFixture(t, "inspectorhoist", InspectorHoist) }
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
+	if err != nil || len(all) != 5 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("ctxflow, lockorder")
