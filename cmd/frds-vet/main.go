@@ -2,7 +2,7 @@
 // source tree and prints findings vet-style (file:line:col: analyzer: msg),
 // exiting non-zero when any finding survives.
 //
-//	frds-vet [-analyzers kernelpure,ctxflow,obscount,lockorder,inspectorhoist] [dir...]
+//	frds-vet [-analyzers kernelpure,ctxflow,obscount,lockorder,inspectorhoist,rowalias] [dir...]
 //
 // With no directories it analyzes the current directory tree. The analyzers
 // (see internal/vet) check:
@@ -14,6 +14,8 @@
 //	lockorder      — no user callback invoked while a mutex is held
 //	inspectorhoist — inspector plans / index tables built at translate time,
 //	                 never inside per-split reduction bodies
+//	rowalias       — kernels must not retain or mutate borrowed row views
+//	                 (args.Data / args.Row alias zero-copy sources)
 //
 // Suppress a finding in place with `//frds:vet-ignore <analyzer> -- reason`
 // on the flagged line or the line above.

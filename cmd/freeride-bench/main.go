@@ -12,6 +12,7 @@
 //	freeride-bench -exp abl-faults -fault-rate 0.1 -fault-seed 7 -retries 5 -timeout 100ms
 //	freeride-bench -exp abl-session -session-passes 50 -session-jobs 2,4,8
 //	freeride-bench -exp abl-fuse -json .     # fused vs per-element + BENCH_abl_fuse.json
+//	freeride-bench -exp abl-ingest -scale 1 -ingest-dir /data/frds -json .
 //
 // Observability: -metrics-addr serves live Prometheus-text metrics (plus
 // /report, /trace, expvar, and pprof with per-worker labels), -trace-out
@@ -72,6 +73,9 @@ func main() {
 
 		sessionPasses = flag.Int("session-passes", 0, "abl-session: reduction passes per lifecycle mode (0 = default 30)")
 		sessionJobs   = flag.String("session-jobs", "", "abl-session: comma-separated concurrent-job sweep on one session (default 2,4)")
+
+		ingestDir   = flag.String("ingest-dir", "", "abl-ingest: directory for the on-disk CSV/binary dataset files, reused across runs (default: a temporary directory deleted afterwards)")
+		ingestCheck = flag.Bool("ingest-check", false, "after abl-ingest, verify the zero-copy engine path beats the boxed CSV baseline at every thread count; exit non-zero otherwise")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve the observability endpoint (/metrics Prometheus text, /report, /trace JSON event log, /debug/vars, /debug/pprof) on this address")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the experiments finish")
@@ -151,6 +155,7 @@ func main() {
 			Threads: threads, Scale: *scaleFlag, Seed: *seedFlag, Reps: *repsFlag,
 			FaultRate: *faultRate, FaultSeed: *faultSeed, Retries: *retries, Timeout: *timeout,
 			SessionPasses: *sessionPasses, SessionJobs: jobSweep,
+			IngestDir:     *ingestDir,
 		}.WithDefaults(e.DefaultScale)
 		phasesBefore := bench.SnapshotPhases()
 		passHistBefore := bench.SnapshotPassHist()
@@ -166,6 +171,13 @@ func main() {
 			}
 		} else {
 			tbl.Fprint(os.Stdout)
+		}
+		if *ingestCheck && e.ID == "abl-ingest" {
+			if err := checkIngest(tbl.Metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "freeride-bench: ingest-check:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "freeride-bench: ingest-check ok (zero-copy ≥ csv-boxed on the engine path at every thread count)")
 		}
 		if diag, ok := bench.CheckCombineShare(phasesBefore, *maxCombine); !ok {
 			guardTripped = true
@@ -226,6 +238,36 @@ func main() {
 	if guardTripped && *guardFail {
 		os.Exit(1)
 	}
+}
+
+// checkIngest enforces the abl-ingest acceptance shape: at every measured
+// thread count, the zero-copy engine path must be at least as fast as the
+// boxed CSV baseline. A violation means the mmap fast path regressed to a
+// copying (or worse, parsing) read somewhere.
+func checkIngest(metrics []bench.Metric) error {
+	rate := map[string]map[int]float64{} // version → threads → rows/sec
+	for _, m := range metrics {
+		if m.Workload != "engine" {
+			continue
+		}
+		if rate[m.Version] == nil {
+			rate[m.Version] = map[int]float64{}
+		}
+		rate[m.Version][m.Threads] = m.RowsPerSec
+	}
+	if len(rate["bin-zerocopy"]) == 0 || len(rate["csv-boxed"]) == 0 {
+		return fmt.Errorf("no engine-path metrics to compare")
+	}
+	for threads, csv := range rate["csv-boxed"] {
+		zc, ok := rate["bin-zerocopy"][threads]
+		if !ok {
+			return fmt.Errorf("no zero-copy measurement at %d threads", threads)
+		}
+		if zc < csv {
+			return fmt.Errorf("zero-copy %.0f rows/s < csv-boxed %.0f rows/s at %d threads", zc, csv, threads)
+		}
+	}
+	return nil
 }
 
 // checkScrape drives the observability acceptance check end to end over

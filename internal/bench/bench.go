@@ -56,6 +56,12 @@ type Params struct {
 	// SessionJobs is abl-session's sweep of concurrent jobs submitted to
 	// one session's worker pool. Default 2,4 (1 is the plain session row).
 	SessionJobs []int
+
+	// IngestDir is where abl-ingest materializes (and reuses across runs)
+	// its on-disk CSV and binary dataset files. Empty means a temporary
+	// directory deleted after the run — set it when iterating at paper
+	// scale so the multi-gigabyte files are written once.
+	IngestDir string
 }
 
 // WithDefaults fills unset fields: threads 1,2,4,8 (the paper's sweep —

@@ -25,6 +25,13 @@ type Metric struct {
 	Strategy  string `json:"strategy,omitempty"`
 	// NsPerOp is the measured cost per op in nanoseconds.
 	NsPerOp int64 `json:"ns_per_op"`
+	// RowsPerSec is the ingestion throughput behind this measurement
+	// (abl-ingest); 0 for experiments that report only per-op cost.
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
+	// ReadaheadDepth is the prefetch pipeline depth the calibration pass
+	// chose for this measurement (abl-ingest's bin-boxed rows); 0 when the
+	// source has no prefetch layer.
+	ReadaheadDepth int `json:"readahead_depth,omitempty"`
 	// InspectorNs is the translate-time inspector cost (COO→CSR sort +
 	// index-table materialization) behind this measurement, in nanoseconds;
 	// 0 for dense workloads, which have no inspector. Reported separately

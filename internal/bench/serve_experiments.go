@@ -74,7 +74,7 @@ func ablServe(p Params) (*Table, error) {
 	// quota and round-robin actually decide who runs next. With trivially
 	// fast kernels the queue stays empty and the fairness comparison is
 	// meaningless.
-	if err := srv.RegisterDataset(serve.DatasetSpec{
+	if _, err := srv.RegisterDataset(serve.DatasetSpec{
 		Name: "bench", Kind: "gaussian", Rows: 8192, Dim: 8, Groups: 8, Seed: p.Seed,
 	}); err != nil {
 		return nil, err

@@ -364,6 +364,54 @@ func (c *Cluster) Run(spec freeride.Spec, src dataset.Source) (*Result, error) {
 // (so one cancellation stops all nodes' workers), and a cancelled cluster
 // run returns ctx.Err() without entering global combination.
 func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src dataset.Source) (*Result, error) {
+	if src == nil {
+		return nil, errors.New("cluster: nil data source")
+	}
+	return c.runContext(ctx, spec, src.NumRows(), func(n, lo, hi int) (dataset.Source, func() error, error) {
+		return nodeSource(src, lo, hi), nil, nil
+	})
+}
+
+// RunFile executes the spec over a binary dataset file
+// (dataset.WriteFileLayout format): each simulated node memory-maps the file
+// locally and reduces over its block partition, so row-major files feed
+// every node's engine zero-copy — the distributed analogue of handing the
+// engine a dataset.MappedFile. This mirrors how FREERIDE nodes read their
+// own disks: the coordinator ships no rows; each node opens its shard
+// itself, and shared pages come from one page-cache copy.
+func (c *Cluster) RunFile(spec freeride.Spec, path string) (*Result, error) {
+	return c.RunFileContext(context.Background(), spec, path)
+}
+
+// RunFileContext is RunFile under a context. Each node's mapping lives
+// exactly as long as its engine pass; when mapping is unavailable the node
+// degrades to positional reads with identical results.
+func (c *Cluster) RunFileContext(ctx context.Context, spec freeride.Spec, path string) (*Result, error) {
+	// Probe the header once for the partition row count; each node then
+	// opens its own mapping.
+	hdr, err := dataset.OpenFileSource(path)
+	if err != nil {
+		return nil, err
+	}
+	rows := hdr.NumRows()
+	if err := hdr.Close(); err != nil {
+		return nil, err
+	}
+	return c.runContext(ctx, spec, rows, func(n, lo, hi int) (dataset.Source, func() error, error) {
+		ms, err := dataset.OpenMappedSource(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: node %d: %w", n, err)
+		}
+		return nodeSource(ms, lo, hi), ms.Close, nil
+	})
+}
+
+// runContext drives one cluster pass. openNode builds node n's local source
+// over global rows [lo, hi) — a view of a shared in-memory source, or a
+// freshly mapped file — plus an optional closer that runs when the node's
+// engine pass finishes (borrowed row views never outlive the pass, so
+// closing there is safe).
+func (c *Cluster) runContext(ctx context.Context, spec freeride.Spec, totalRows int, openNode func(n, lo, hi int) (dataset.Source, func() error, error)) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -373,15 +421,12 @@ func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src datase
 	if spec.LocalInit != nil {
 		return nil, errors.New("cluster: user-managed local state is single-node only")
 	}
-	if src == nil {
-		return nil, errors.New("cluster: nil data source")
-	}
 	cfg := c.cfg
 	engines, err := c.nodeEngines()
 	if err != nil {
 		return nil, err
 	}
-	parts := partition(src.NumRows(), cfg.Nodes)
+	parts := partition(totalRows, cfg.Nodes)
 
 	// Coordinator-side observability: one job id spans the whole cluster
 	// pass, and the coordinator trace becomes the spine every node pass's
@@ -448,7 +493,17 @@ func (c *Cluster) RunContext(ctx context.Context, spec freeride.Spec, src datase
 			offsets[n] = tr.Elapsed()
 			defer nSpan.End()
 			lo, hi := parts[n][0], parts[n][1]
-			results[n], errs[n] = engines[n].RunContextWithJob(ctx, offsetSpec(spec, lo), nodeSource(src, lo, hi), nodeJobs[n])
+			nsrc, closer, oerr := openNode(n, lo, hi)
+			if oerr != nil {
+				errs[n] = oerr
+				return
+			}
+			results[n], errs[n] = engines[n].RunContextWithJob(ctx, offsetSpec(spec, lo), nsrc, nodeJobs[n])
+			if closer != nil {
+				if cerr := closer(); cerr != nil && errs[n] == nil {
+					errs[n] = cerr
+				}
+			}
 		}(n)
 	}
 	wg.Wait()

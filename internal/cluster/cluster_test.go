@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"math/rand"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 
@@ -87,6 +88,46 @@ func TestClusterMatchesSingleNode(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestClusterRunFileMatchesMemory(t *testing.T) {
+	const n, buckets = 3000, 5
+	m := bucketData(n, buckets)
+	want := expected(m, buckets)
+	dir := t.TempDir()
+	for _, layout := range []dataset.Layout{dataset.RowMajor, dataset.ColMajor} {
+		path := filepath.Join(dir, layout.String()+".frds")
+		if err := dataset.WriteFileLayout(path, m, layout); err != nil {
+			t.Fatal(err)
+		}
+		for _, nodes := range []int{1, 2, 3} {
+			c := New(Config{Nodes: nodes, PerNode: freeride.Config{Threads: 2, SplitRows: 128}})
+			res, err := c.RunFile(histSpec(buckets), path)
+			if err != nil {
+				t.Fatalf("%v/nodes=%d: %v", layout, nodes, err)
+			}
+			got := res.Object.Snapshot()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v/nodes=%d: cell %d = %v, want %v", layout, nodes, i, got[i], want[i])
+				}
+			}
+			if err := c.Release(res); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestClusterRunFileMissing(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	if _, err := c.RunFile(histSpec(2), filepath.Join(t.TempDir(), "nope.frds")); err == nil {
+		t.Fatal("missing file: want error")
 	}
 }
 

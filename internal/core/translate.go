@@ -589,7 +589,11 @@ func SpecFromWords(class *ReductionClass, words []float64, meta *Meta, hot []*St
 }
 
 // WordSource adapts a linearized word buffer to dataset.Source with the
-// zero-copy RowSlicer fast path.
+// zero-copy RowSlicer fast path. Rows views borrow the caller's backing
+// array: the engine's no-retention contract applies (kernels treat the view
+// as read-only and drop it before the call returns — see
+// freeride.BlockArgs.Data), and the caller must not mutate words while a
+// pass is running over the source.
 type WordSource struct {
 	words []float64
 	rows  int

@@ -140,93 +140,202 @@ func KMeansPointsForBytes(targetBytes int64, dim int) int {
 	return int(n)
 }
 
-// Binary on-disk format:
+// Binary on-disk format (FRDS). Two versions are readable; v2 is written:
 //
-//	magic   [4]byte  "FRDS"
-//	version uint32   1
-//	rows    int64
-//	cols    int64
-//	data    rows*cols float64, little-endian, row-major
+//	v1: magic "FRDS", version uint32 1, rows int64, cols int64,
+//	    data rows*cols float64 little-endian row-major (24-byte header)
+//	v2: magic "FRDS", version uint32 2, layout uint32 (0 row-major /
+//	    1 column-major), reserved uint32, rows int64, cols int64,
+//	    data rows*cols float64 little-endian in the declared layout
+//
+// The v2 header is 32 bytes, a multiple of 8, so the float64 payload of an
+// mmap'd file is 8-byte aligned and can be viewed in place as []float64
+// (MappedSource relies on this).
 var magic = [4]byte{'F', 'R', 'D', 'S'}
 
-const formatVersion = 1
+const (
+	formatVersion1 = 1
+	formatVersion2 = 2
+)
 
-// headerSize is the byte offset of the data payload in the file format.
-const headerSize = 4 + 4 + 8 + 8
+// Header sizes per format version; the data payload starts right after.
+const (
+	headerSizeV1 = 4 + 4 + 8 + 8
+	headerSizeV2 = 4 + 4 + 4 + 4 + 8 + 8
+)
+
+// Layout declares how a v2 file's float64 payload is ordered on disk.
+type Layout uint32
+
+const (
+	// RowMajor stores instance after instance — the engine's split shape,
+	// and the only layout the zero-copy RowSlicer fast path can alias.
+	RowMajor Layout = 0
+	// ColMajor stores feature column after feature column: reading one
+	// feature across every instance is a single sequential scan. Row reads
+	// gather, so this layout always goes through the boxed copy path.
+	ColMajor Layout = 1
+)
+
+// String returns the layout name.
+func (l Layout) String() string {
+	switch l {
+	case RowMajor:
+		return "row-major"
+	case ColMajor:
+		return "col-major"
+	default:
+		return fmt.Sprintf("layout(%d)", uint32(l))
+	}
+}
 
 // ErrBadFormat reports a malformed or truncated dataset file.
 var ErrBadFormat = errors.New("dataset: bad file format")
 
-// Write serializes the matrix to w in the binary format.
+// fileHeader is a parsed FRDS header, either version.
+type fileHeader struct {
+	layout     Layout
+	rows, cols int
+	dataOff    int64 // byte offset of the float64 payload
+}
+
+// parseHeader reads and validates an FRDS header from r.
+func parseHeader(r io.Reader) (fileHeader, error) {
+	var h fileHeader
+	var fixed [8]byte // magic + version
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if [4]byte(fixed[0:4]) != magic {
+		return h, fmt.Errorf("%w: bad magic %q", ErrBadFormat, fixed[0:4])
+	}
+	version := binary.LittleEndian.Uint32(fixed[4:8])
+	switch version {
+	case formatVersion1:
+		h.dataOff = headerSizeV1
+	case formatVersion2:
+		var lay [8]byte // layout + reserved
+		if _, err := io.ReadFull(r, lay[:]); err != nil {
+			return h, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		h.layout = Layout(binary.LittleEndian.Uint32(lay[0:4]))
+		if h.layout != RowMajor && h.layout != ColMajor {
+			return h, fmt.Errorf("%w: unknown layout %d", ErrBadFormat, uint32(h.layout))
+		}
+		h.dataOff = headerSizeV2
+	default:
+		return h, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	var shape [16]byte
+	if _, err := io.ReadFull(r, shape[:]); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	rows := int64(binary.LittleEndian.Uint64(shape[0:8]))
+	cols := int64(binary.LittleEndian.Uint64(shape[8:16]))
+	if rows < 0 || cols < 0 || (cols > 0 && rows > (1<<40)/cols) {
+		return h, fmt.Errorf("%w: implausible shape %dx%d", ErrBadFormat, rows, cols)
+	}
+	h.rows, h.cols = int(rows), int(cols)
+	return h, nil
+}
+
+// Write serializes the matrix to w in the current (v2) binary format,
+// row-major.
 func Write(w io.Writer, m *Matrix) error {
+	return WriteLayout(w, m, RowMajor)
+}
+
+// WriteLayout serializes the matrix to w in the v2 binary format with the
+// given payload layout.
+func WriteLayout(w io.Writer, m *Matrix, layout Layout) error {
+	if layout != RowMajor && layout != ColMajor {
+		return fmt.Errorf("dataset: unknown layout %d", uint32(layout))
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(magic[:]); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(formatVersion)); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, int64(m.Rows)); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, int64(m.Cols)); err != nil {
+	var hdr [headerSizeV2]byte
+	copy(hdr[0:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], formatVersion2)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(layout))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(int64(m.Rows)))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(int64(m.Cols)))
+	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
 	var buf [8]byte
-	for _, v := range m.Data {
+	put := func(v float64) error {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		if _, err := bw.Write(buf[:]); err != nil {
-			return err
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	if layout == ColMajor {
+		for j := 0; j < m.Cols; j++ {
+			for i := 0; i < m.Rows; i++ {
+				if err := put(m.Data[i*m.Cols+j]); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		for _, v := range m.Data {
+			if err := put(v); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
 }
 
-// Read deserializes a matrix written by Write.
+// Read deserializes a matrix written by Write or WriteLayout (either format
+// version, either layout; column-major payloads are transposed into the
+// row-major Matrix).
 func Read(r io.Reader) (*Matrix, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	var got [4]byte
-	if _, err := io.ReadFull(br, got[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	h, err := parseHeader(br)
+	if err != nil {
+		return nil, err
 	}
-	if got != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, got[:])
-	}
-	var version uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	if version != formatVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
-	}
-	var rows, cols int64
-	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	if rows < 0 || cols < 0 || (cols > 0 && rows > (1<<40)/cols) {
-		return nil, fmt.Errorf("%w: implausible shape %dx%d", ErrBadFormat, rows, cols)
-	}
-	m := NewMatrix(int(rows), int(cols))
+	m := NewMatrix(h.rows, h.cols)
 	var buf [8]byte
-	for i := range m.Data {
+	next := func() (float64, error) {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated data: %v", ErrBadFormat, err)
+			return 0, fmt.Errorf("%w: truncated data: %v", ErrBadFormat, err)
 		}
-		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	}
+	if h.layout == ColMajor {
+		for j := 0; j < h.cols; j++ {
+			for i := 0; i < h.rows; i++ {
+				v, err := next()
+				if err != nil {
+					return nil, err
+				}
+				m.Data[i*h.cols+j] = v
+			}
+		}
+		return m, nil
+	}
+	for i := range m.Data {
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		m.Data[i] = v
 	}
 	return m, nil
 }
 
-// WriteFile serializes the matrix to a file.
+// WriteFile serializes the matrix to a file (v2 format, row-major).
 func WriteFile(path string, m *Matrix) error {
+	return WriteFileLayout(path, m, RowMajor)
+}
+
+// WriteFileLayout serializes the matrix to a file in the given layout.
+func WriteFileLayout(path string, m *Matrix, layout Layout) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := Write(f, m); err != nil {
+	if err := WriteLayout(f, m, layout); err != nil {
 		f.Close()
 		return err
 	}
@@ -328,39 +437,31 @@ func ReadRowsContext(ctx context.Context, src Source, begin, end int, dst []floa
 
 // FileSource serves rows from a dataset file using positional reads, which
 // simulates FREERIDE reading data instances from disk. It is safe for
-// concurrent ReadRows calls (each uses ReadAt).
+// concurrent ReadRows calls (each uses ReadAt). Both format versions and
+// both v2 layouts are served; column-major files gather each requested row
+// with one positional read per column, so forward scans over them should go
+// through a PrefetchSource (whose blocks amortize the gathers).
 type FileSource struct {
-	f    *os.File
-	rows int
-	cols int
+	f      *os.File
+	rows   int
+	cols   int
+	layout Layout
+	off    int64 // payload byte offset
 }
 
-// OpenFileSource opens path (written by WriteFile) as a Source.
+// OpenFileSource opens path (written by WriteFile/WriteFileLayout) as a
+// Source.
 func OpenFileSource(path string) (*FileSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+	h, err := parseHeader(f)
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return nil, err
 	}
-	if [4]byte(hdr[0:4]) != magic {
-		f.Close()
-		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != formatVersion {
-		f.Close()
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
-	}
-	rows := int64(binary.LittleEndian.Uint64(hdr[8:16]))
-	cols := int64(binary.LittleEndian.Uint64(hdr[16:24]))
-	if rows < 0 || cols < 0 {
-		f.Close()
-		return nil, fmt.Errorf("%w: negative shape", ErrBadFormat)
-	}
-	return &FileSource{f: f, rows: int(rows), cols: int(cols)}, nil
+	return &FileSource{f: f, rows: h.rows, cols: h.cols, layout: h.layout, off: h.dataOff}, nil
 }
 
 // NumRows implements Source.
@@ -369,7 +470,10 @@ func (s *FileSource) NumRows() int { return s.rows }
 // Cols implements Source.
 func (s *FileSource) Cols() int { return s.cols }
 
-// ReadRows implements Source with a positional read.
+// Layout reports the on-disk payload layout.
+func (s *FileSource) Layout() Layout { return s.layout }
+
+// ReadRows implements Source with positional reads.
 func (s *FileSource) ReadRows(begin, end int, dst []float64) error {
 	if begin < 0 || end > s.rows || begin > end {
 		return fmt.Errorf("dataset: ReadRows range [%d,%d) out of [0,%d)", begin, end, s.rows)
@@ -378,13 +482,27 @@ func (s *FileSource) ReadRows(begin, end int, dst []float64) error {
 	if len(dst) < n {
 		return fmt.Errorf("dataset: ReadRows dst len %d, need %d", len(dst), n)
 	}
-	raw := make([]byte, n*8)
-	off := int64(headerSize) + int64(begin)*int64(s.cols)*8
-	if _, err := s.f.ReadAt(raw, off); err != nil {
-		return err
-	}
-	for i := 0; i < n; i++ {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	if s.layout == ColMajor {
+		// Gather: each column's [begin, end) segment is contiguous on disk.
+		raw := make([]byte, (end-begin)*8)
+		for j := 0; j < s.cols; j++ {
+			off := s.off + (int64(j)*int64(s.rows)+int64(begin))*8
+			if _, err := s.f.ReadAt(raw, off); err != nil {
+				return err
+			}
+			for i := 0; i < end-begin; i++ {
+				dst[i*s.cols+j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			}
+		}
+	} else {
+		raw := make([]byte, n*8)
+		off := s.off + int64(begin)*int64(s.cols)*8
+		if _, err := s.f.ReadAt(raw, off); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
 	}
 	mRowsFile.Add(int64(end - begin))
 	mBytesFile.Add(int64(n) * 8)

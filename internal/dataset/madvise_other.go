@@ -1,0 +1,8 @@
+//go:build unix && !linux
+
+package dataset
+
+// madviseSequential is a no-op where MADV_SEQUENTIAL is not known to be
+// portable; the mapping still works, just without the kernel read-ahead
+// hint.
+func madviseSequential([]byte) {}

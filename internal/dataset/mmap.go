@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"chapelfreeride/internal/obs"
+)
+
+// Mapped-ingestion counters: how many datasets are served through a live
+// memory mapping, how many fell back to positional reads, and how many rows
+// the zero-copy mapped fast path has served. mappedBytes is the live mapping
+// footprint, exposed as a gauge — the serve cache accounts the same number.
+var (
+	mMmapOpens = obs.Default.Counter("dataset_mmap_opens_total",
+		"dataset files opened through a memory mapping")
+	mMmapFallbacks = obs.Default.Counter("dataset_mmap_fallbacks_total",
+		"dataset files that fell back from mmap to positional reads")
+	mRowsMapped = obs.Default.Counter("dataset_rows_mapped_total",
+		"rows served zero-copy as sub-slices of a memory mapping")
+	mappedBytes atomic.Int64
+)
+
+func init() {
+	obs.Default.GaugeFunc("dataset_mmap_bytes",
+		"bytes of dataset payload currently memory-mapped",
+		func() float64 { return float64(mappedBytes.Load()) })
+}
+
+// MappedFile is a binary dataset file opened for zero-copy ingestion. The
+// concrete value implements RowSlicer exactly when Mapped() is true and the
+// payload is row-major — then every split the engine reads is a sub-slice of
+// the mapping, no copy, no parse. Otherwise reads go through the boxed
+// ReadRows path (gathering for column-major payloads).
+//
+// Borrowed-view contract: slices returned by the RowSlicer fast path alias
+// the mapping. They are valid only until Close; kernels must treat them as
+// read-only and must not retain them past the reduction pass (the engine's
+// no-retention contract, checked statically by frds-vet's rowalias
+// analyzer). Close unmaps — a retained view would fault.
+type MappedFile interface {
+	Source
+	io.Closer
+	// Layout reports the payload layout on disk.
+	Layout() Layout
+	// Mapped reports whether the payload is served from a live memory
+	// mapping (true) or the positional-read fallback (false).
+	Mapped() bool
+	// MappedBytes is the byte length of the active mapping, 0 on fallback.
+	// This is the number a cache should account: mapped pages are shared
+	// with the page cache and reclaimable, unlike copied heap rows.
+	MappedBytes() int64
+}
+
+// mappedBase is the common state behind every OpenMappedSource result.
+type mappedBase struct {
+	fb   *FileSource // owns the fd; also the positional-read fallback
+	m    []byte      // raw mapping; nil in fallback mode
+	data []float64   // payload view aliasing m; nil in fallback mode
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// mappedRowMajor adds the RowSlicer fast path; only row-major mapped files
+// get this type, so the engine's capability probe never sees a false claim.
+type mappedRowMajor struct{ *mappedBase }
+
+// OpenMappedSource opens path (a WriteFile/WriteFileLayout dataset) for
+// zero-copy ingestion: the payload is memory-mapped read-only and, for
+// row-major files, served to the engine as aliasing sub-slices through
+// RowSlicer. When mapping is unavailable (platform, filesystem) the source
+// degrades to positional reads with identical results.
+func OpenMappedSource(path string) (MappedFile, error) {
+	fb, err := OpenFileSource(path)
+	if err != nil {
+		return nil, err
+	}
+	base := &mappedBase{fb: fb}
+	payload := int64(fb.rows) * int64(fb.cols) * 8
+	need := fb.off + payload
+	if st, err := fb.f.Stat(); err != nil || st.Size() < need {
+		fb.Close()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: file holds %d bytes, header promises %d", ErrBadFormat, st.Size(), need)
+	}
+	if payload > 0 {
+		if m, err := mapFile(fb.f, int(need)); err == nil {
+			base.m = m
+			base.data = unsafe.Slice((*float64)(unsafe.Pointer(&m[fb.off])), fb.rows*fb.cols)
+			madviseSequential(m)
+			mMmapOpens.Inc()
+			mappedBytes.Add(int64(len(m)))
+		} else {
+			mMmapFallbacks.Inc()
+		}
+	}
+	// A collected source unmaps itself: borrowed views never outlive the
+	// pass that read them (the no-retention contract), and the engine's job
+	// holds the source for the pass's duration, so once the source is
+	// unreachable no view can still be live. Close clears the finalizer.
+	runtime.SetFinalizer(base, (*mappedBase).Close)
+	if base.data != nil && fb.layout == RowMajor {
+		return mappedRowMajor{base}, nil
+	}
+	return base, nil
+}
+
+// NumRows implements Source.
+func (s *mappedBase) NumRows() int { return s.fb.rows }
+
+// Cols implements Source.
+func (s *mappedBase) Cols() int { return s.fb.cols }
+
+// Layout implements MappedFile.
+func (s *mappedBase) Layout() Layout { return s.fb.layout }
+
+// Mapped implements MappedFile.
+func (s *mappedBase) Mapped() bool { return s.m != nil }
+
+// MappedBytes implements MappedFile.
+func (s *mappedBase) MappedBytes() int64 { return int64(len(s.m)) }
+
+// ReadRows implements Source: a straight copy out of the mapping when one is
+// live (gathering for column-major payloads), positional reads otherwise.
+func (s *mappedBase) ReadRows(begin, end int, dst []float64) error {
+	if s.data == nil {
+		return s.fb.ReadRows(begin, end, dst)
+	}
+	if begin < 0 || end > s.fb.rows || begin > end {
+		return fmt.Errorf("dataset: ReadRows range [%d,%d) out of [0,%d)", begin, end, s.fb.rows)
+	}
+	cols := s.fb.cols
+	n := (end - begin) * cols
+	if len(dst) < n {
+		return fmt.Errorf("dataset: ReadRows dst len %d, need %d", len(dst), n)
+	}
+	if s.fb.layout == ColMajor {
+		rows := s.fb.rows
+		for j := 0; j < cols; j++ {
+			col := s.data[j*rows+begin : j*rows+end]
+			for i, v := range col {
+				dst[i*cols+j] = v
+			}
+		}
+	} else {
+		copy(dst, s.data[begin*cols:end*cols])
+	}
+	mRowsFile.Add(int64(end - begin))
+	mBytesFile.Add(int64(n) * 8)
+	return nil
+}
+
+// ReadRowsContext implements ContextSource. Mapped reads are memory copies
+// (page faults at worst), so one up-front check bounds cancellation latency.
+func (s *mappedBase) ReadRowsContext(ctx context.Context, begin, end int, dst []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.ReadRows(begin, end, dst)
+}
+
+// Close unmaps the payload and releases the file. Idempotent; safe to call
+// while no pass is running. Any borrowed row view becomes invalid.
+func (s *mappedBase) Close() error {
+	s.closeOnce.Do(func() {
+		runtime.SetFinalizer(s, nil)
+		if s.m != nil {
+			mappedBytes.Add(-int64(len(s.m)))
+			s.closeErr = unmapFile(s.m)
+			s.m, s.data = nil, nil
+		}
+		if err := s.fb.Close(); s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
+
+// Rows implements RowSlicer: rows [begin, end) as a sub-slice of the
+// mapping. Borrowed-view contract applies (see MappedFile).
+func (s mappedRowMajor) Rows(begin, end int) []float64 {
+	mRowsMapped.Add(int64(end - begin))
+	mRowsSliced.Add(int64(end - begin))
+	return s.data[begin*s.fb.cols : end*s.fb.cols]
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package dataset
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes OpenMappedSource take the positional-read fallback on
+// platforms without syscall.Mmap.
+var errNoMmap = errors.New("dataset: mmap unsupported on this platform")
+
+func mapFile(*os.File, int) ([]byte, error) { return nil, errNoMmap }
+
+func unmapFile([]byte) error { return nil }
+
+func madviseSequential([]byte) {}

@@ -1,0 +1,340 @@
+package dataset
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteLayoutRoundTrip(t *testing.T) {
+	m := UniformMatrix(53, 7, 13, -5, 5)
+	for _, layout := range []Layout{RowMajor, ColMajor} {
+		var buf bytes.Buffer
+		if err := WriteLayout(&buf, m, layout); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Equal(got) {
+			t.Fatalf("%v round trip mismatch", layout)
+		}
+	}
+}
+
+func TestReadAcceptsV1Header(t *testing.T) {
+	// Hand-build a v1 file (24-byte header, row-major payload); Read and
+	// OpenFileSource must still accept the old layout-less format.
+	m := UniformMatrix(6, 2, 3, 0, 1)
+	var buf bytes.Buffer
+	buf.WriteString("FRDS")
+	hdr := make([]byte, 20)
+	hdr[0] = 1 // version, little-endian uint32
+	putInt64LE(hdr[4:], int64(m.Rows))
+	putInt64LE(hdr[12:], int64(m.Cols))
+	buf.Write(hdr)
+	pay := make([]byte, 8)
+	for _, v := range m.Data {
+		putFloat64LE(pay, v)
+		buf.Write(pay)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Fatal("v1 round trip mismatch")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v1.frds")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.Layout() != RowMajor {
+		t.Fatalf("v1 layout = %v, want RowMajor", fs.Layout())
+	}
+	dst := make([]float64, len(m.Data))
+	if err := fs.ReadRows(0, m.Rows, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != m.Data[i] {
+			t.Fatalf("v1 source mismatch at %d", i)
+		}
+	}
+}
+
+func TestFileSourceColMajor(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cm.frds")
+	m := UniformMatrix(40, 6, 7, -1, 1)
+	if err := WriteFileLayout(path, m, ColMajor); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.Layout() != ColMajor {
+		t.Fatalf("layout = %v", fs.Layout())
+	}
+	// Ranged reads must return row-major data regardless of disk layout.
+	for _, r := range [][2]int{{0, 40}, {3, 17}, {39, 40}, {10, 10}} {
+		dst := make([]float64, (r[1]-r[0])*6)
+		if err := fs.ReadRows(r[0], r[1], dst); err != nil {
+			t.Fatal(err)
+		}
+		for i := range dst {
+			if dst[i] != m.Data[r[0]*6+i] {
+				t.Fatalf("range %v mismatch at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestMappedSourceRowMajor(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rm.frds")
+	m := UniformMatrix(128, 4, 21, 0, 1)
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OpenMappedSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	if ms.NumRows() != 128 || ms.Cols() != 4 {
+		t.Fatalf("shape %dx%d", ms.NumRows(), ms.Cols())
+	}
+	if ms.Layout() != RowMajor {
+		t.Fatalf("layout = %v", ms.Layout())
+	}
+	// Boxed reads match.
+	dst := make([]float64, 128*4)
+	if err := ms.ReadRows(0, 128, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != m.Data[i] {
+			t.Fatalf("boxed mismatch at %d", i)
+		}
+	}
+	if !ms.Mapped() {
+		t.Skip("mmap unavailable on this platform/filesystem; fallback verified above")
+	}
+	if ms.MappedBytes() <= 0 {
+		t.Fatal("mapped source reports no mapped bytes")
+	}
+	// Mapped row-major files must expose the zero-copy fast path, and the
+	// views must alias one underlying array (sub-slices of the mapping).
+	sl, ok := Source(ms).(RowSlicer)
+	if !ok {
+		t.Fatal("mapped row-major file must implement RowSlicer")
+	}
+	rows := sl.Rows(16, 32)
+	for i := range rows {
+		if rows[i] != m.Data[16*4+i] {
+			t.Fatalf("sliced mismatch at %d", i)
+		}
+	}
+	whole := sl.Rows(0, 128)
+	if &whole[16*4] != &rows[0] {
+		t.Fatal("Rows views must alias the same mapping")
+	}
+}
+
+func TestMappedSourceColMajorNoSlicer(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cm.frds")
+	m := UniformMatrix(64, 3, 5, -2, 2)
+	if err := WriteFileLayout(path, m, ColMajor); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OpenMappedSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	// Column-major payloads need a gather, so the source must NOT claim the
+	// zero-copy capability (a false claim would hand the engine transposed
+	// data — the PR 2 class of bug).
+	if _, ok := Source(ms).(RowSlicer); ok {
+		t.Fatal("column-major mapped file must not implement RowSlicer")
+	}
+	dst := make([]float64, 64*3)
+	if err := ms.ReadRows(0, 64, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != m.Data[i] {
+			t.Fatalf("gather mismatch at %d", i)
+		}
+	}
+}
+
+func TestMappedSourceCloseIdempotentAndTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.frds")
+	m := UniformMatrix(32, 2, 9, 0, 1)
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OpenMappedSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal("second Close must be a no-op, got", err)
+	}
+
+	// A file whose header promises more payload than the file holds must be
+	// rejected at open — mapping it would fault on first touch instead.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.frds")
+	if err := os.WriteFile(trunc, b[:len(b)-16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMappedSource(trunc); err == nil {
+		t.Fatal("truncated payload: want error")
+	}
+}
+
+func TestMappedSourceEmptyPayload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.frds")
+	if err := WriteFile(path, NewMatrix(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OpenMappedSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	if ms.Mapped() {
+		t.Fatal("empty payload must not map")
+	}
+	if ms.NumRows() != 0 || ms.Cols() != 4 {
+		t.Fatalf("shape %dx%d", ms.NumRows(), ms.Cols())
+	}
+	if err := ms.ReadRows(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for both layouts, mapped reads, positional reads, and the
+// original matrix agree on arbitrary ranges.
+func TestPropertyMappedEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	m := UniformMatrix(211, 3, 17, -3, 3)
+	paths := map[Layout]string{}
+	for layout, name := range map[Layout]string{RowMajor: "rm.frds", ColMajor: "cm.frds"} {
+		p := filepath.Join(dir, name)
+		if err := WriteFileLayout(p, m, layout); err != nil {
+			t.Fatal(err)
+		}
+		paths[layout] = p
+	}
+	for layout, p := range paths {
+		ms, err := OpenMappedSource(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ms.Close()
+		fs, err := OpenFileSource(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close()
+		f := func(a, b uint8) bool {
+			lo, hi := int(a)%212, int(b)%212
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			d1 := make([]float64, (hi-lo)*3)
+			d2 := make([]float64, (hi-lo)*3)
+			if err := ms.ReadRows(lo, hi, d1); err != nil {
+				return false
+			}
+			if err := fs.ReadRows(lo, hi, d2); err != nil {
+				return false
+			}
+			for i := range d1 {
+				if d1[i] != d2[i] || d1[i] != m.Data[lo*3+i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(int64(layout) + 5))}); err != nil {
+			t.Fatalf("layout %v: %v", layout, err)
+		}
+	}
+}
+
+func TestCalibratePrefetch(t *testing.T) {
+	m := UniformMatrix(4096, 4, 31, 0, 1)
+	res, err := CalibratePrefetch(context.Background(), NewMemorySource(m), 128, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth < 1 || res.Depth > 8 {
+		t.Fatalf("depth %d out of candidate range", res.Depth)
+	}
+	if res.BlockRows != 128 {
+		t.Fatalf("block rows %d", res.BlockRows)
+	}
+	if len(res.Probes) == 0 {
+		t.Fatal("no probes recorded")
+	}
+	for _, p := range res.Probes {
+		if p.HitShare < 0 || p.HitShare > 1 {
+			t.Fatalf("probe %+v: hit share out of [0,1]", p)
+		}
+	}
+	// Threshold 1.0 is unreachable (block 0 always misses), so calibration
+	// must fall back to the best-scoring depth after probing all candidates.
+	res2, err := CalibratePrefetch(context.Background(), NewMemorySource(m), 128, 8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Probes) != 4 {
+		t.Fatalf("unreachable threshold must probe all candidates, got %d", len(res2.Probes))
+	}
+	// Degenerate: empty source calibrates to depth 1 without reading.
+	res3, err := CalibratePrefetch(context.Background(), NewMemorySource(NewMatrix(0, 2)), 64, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Depth != 1 || len(res3.Probes) != 0 {
+		t.Fatalf("empty source: %+v", res3)
+	}
+}
+
+func putInt64LE(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func putFloat64LE(b []byte, f float64) {
+	putInt64LE(b, int64(math.Float64bits(f)))
+}

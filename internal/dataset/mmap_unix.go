@@ -1,0 +1,18 @@
+//go:build unix
+
+package dataset
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the first length bytes of f read-only and shared: the pages
+// stay backed by the page cache, so N sources over one file share one
+// physical copy.
+func mapFile(f *os.File, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapFile releases a mapFile mapping.
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -9,52 +9,79 @@ import (
 )
 
 // Prefetch cache counters, cumulative across every PrefetchSource in the
-// process; per-source values stay available through Stats.
+// process; per-source values stay available through Stats. Coalesced waits
+// are block requests that found an identical fetch already in flight and
+// waited for it instead of issuing a duplicate read — they cost latency but
+// no I/O, which is why calibration treats them separately from resident
+// hits.
 var (
 	mPrefHits   = obs.Default.Counter("dataset_prefetch_hits_total", "block reads served from the read-ahead cache")
 	mPrefMisses = obs.Default.Counter("dataset_prefetch_misses_total", "block reads that went to the underlying source")
 	mPrefIssued = obs.Default.Counter("dataset_prefetch_issued_total", "background read-ahead fetches scheduled")
+	mPrefCoal   = obs.Default.Counter("dataset_prefetch_coalesced_total", "block reads coalesced onto an identical in-flight fetch")
+	mPrefCalib  = obs.Default.Counter("dataset_prefetch_calibrations_total", "read-ahead calibration probes completed")
 )
 
-// PrefetchSource wraps a Source with a read-ahead cache: a background
-// goroutine keeps the next window of rows resident so workers that scan
+// PrefetchSource wraps a Source with a read-ahead cache: background
+// goroutines keep the next window of rows resident so workers that scan
 // mostly forward hit memory instead of the disk. FREERIDE determines "the
 // order in which data instances are read from the disks" in its runtime;
 // this is that I/O layer, usable in front of FileSource.
 //
-// The cache holds fixed-size row blocks with single-slot lookahead per
-// block miss: a miss fetches the block synchronously and schedules the
-// next block in the background. Reads spanning blocks assemble from
-// multiple fetches. Safe for concurrent use.
+// The cache holds fixed-size row blocks with a depth-block read-ahead
+// pipeline: every block touch (hit or miss) schedules background fetches
+// until the next `depth` blocks are resident or in flight, so a steady
+// forward scan stays double-buffered (or deeper) instead of stalling on
+// every other block. Concurrent misses on the same block coalesce onto one
+// underlying read through a per-block in-flight latch. Reads spanning
+// blocks assemble from multiple fetches. Safe for concurrent use.
 type PrefetchSource struct {
 	src       Source
 	rd        Reader // capability-resolved view of src, shared by all fetches
 	blockRows int
+	depth     int // read-ahead pipeline depth in blocks
 
 	mu     sync.Mutex
 	blocks map[int][]float64 // block index → rows payload
 	order  []int             // FIFO of resident blocks for eviction
 	max    int               // max resident blocks
 
-	pending map[int]*sync.WaitGroup // in-flight background fetches
+	pending map[int]*sync.WaitGroup // per-block in-flight fetch latches
 
 	// stats
-	hits, misses, prefetches int64
+	hits, coalesced, misses, prefetches int64
 }
 
 // NewPrefetchSource wraps src with a read-ahead cache of maxBlocks blocks
-// of blockRows rows each. blockRows defaults to 4096 and maxBlocks to 8.
+// of blockRows rows each and the default double-buffered pipeline.
+// blockRows defaults to 4096 and maxBlocks to 8.
 func NewPrefetchSource(src Source, blockRows, maxBlocks int) *PrefetchSource {
+	return NewPrefetchSourceDepth(src, blockRows, maxBlocks, 2)
+}
+
+// NewPrefetchSourceDepth is NewPrefetchSource with an explicit read-ahead
+// depth: up to depth blocks beyond the touched one are kept resident or in
+// flight. Depth is clamped to [1, maxBlocks-1] so read-ahead can never
+// evict the window it feeds; CalibratePrefetch picks a depth from measured
+// hit shares.
+func NewPrefetchSourceDepth(src Source, blockRows, maxBlocks, depth int) *PrefetchSource {
 	if blockRows < 1 {
 		blockRows = 4096
 	}
 	if maxBlocks < 2 {
 		maxBlocks = 8
 	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > maxBlocks-1 {
+		depth = maxBlocks - 1
+	}
 	return &PrefetchSource{
 		src:       src,
 		rd:        NewReader(src),
 		blockRows: blockRows,
+		depth:     depth,
 		blocks:    map[int][]float64{},
 		pending:   map[int]*sync.WaitGroup{},
 		max:       maxBlocks,
@@ -67,12 +94,53 @@ func (p *PrefetchSource) NumRows() int { return p.src.NumRows() }
 // Cols implements Source.
 func (p *PrefetchSource) Cols() int { return p.src.Cols() }
 
-// Stats reports cache behaviour: block hits, block misses, and background
-// prefetches issued.
+// Depth reports the read-ahead pipeline depth in blocks.
+func (p *PrefetchSource) Depth() int { return p.depth }
+
+// BlockRows reports the block size in rows.
+func (p *PrefetchSource) BlockRows() int { return p.blockRows }
+
+// PrefetchStats is one source's cache behaviour, split the way the
+// calibration needs it: ResidentHits found the block already cached,
+// CoalescedWaits piggybacked on an in-flight fetch (no duplicate I/O, but
+// latency), Misses fetched synchronously, Prefetches counts background
+// fetches issued.
+type PrefetchStats struct {
+	ResidentHits   int64
+	CoalescedWaits int64
+	Misses         int64
+	Prefetches     int64
+}
+
+// HitShare is the fraction of block requests served with no wait at all —
+// the "pipeline kept up" measure calibration thresholds against. 0 when no
+// requests were made.
+func (s PrefetchStats) HitShare() float64 {
+	total := s.ResidentHits + s.CoalescedWaits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ResidentHits) / float64(total)
+}
+
+// Stats reports cache behaviour: block hits (resident or coalesced onto an
+// in-flight fetch), synchronous misses, and background prefetches issued.
 func (p *PrefetchSource) Stats() (hits, misses, prefetches int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.hits, p.misses, p.prefetches
+	return p.hits + p.coalesced, p.misses, p.prefetches
+}
+
+// DetailedStats reports the full per-source breakdown.
+func (p *PrefetchSource) DetailedStats() PrefetchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PrefetchStats{
+		ResidentHits:   p.hits,
+		CoalescedWaits: p.coalesced,
+		Misses:         p.misses,
+		Prefetches:     p.prefetches,
+	}
 }
 
 // blockCount returns the number of blocks covering the source.
@@ -109,77 +177,100 @@ func (p *PrefetchSource) install(b int, payload []float64) {
 	}
 }
 
-// getBlock returns block b's payload, fetching on miss and scheduling a
-// background prefetch of block b+1. Both the synchronous fetch and the
-// background lookahead run under ctx, so cancelling a run also abandons its
-// in-flight read-ahead instead of leaving it to finish against a dead run.
+// readAheadLocked tops the pipeline up behind block b: blocks b+1..b+depth
+// that are neither resident nor in flight get a background fetch, each
+// latched in pending so foreground misses coalesce onto it. Called with
+// p.mu held, on hits and misses alike — a scan that always hits must still
+// keep its read-ahead window moving, or the pipeline drains and every
+// depth-th block misses.
+func (p *PrefetchSource) readAheadLocked(ctx context.Context, b int) {
+	count := p.blockCount()
+	for nb := b + 1; nb <= b+p.depth && nb < count; nb++ {
+		if _, resident := p.blocks[nb]; resident {
+			continue
+		}
+		if _, inflight := p.pending[nb]; inflight {
+			continue
+		}
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		p.pending[nb] = wg
+		p.prefetches++
+		mPrefIssued.Inc()
+		go func(nb int) {
+			pl, err := p.fetchBlock(ctx, nb)
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			if p.pending[nb] == wg {
+				delete(p.pending, nb)
+			}
+			if err == nil {
+				p.install(nb, pl)
+			}
+			wg.Done()
+		}(nb)
+	}
+}
+
+// getBlock returns block b's payload: from the cache on a hit, by waiting
+// on an identical in-flight fetch when one exists (the coalescing latch —
+// two concurrent misses on b issue one underlying read), or by fetching
+// synchronously. Every touch tops up the read-ahead pipeline. Both the
+// synchronous fetch and the background lookahead run under ctx, so
+// cancelling a run also abandons its in-flight read-ahead instead of
+// leaving it to finish against a dead run.
 func (p *PrefetchSource) getBlock(ctx context.Context, b int) ([]float64, error) {
 	p.mu.Lock()
-	if payload, ok := p.blocks[b]; ok {
-		p.hits++
-		mPrefHits.Inc()
-		p.mu.Unlock()
-		return payload, nil
-	}
-	// Wait for an in-flight fetch if one exists.
-	if wg, ok := p.pending[b]; ok {
-		p.mu.Unlock()
-		wg.Wait()
-		p.mu.Lock()
+	for {
 		if payload, ok := p.blocks[b]; ok {
 			p.hits++
 			mPrefHits.Inc()
+			p.readAheadLocked(ctx, b)
 			p.mu.Unlock()
 			return payload, nil
 		}
-		p.mu.Unlock()
-		// The background fetch failed; fall through to a direct fetch.
-		payload, err := p.fetchBlock(ctx, b)
-		if err != nil {
-			return nil, err
+		wg, ok := p.pending[b]
+		if !ok {
+			break
 		}
-		p.mu.Lock()
-		p.misses++
-		mPrefMisses.Inc()
-		p.install(b, payload)
+		// An identical fetch (background read-ahead or a concurrent
+		// reader's miss) is in flight: wait for it instead of issuing a
+		// duplicate read of the same block.
+		p.coalesced++
+		mPrefCoal.Inc()
 		p.mu.Unlock()
-		return payload, nil
+		wg.Wait()
+		p.mu.Lock()
+		// Loop: the block is now resident (count it served), or the fetch
+		// failed and this reader retries — becoming the fetcher itself if
+		// it gets there first.
 	}
+	// Miss: latch the fetch under pending before dropping the lock, so
+	// every concurrent reader of b coalesces onto this one read.
 	p.misses++
 	mPrefMisses.Inc()
+	wg := &sync.WaitGroup{}
+	wg.Add(1)
+	p.pending[b] = wg
 	p.mu.Unlock()
 
 	payload, err := p.fetchBlock(ctx, b)
+
+	p.mu.Lock()
+	if p.pending[b] == wg {
+		delete(p.pending, b)
+	}
+	if err == nil {
+		p.install(b, payload)
+		p.readAheadLocked(ctx, b)
+	}
+	// Release waiters only after install: they re-check under the lock and
+	// find the payload (or, on error, retry the fetch themselves).
+	wg.Done()
+	p.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-
-	p.mu.Lock()
-	p.install(b, payload)
-	// Schedule single-slot lookahead.
-	next := b + 1
-	if next < p.blockCount() {
-		if _, resident := p.blocks[next]; !resident {
-			if _, inflight := p.pending[next]; !inflight {
-				wg := &sync.WaitGroup{}
-				wg.Add(1)
-				p.pending[next] = wg
-				p.prefetches++
-				mPrefIssued.Inc()
-				go func() {
-					defer wg.Done()
-					pl, err := p.fetchBlock(ctx, next)
-					p.mu.Lock()
-					defer p.mu.Unlock()
-					delete(p.pending, next)
-					if err == nil {
-						p.install(next, pl)
-					}
-				}()
-			}
-		}
-	}
-	p.mu.Unlock()
 	return payload, nil
 }
 
@@ -214,4 +305,79 @@ func (p *PrefetchSource) ReadRowsContext(ctx context.Context, begin, end int, ds
 		row = upto
 	}
 	return nil
+}
+
+// CalibrationProbe records one calibration candidate's measured outcome.
+type CalibrationProbe struct {
+	Depth    int
+	HitShare float64
+}
+
+// CalibrationResult is CalibratePrefetch's choice plus the evidence behind
+// it, for reporting alongside bench results.
+type CalibrationResult struct {
+	// Depth is the chosen read-ahead pipeline depth.
+	Depth int
+	// BlockRows is the block size the probes ran with.
+	BlockRows int
+	// HitShare is the no-wait hit share the chosen depth achieved.
+	HitShare float64
+	// Probes lists every candidate measured, in probe order.
+	Probes []CalibrationProbe
+}
+
+// CalibratePrefetch sizes the read-ahead pipeline from the prefetch
+// counters: for each candidate depth (1, 2, 4, 8) it scans the first
+// sampleBlocks blocks of src through a fresh PrefetchSource and reads the
+// per-source view of the dataset_prefetch_{hits,misses,coalesced}_total
+// counters, keeping the smallest depth whose no-wait hit share clears
+// threshold (default 0.5 when <= 0) — or the best-scoring depth when none
+// does. The probe is short by design: it reads sampleBlocks (default 16)
+// blocks per candidate, so calibration costs a few dozen block reads before
+// the real pass starts. blockRows defaults as in NewPrefetchSource.
+func CalibratePrefetch(ctx context.Context, src Source, blockRows, sampleBlocks int, threshold float64) (CalibrationResult, error) {
+	if blockRows < 1 {
+		blockRows = 4096
+	}
+	if sampleBlocks < 2 {
+		sampleBlocks = 16
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	totalBlocks := (src.NumRows() + blockRows - 1) / blockRows
+	if sampleBlocks > totalBlocks {
+		sampleBlocks = totalBlocks
+	}
+	res := CalibrationResult{Depth: 1, BlockRows: blockRows}
+	if sampleBlocks == 0 {
+		return res, nil
+	}
+	scratch := make([]float64, blockRows*src.Cols())
+	best := -1.0
+	for _, depth := range []int{1, 2, 4, 8} {
+		ps := NewPrefetchSourceDepth(src, blockRows, depth+2, depth)
+		for b := 0; b < sampleBlocks; b++ {
+			lo := b * blockRows
+			hi := lo + blockRows
+			if hi > src.NumRows() {
+				hi = src.NumRows()
+			}
+			if err := ps.ReadRowsContext(ctx, lo, hi, scratch[:(hi-lo)*src.Cols()]); err != nil {
+				return res, err
+			}
+		}
+		share := ps.DetailedStats().HitShare()
+		res.Probes = append(res.Probes, CalibrationProbe{Depth: depth, HitShare: share})
+		mPrefCalib.Inc()
+		if share > best {
+			best = share
+			res.Depth, res.HitShare = depth, share
+		}
+		if share >= threshold {
+			res.Depth, res.HitShare = depth, share
+			break
+		}
+	}
+	return res, nil
 }

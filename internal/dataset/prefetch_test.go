@@ -222,6 +222,120 @@ func TestPrefetchReadRowsContextCancelled(t *testing.T) {
 	}
 }
 
+// gatedCountingSource counts underlying reads per block-begin offset and
+// holds every read until release closes, so a test can pile readers onto
+// the same cold block and prove only one fetch reaches the source.
+type gatedCountingSource struct {
+	Source
+	release chan struct{}
+
+	mu    sync.Mutex
+	reads map[int]int
+}
+
+func (s *gatedCountingSource) ReadRows(begin, end int, dst []float64) error {
+	s.mu.Lock()
+	if s.reads == nil {
+		s.reads = map[int]int{}
+	}
+	s.reads[begin]++
+	s.mu.Unlock()
+	<-s.release
+	return s.Source.ReadRows(begin, end, dst)
+}
+
+// Regression test for duplicate in-flight fetches: N readers missing the
+// same cold block concurrently must coalesce onto ONE underlying read via
+// the per-block latch, not issue N copies of the same I/O.
+func TestPrefetchCoalescesConcurrentMisses(t *testing.T) {
+	m := UniformMatrix(400, 2, 19, 0, 1)
+	src := &gatedCountingSource{
+		Source:  NewMemorySource(m),
+		release: make(chan struct{}),
+	}
+	// Depth 1 keeps the read-ahead window small so the counts stay easy to
+	// reason about; the latch under test is depth-independent.
+	p := NewPrefetchSourceDepth(src, 100, 4, 1)
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dst := make([]float64, 100*2)
+			errs[w] = p.ReadRows(0, 100, dst)
+		}(w)
+	}
+	// Wait until the first reader's fetch is in flight, then give the rest
+	// time to arrive and (correctly) park on the latch rather than fetch.
+	for {
+		src.mu.Lock()
+		n := src.reads[0]
+		src.mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(src.release)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.mu.Lock()
+	block0Reads := src.reads[0]
+	src.mu.Unlock()
+	if block0Reads != 1 {
+		t.Fatalf("block 0 fetched %d times for %d concurrent readers, want 1 (coalesced)", block0Reads, readers)
+	}
+	st := p.DetailedStats()
+	if st.CoalescedWaits == 0 {
+		t.Fatal("expected coalesced waits to be counted")
+	}
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+}
+
+// A sequential scan with the default double-buffered pipeline must be
+// mostly wait-free: read-ahead has to keep running on hits, or the window
+// drains and every depth-th block stalls.
+func TestPrefetchReadAheadSustainsHits(t *testing.T) {
+	m := UniformMatrix(6400, 2, 23, 0, 1)
+	// slowSource gives the background fetcher something to overlap with.
+	p := NewPrefetchSource(&slowSource{Source: NewMemorySource(m), delay: 200 * time.Microsecond}, 64, 8)
+	dst := make([]float64, 64*2)
+	for lo := 0; lo < 6400; lo += 64 {
+		if err := p.ReadRows(lo, lo+64, dst); err != nil {
+			t.Fatal(err)
+		}
+		// Per-block consumer work lets the pipeline refill.
+		time.Sleep(400 * time.Microsecond)
+	}
+	st := p.DetailedStats()
+	total := st.ResidentHits + st.CoalescedWaits + st.Misses
+	if total == 0 {
+		t.Fatal("no block requests recorded")
+	}
+	if share := st.HitShare(); share < 0.5 {
+		t.Fatalf("sequential hit share %.2f (%+v), want >= 0.5 from sustained read-ahead", share, st)
+	}
+}
+
+type slowSource struct {
+	Source
+	delay time.Duration
+}
+
+func (s *slowSource) ReadRows(begin, end int, dst []float64) error {
+	time.Sleep(s.delay)
+	return s.Source.ReadRows(begin, end, dst)
+}
+
 // Property: prefetch reads equal direct reads for arbitrary ranges, block
 // sizes, and cache sizes.
 func TestPropertyPrefetchEquivalence(t *testing.T) {

@@ -3,6 +3,7 @@
 package freeride
 
 import (
+	"path/filepath"
 	"testing"
 
 	"chapelfreeride/internal/dataset"
@@ -160,5 +161,63 @@ func TestSparseFusedPassAllocs(t *testing.T) {
 	if allocs > 150 {
 		t.Fatalf("steady-state sparse fused pass allocated %.0f times (budget 150) — "+
 			"the hashed accumulator (or another pooled resource) is being reallocated per split or per pass", allocs)
+	}
+}
+
+// TestZeroCopyPassAllocs is the allocation-regression guard for mmap-backed
+// zero-copy ingestion: with a mapped row-major file the engine's reads are
+// sub-slices of the mapping (no split buffer fills at all), so a warm fused
+// pass over the file costs the same small per-pass constant as a memory
+// source — any copy or per-split buffer sneaking back into the file path
+// shows up as O(splits) allocations.
+func TestZeroCopyPassAllocs(t *testing.T) {
+	m := dataset.UniformMatrix(64_000, 2, 5, 0, 1)
+	path := filepath.Join(t.TempDir(), "zc.frds")
+	if err := dataset.WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	src, err := dataset.OpenMappedSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if !src.Mapped() {
+		t.Skip("mmap unavailable on this platform/filesystem")
+	}
+	spec := Spec{
+		Object: ObjectSpec{Groups: 8, Elems: 2, Op: robj.OpAdd},
+		BlockReduction: func(a *BlockArgs) error {
+			for i := 0; i < a.NumRows; i++ {
+				row := a.Row(i)
+				a.Accumulate(int(row[0]*8)%8, 0, 1)
+				a.Accumulate(int(row[0]*8)%8, 1, row[1])
+			}
+			return nil
+		},
+	}
+	eng := New(Config{Threads: 4, SplitRows: 64, Scheduler: sched.Dynamic})
+	defer eng.Close()
+	for i := 0; i < 3; i++ { // warm the session pools
+		res, err := eng.Run(spec, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Release(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		res, err := eng.Run(spec, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Release(res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("steady-state zero-copy mapped pass: %.1f allocs", allocs)
+	if allocs > 150 {
+		t.Fatalf("steady-state zero-copy pass allocated %.0f times (budget 150) — "+
+			"the mapped fast path is copying or allocating per split", allocs)
 	}
 }

@@ -39,6 +39,14 @@ var (
 // split.
 type BlockArgs struct {
 	// Data holds the split's rows, row-major; len == NumRows*Cols.
+	//
+	// Data is a borrowed view: for zero-copy sources (RowSlicer — memory
+	// sources, mapped dataset files) it aliases the source's backing storage
+	// directly. Kernels must treat it as read-only and must not retain it —
+	// no storing the slice (or a sub-slice) past the call, no appending to
+	// it, no writing through it. Violations corrupt shared data or fault
+	// after the source unmaps; frds-vet's rowalias analyzer flags them
+	// statically.
 	Data []float64
 	// NumRows is the number of data instances in this split.
 	NumRows int

@@ -165,6 +165,10 @@ func (c Config) withDefaults() Config {
 // dataset plus the worker's handle for updating the reduction object.
 type ReductionArgs struct {
 	// Data holds the split's rows, row-major; len == NumRows*Cols.
+	//
+	// Data is a borrowed view (see BlockArgs.Data): with zero-copy sources
+	// it aliases the source's storage. Read-only, no retention past the
+	// call; frds-vet's rowalias analyzer enforces this statically.
 	Data []float64
 	// NumRows is the number of data instances in this split.
 	NumRows int

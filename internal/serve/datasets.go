@@ -31,10 +31,15 @@ type DatasetSpec struct {
 	// the clustering kernels' natural input), "uniform", or "sparse" (a
 	// Rows×Dim sparse matrix served as NNZ (row, col, value) triples with
 	// 0-based whole-number coordinates and integer values — the input shape
-	// the sparse kernels linearize through the inspector).
+	// the sparse kernels linearize through the inspector), or "file" (a
+	// binary dataset file on the server's disk, memory-mapped on
+	// materialization so row-major files feed jobs zero-copy).
 	Kind string `json:"kind"`
-	Rows int    `json:"rows"`
-	Dim  int    `json:"dim"`
+	// Rows and Dim are the dataset shape. For the file kind they are read
+	// from the file header at registration; callers may leave them zero or
+	// supply them as a cross-check.
+	Rows int `json:"rows"`
+	Dim  int `json:"dim"`
 	// Groups is the gaussian mixture's component count (gaussian kind only).
 	Groups int `json:"groups,omitempty"`
 	// NNZ is the nonzero count of a sparse recipe (sparse kind only).
@@ -42,11 +47,20 @@ type DatasetSpec struct {
 	// them under the reduction operator like any other aliased entry.
 	NNZ  int   `json:"nnz,omitempty"`
 	Seed int64 `json:"seed"`
+	// Path is the dataset file (file kind only), in
+	// dataset.WriteFileLayout's format.
+	Path string `json:"path,omitempty"`
 }
 
 func (s DatasetSpec) validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("serve: dataset needs a name")
+	}
+	if s.Kind == "file" {
+		if s.Path == "" {
+			return fmt.Errorf("serve: file dataset %q needs a path", s.Name)
+		}
+		return nil // shape comes from the file header at registration
 	}
 	if s.Rows < 1 || s.Dim < 1 {
 		return fmt.Errorf("serve: dataset %q needs rows >= 1 and dim >= 1", s.Name)
@@ -62,7 +76,7 @@ func (s DatasetSpec) validate() error {
 			return fmt.Errorf("serve: sparse dataset %q needs nnz >= 1", s.Name)
 		}
 	default:
-		return fmt.Errorf("serve: dataset %q has unknown kind %q (want gaussian, uniform, or sparse)", s.Name, s.Kind)
+		return fmt.Errorf("serve: dataset %q has unknown kind %q (want gaussian, uniform, sparse, or file)", s.Name, s.Kind)
 	}
 	return nil
 }
@@ -100,14 +114,24 @@ func (s DatasetSpec) materialize() *dataset.Matrix {
 	}
 }
 
+// residentEntry is one cached dataset: its served source and the bytes the
+// cache accounts for it. Matrix-backed entries account the materialized
+// heap footprint; mapped file entries account MappedBytes — the live
+// mapping length, which is page-cache-backed and shared, but is the bound
+// the operator configured against.
+type residentEntry struct {
+	src   dataset.Source
+	bytes int64
+}
+
 // datasetCache holds the registered recipes plus an LRU-by-bytes cache of
-// materialized matrices.
+// materialized sources.
 type datasetCache struct {
 	mu       sync.Mutex
 	max      int64
 	used     int64
 	specs    map[string]DatasetSpec
-	resident map[string]*dataset.Matrix
+	resident map[string]residentEntry
 	lru      []string // resident names, least recently used first
 }
 
@@ -115,27 +139,47 @@ func newDatasetCache(maxBytes int64) *datasetCache {
 	return &datasetCache{
 		max:      maxBytes,
 		specs:    map[string]DatasetSpec{},
-		resident: map[string]*dataset.Matrix{},
+		resident: map[string]residentEntry{},
 	}
 }
 
 // register records a recipe. Re-registering an identical recipe is
 // idempotent; changing an existing name is rejected so running jobs never
-// observe a dataset swapped underneath them.
-func (c *datasetCache) register(s DatasetSpec) error {
+// observe a dataset swapped underneath them. File recipes are probed at
+// registration: the header supplies (and cross-checks) the shape, so a bad
+// path or corrupt file fails here rather than on a job's first run.
+// register validates and stores a recipe, returning the stored form: file
+// recipes come back with Rows/Dim filled from the file header, so callers
+// (and the HTTP response) see the shape the dataset will actually serve.
+func (c *datasetCache) register(s DatasetSpec) (DatasetSpec, error) {
 	if err := s.validate(); err != nil {
-		return err
+		return s, err
+	}
+	if s.Kind == "file" {
+		fs, err := dataset.OpenFileSource(s.Path)
+		if err != nil {
+			return s, fmt.Errorf("serve: file dataset %q: %w", s.Name, err)
+		}
+		rows, dim := fs.NumRows(), fs.Cols()
+		if err := fs.Close(); err != nil {
+			return s, err
+		}
+		if (s.Rows != 0 && s.Rows != rows) || (s.Dim != 0 && s.Dim != dim) {
+			return s, fmt.Errorf("serve: file dataset %q: recipe says %dx%d, file header says %dx%d",
+				s.Name, s.Rows, s.Dim, rows, dim)
+		}
+		s.Rows, s.Dim = rows, dim
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, ok := c.specs[s.Name]; ok {
 		if prev != s {
-			return fmt.Errorf("serve: dataset %q already registered with a different recipe", s.Name)
+			return s, fmt.Errorf("serve: dataset %q already registered with a different recipe", s.Name)
 		}
-		return nil
+		return prev, nil
 	}
 	c.specs[s.Name] = s
-	return nil
+	return s, nil
 }
 
 // list returns the registered recipes sorted by name.
@@ -176,8 +220,11 @@ func (c *datasetCache) touch(name string) {
 // source returns a Source over the named dataset, materializing it on a
 // cache miss and evicting least-recently-used residents to stay under the
 // byte bound. A dataset larger than the whole bound is still served — it
-// just never stays resident. Jobs already holding an evicted matrix keep it
-// alive through their own reference; eviction only drops the cache's.
+// just never stays resident. Jobs already holding an evicted source keep it
+// alive through their own reference; eviction only drops the cache's — a
+// dropped mapped file unmaps itself once the last job's reference dies (the
+// finalizer on dataset.MappedFile), so eviction never pulls pages out from
+// under a running pass.
 func (c *datasetCache) source(name string) (dataset.Source, error) {
 	c.mu.Lock()
 	spec, ok := c.specs[name]
@@ -185,25 +232,39 @@ func (c *datasetCache) source(name string) (dataset.Source, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("serve: unknown dataset %q", name)
 	}
-	if m, ok := c.resident[name]; ok {
+	if e, ok := c.resident[name]; ok {
 		c.touch(name)
 		c.mu.Unlock()
 		mCacheHits.Inc()
-		return dataset.NewMemorySource(m), nil
+		return e.src, nil
 	}
 	c.mu.Unlock()
 
-	// Materialize outside the lock: generation is the expensive part, and
-	// concurrent jobs for other datasets must not stall behind it. Two jobs
-	// racing on the same cold dataset both materialize; the second insert
-	// wins the cache slot and the loser's copy dies with its job.
+	// Materialize outside the lock: generation (or mapping) is the expensive
+	// part, and concurrent jobs for other datasets must not stall behind it.
+	// Two jobs racing on the same cold dataset both materialize; the second
+	// insert wins the cache slot and the loser's copy dies with its job.
 	mCacheMisses.Inc()
-	m := spec.materialize()
+	var entry residentEntry
+	if spec.Kind == "file" {
+		ms, err := dataset.OpenMappedSource(spec.Path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: file dataset %q: %w", name, err)
+		}
+		entry = residentEntry{src: ms, bytes: ms.MappedBytes()}
+		if !ms.Mapped() {
+			// Fallback mode reads from disk per job; account the logical
+			// footprint so the operator's bound still means something.
+			entry.bytes = spec.sizeBytes()
+		}
+	} else {
+		entry = residentEntry{src: dataset.NewMemorySource(spec.materialize()), bytes: spec.sizeBytes()}
+	}
 
 	c.mu.Lock()
 	if _, ok := c.resident[name]; !ok {
-		c.resident[name] = m
-		c.used += spec.sizeBytes()
+		c.resident[name] = entry
+		c.used += entry.bytes
 		c.touch(name)
 		for c.used > c.max && len(c.lru) > 1 {
 			victim := c.lru[0]
@@ -211,13 +272,13 @@ func (c *datasetCache) source(name string) (dataset.Source, error) {
 				break // never evict the dataset just brought in for this job
 			}
 			c.lru = c.lru[1:]
-			c.used -= c.specs[victim].sizeBytes()
+			c.used -= c.resident[victim].bytes
 			delete(c.resident, victim)
 			mCacheEvictions.Inc()
 		}
 	}
 	c.mu.Unlock()
-	return dataset.NewMemorySource(m), nil
+	return entry.src, nil
 }
 
 // residentBytes reports the cache's current accounted footprint.

@@ -127,7 +127,8 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
-	if err := s.RegisterDataset(spec); err != nil {
+	stored, err := s.RegisterDataset(spec)
+	if err != nil {
 		code := http.StatusBadRequest
 		if strings.Contains(err.Error(), "different recipe") {
 			code = http.StatusConflict
@@ -135,5 +136,5 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorBody{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusCreated, spec)
+	writeJSON(w, http.StatusCreated, stored)
 }

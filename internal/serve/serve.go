@@ -192,8 +192,11 @@ func (s *Server) Kernels() []string {
 	return out
 }
 
-// RegisterDataset records a dataset recipe.
-func (s *Server) RegisterDataset(spec DatasetSpec) error { return s.data.register(spec) }
+// RegisterDataset records a dataset recipe and returns the stored form
+// (file recipes gain Rows/Dim from the file header).
+func (s *Server) RegisterDataset(spec DatasetSpec) (DatasetSpec, error) {
+	return s.data.register(spec)
+}
 
 // Datasets lists the registered dataset recipes.
 func (s *Server) Datasets() []DatasetSpec { return s.data.list() }

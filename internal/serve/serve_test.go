@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -85,7 +86,7 @@ func gaussianSpec(name string) DatasetSpec {
 // deterministic first-K-rows initialization, same dataset recipe).
 func TestServeKMeansMatchesSequential(t *testing.T) {
 	s, ts := testServer(t, Config{Engines: 1, Engine: freeride.Config{Threads: 2, SplitRows: 64}})
-	if err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
+	if _, err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -137,7 +138,7 @@ func TestServeKMeansMatchesSequential(t *testing.T) {
 // distribution).
 func TestServePCAAndEM(t *testing.T) {
 	s, ts := testServer(t, Config{Engines: 1, Engine: freeride.Config{Threads: 2, SplitRows: 128}})
-	if err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
+	if _, err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -186,7 +187,7 @@ func TestServePCAAndEM(t *testing.T) {
 // the job becomes pollable through its terminal state.
 func TestAsyncSubmitAndPoll(t *testing.T) {
 	s, ts := testServer(t, Config{Engines: 1, Engine: freeride.Config{Threads: 1, SplitRows: 128}})
-	if err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
+	if _, err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
 		t.Fatal(err)
 	}
 	var st Status
@@ -237,7 +238,7 @@ func TestBackpressure429(t *testing.T) {
 		Engines: 1, Engine: freeride.Config{Threads: 1, SplitRows: 128},
 		MaxConcurrency: 1, QueueDepth: 2, TenantQuota: -1,
 	})
-	if err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
+	if _, err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
 		t.Fatal(err)
 	}
 	block := make(chan struct{})
@@ -283,7 +284,7 @@ func TestTenantQuotaFairness(t *testing.T) {
 		Engines: 1, Engine: freeride.Config{Threads: 1, SplitRows: 128},
 		MaxConcurrency: 2, QueueDepth: 64, TenantQuota: 1,
 	})
-	if err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
+	if _, err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
@@ -375,7 +376,7 @@ func TestDatasetCacheLRU(t *testing.T) {
 	spec2 := DatasetSpec{Name: "d2", Kind: "uniform", Rows: 1024, Dim: 4, Seed: 2}
 	c := newDatasetCache(spec1.sizeBytes() + spec2.sizeBytes()/2)
 	for _, s := range []DatasetSpec{spec1, spec2} {
-		if err := c.register(s); err != nil {
+		if _, err := c.register(s); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -409,13 +410,117 @@ func TestDatasetCacheLRU(t *testing.T) {
 	}
 
 	// Conflicting re-registration is rejected; identical is idempotent.
-	if err := c.register(spec1); err != nil {
+	if _, err := c.register(spec1); err != nil {
 		t.Fatalf("idempotent re-register: %v", err)
 	}
 	changed := spec1
 	changed.Seed = 99
-	if err := c.register(changed); err == nil {
+	if _, err := c.register(changed); err == nil {
 		t.Fatal("conflicting recipe re-registration succeeded")
+	}
+}
+
+// TestServeFileDataset: a job over a registered binary dataset file (the
+// "file" recipe kind, memory-mapped at materialization) produces the same
+// centroids as the sequential reference over the identical matrix.
+func TestServeFileDataset(t *testing.T) {
+	points, _ := dataset.GaussianMixture(2048, 4, 3, 11)
+	path := filepath.Join(t.TempDir(), "g.frds")
+	if err := dataset.WriteFile(path, points); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := testServer(t, Config{Engines: 1, Engine: freeride.Config{Threads: 2, SplitRows: 64}})
+	if _, err := s.RegisterDataset(DatasetSpec{Name: "f1", Kind: "file", Path: path}); err != nil {
+		t.Fatal(err)
+	}
+
+	var st Status
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		Kernel: "kmeans", Dataset: "f1",
+		Params: Params{K: 3, Iterations: 4}, Wait: true,
+	}, &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync submit returned %d", resp.StatusCode)
+	}
+	if st.State != JobDone {
+		t.Fatalf("job state %q, error %q", st.State, st.Error)
+	}
+	init := dataset.NewMatrix(3, 4)
+	copy(init.Data, points.Data[:3*4])
+	ref, err := apps.KMeansSeq(points, init, apps.KMeansConfig{K: 3, Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out KMeansOutput
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		for j := 0; j < 4; j++ {
+			got, want := out.Centroids[c][j], ref.Centroids.At(c, j)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("centroid[%d][%d] = %v, reference %v", c, j, got, want)
+			}
+		}
+	}
+}
+
+// TestFileDatasetRegistration: header probing at registration fills the
+// shape, cross-checks a caller-supplied one, and rejects bad paths.
+func TestFileDatasetRegistration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.frds")
+	m := dataset.UniformMatrix(256, 3, 7, 0, 1)
+	if err := dataset.WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	c := newDatasetCache(1 << 20)
+	if _, err := c.register(DatasetSpec{Name: "f", Kind: "file", Path: path}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.list()[0]
+	if got.Rows != 256 || got.Dim != 3 {
+		t.Fatalf("registered shape %dx%d, want 256x3 from header", got.Rows, got.Dim)
+	}
+	// Identical re-registration (with or without the filled shape) is fine.
+	if _, err := c.register(DatasetSpec{Name: "f", Kind: "file", Path: path}); err != nil {
+		t.Fatalf("idempotent re-register: %v", err)
+	}
+	// Shape cross-check catches a recipe that disagrees with the file.
+	if _, err := c.register(DatasetSpec{Name: "f2", Kind: "file", Path: path, Rows: 999}); err == nil {
+		t.Fatal("shape mismatch must be rejected")
+	}
+	if _, err := c.register(DatasetSpec{Name: "f3", Kind: "file", Path: filepath.Join(dir, "missing")}); err == nil {
+		t.Fatal("missing file must be rejected at registration")
+	}
+	if _, err := c.register(DatasetSpec{Name: "f4", Kind: "file"}); err == nil {
+		t.Fatal("file recipe without path must be rejected")
+	}
+
+	// Materialization serves the file's rows and accounts mapped bytes.
+	src, err := c.source("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 256*3)
+	if err := src.ReadRows(0, 256, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != m.Data[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	if mf, ok := src.(dataset.MappedFile); ok && mf.Mapped() {
+		if c.residentBytes() != mf.MappedBytes() {
+			t.Fatalf("cache accounts %d bytes, mapping is %d", c.residentBytes(), mf.MappedBytes())
+		}
+	} else if c.residentBytes() != 256*3*8 {
+		t.Fatalf("fallback accounting %d bytes, want logical footprint", c.residentBytes())
 	}
 }
 
@@ -430,7 +535,7 @@ func TestDrainGraceful(t *testing.T) {
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	if err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
+	if _, err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.RegisterKernel("slow", sleepKernel(50*time.Millisecond, nil, nil, "")); err != nil {
@@ -493,7 +598,7 @@ func TestDrainDeadlineCancelsInflight(t *testing.T) {
 	})
 	s.Start()
 	defer s.Close()
-	if err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
+	if _, err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.RegisterKernel("wedge", func(ctx context.Context, _ *freeride.Engine, _ dataset.Source, _ Params) (any, error) {
@@ -521,7 +626,7 @@ func TestDrainDeadlineCancelsInflight(t *testing.T) {
 // registered by name" path, exercised end to end with a real engine pass.
 func TestCustomKernelOverHTTP(t *testing.T) {
 	s, ts := testServer(t, Config{Engines: 1, Engine: freeride.Config{Threads: 2, SplitRows: 64}})
-	if err := s.RegisterDataset(DatasetSpec{Name: "u1", Kind: "uniform", Rows: 512, Dim: 3, Seed: 5}); err != nil {
+	if _, err := s.RegisterDataset(DatasetSpec{Name: "u1", Kind: "uniform", Rows: 512, Dim: 3, Seed: 5}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.RegisterKernel("rowcount", func(ctx context.Context, eng *freeride.Engine, src dataset.Source, _ Params) (any, error) {
@@ -601,7 +706,7 @@ func TestDatasetEndpoints(t *testing.T) {
 // /metrics endpoint after jobs flow through.
 func TestServeMetricsExposed(t *testing.T) {
 	s, ts := testServer(t, Config{Engines: 1, Engine: freeride.Config{Threads: 1, SplitRows: 128}})
-	if err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
+	if _, err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
 		t.Fatal(err)
 	}
 	var st Status
@@ -636,7 +741,7 @@ func TestJobRetention(t *testing.T) {
 		Engines: 1, Engine: freeride.Config{Threads: 1, SplitRows: 128},
 		MaxConcurrency: 1, RetainJobs: 2, QueueDepth: 32,
 	})
-	if err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
+	if _, err := s.RegisterDataset(gaussianSpec("g1")); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.RegisterKernel("quick", sleepKernel(0, nil, nil, "")); err != nil {
@@ -669,7 +774,7 @@ func TestConcurrentLoadSmoke(t *testing.T) {
 		Engines: 2, Engine: freeride.Config{Threads: 2, SplitRows: 256},
 		MaxConcurrency: 8, QueueDepth: 512, TenantQuota: 4,
 	})
-	if err := s.RegisterDataset(DatasetSpec{Name: "small", Kind: "gaussian", Rows: 512, Dim: 4, Groups: 2, Seed: 3}); err != nil {
+	if _, err := s.RegisterDataset(DatasetSpec{Name: "small", Kind: "gaussian", Rows: 512, Dim: 4, Groups: 2, Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
 	const clients, perClient = 16, 8

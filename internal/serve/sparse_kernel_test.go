@@ -22,7 +22,7 @@ func sparseSpec(name string) DatasetSpec {
 func TestServeSpMVMatchesDensified(t *testing.T) {
 	s, ts := testServer(t, Config{Engines: 1, Engine: freeride.Config{Threads: 2, SplitRows: 32}})
 	spec := sparseSpec("sp1")
-	if err := s.RegisterDataset(spec); err != nil {
+	if _, err := s.RegisterDataset(spec); err != nil {
 		t.Fatal(err)
 	}
 
@@ -82,7 +82,7 @@ func TestServeSpMVMatchesDensified(t *testing.T) {
 // the tightest shape fitting the triples.
 func TestServeSpMVInfersShape(t *testing.T) {
 	s, ts := testServer(t, Config{Engines: 1, Engine: freeride.Config{Threads: 1}})
-	if err := s.RegisterDataset(sparseSpec("sp2")); err != nil {
+	if _, err := s.RegisterDataset(sparseSpec("sp2")); err != nil {
 		t.Fatal(err)
 	}
 	var st Status
@@ -109,10 +109,10 @@ func TestSparseDatasetValidation(t *testing.T) {
 	s, ts := testServer(t, Config{Engines: 1, Engine: freeride.Config{Threads: 1}})
 	bad := sparseSpec("bad")
 	bad.NNZ = 0
-	if err := s.RegisterDataset(bad); err == nil {
+	if _, err := s.RegisterDataset(bad); err == nil {
 		t.Fatal("sparse recipe with nnz=0 not rejected")
 	}
-	if err := s.RegisterDataset(gaussianSpec("dense")); err != nil {
+	if _, err := s.RegisterDataset(gaussianSpec("dense")); err != nil {
 		t.Fatal(err)
 	}
 	var st Status
@@ -130,7 +130,7 @@ func TestSparseDatasetCacheAccounting(t *testing.T) {
 	if got, want := spec.sizeBytes(), int64(spec.NNZ)*3*8; got != want {
 		t.Fatalf("sizeBytes = %d, want %d", got, want)
 	}
-	if err := c.register(spec); err != nil {
+	if _, err := c.register(spec); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.source("sp"); err != nil {

@@ -1,0 +1,243 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RowAlias flags kernels that retain or mutate a borrowed row view. With
+// zero-copy sources (memory matrices, mmap-backed dataset files) args.Data
+// and args.Row(i) alias the source's storage directly — the engine's
+// no-retention contract says kernels treat those slices as read-only and
+// drop them before the call returns. A kernel that writes through the view
+// corrupts the shared dataset for every other worker; one that stores the
+// view into captured state (or appends the slice itself somewhere) holds a
+// pointer that dangles once a mapped source unmaps.
+//
+// The analysis is syntactic: it tracks the kernel's args parameter,
+// expressions rooted at args.Data / args.Row(...), sub-slices of those, and
+// local variables assigned from them (to a fixpoint, so aliases of aliases
+// count). Flagged shapes: element writes through a borrowed view, append
+// with a borrowed view as the destination, append that retains the view
+// itself as an element (append(x, row) — append(x, row...) copies scalars
+// and is fine), and stores of a borrowed view to captured variables,
+// package variables, or struct fields. Calls are assumed non-retaining
+// (copy(dst, row) and math on row elements are the idiomatic reads);
+// justified exceptions use //frds:vet-ignore rowalias.
+var RowAlias = &Analyzer{
+	Name: "rowalias",
+	Doc:  "kernels must not retain or mutate borrowed row views (args.Data, args.Row)",
+	Run:  runRowAlias,
+}
+
+func runRowAlias(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CompositeLit:
+				for _, elt := range v.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !kernelFields[key.Name] {
+						continue
+					}
+					if fl, ok := kv.Value.(*ast.FuncLit); ok {
+						checkRowAlias(pass, key.Name, fl)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range v.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || !kernelFields[sel.Sel.Name] || i >= len(v.Rhs) {
+						continue
+					}
+					if fl, ok := v.Rhs[i].(*ast.FuncLit); ok {
+						checkRowAlias(pass, sel.Sel.Name, fl)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkRowAlias analyzes one kernel function literal.
+func checkRowAlias(pass *Pass, field string, fl *ast.FuncLit) {
+	argName := kernelArgName(fl)
+	if argName == "" || argName == "_" {
+		return
+	}
+	borrowed := collectBorrowed(fl, argName)
+	declared := declaredIdents(fl)
+	isB := func(e ast.Expr) bool { return isBorrowedExpr(e, argName, borrowed) }
+
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				// Writes through a borrowed view: row[j] = x, args.Data[k] = x.
+				if ix, ok := lhs.(*ast.IndexExpr); ok && isB(ix.X) {
+					pass.Report(lhs, "%s kernel writes through borrowed row view %q; row views alias the data source (read-only, see freeride.BlockArgs.Data)", field, exprText(ix.X))
+					continue
+				}
+				if v.Tok == token.DEFINE || i >= len(v.Rhs) {
+					continue
+				}
+				if !isB(v.Rhs[i]) {
+					continue
+				}
+				// Retention: borrowed view stored outside the kernel's frame.
+				root := rootIdent(lhs)
+				switch {
+				case root == nil || !declared[root.Name]:
+					pass.Report(lhs, "%s kernel stores borrowed row view into captured state %q; views must not outlive the kernel call (copy the row instead)", field, exprText(lhs))
+				case isFieldStore(lhs):
+					pass.Report(lhs, "%s kernel stores borrowed row view into struct field %q; the struct can escape the call — copy the row instead", field, exprText(lhs))
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := v.X.(*ast.IndexExpr); ok && isB(ix.X) {
+				pass.Report(v, "%s kernel writes through borrowed row view %q; row views alias the data source (read-only)", field, exprText(ix.X))
+			}
+		case *ast.CallExpr:
+			id, ok := v.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" || len(v.Args) == 0 {
+				return true
+			}
+			if isB(v.Args[0]) {
+				pass.Report(v, "%s kernel appends to borrowed row view %q; growth writes into (or re-uses) the source's backing array", field, exprText(v.Args[0]))
+			}
+			if v.Ellipsis == token.NoPos {
+				for _, arg := range v.Args[1:] {
+					if isB(arg) {
+						pass.Report(v, "%s kernel retains borrowed row view %q by appending it; append the row's copy (or its elements with ...) instead", field, exprText(arg))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// kernelArgName returns the kernel literal's first parameter name — the
+// *ReductionArgs/*BlockArgs handle the borrowed views hang off.
+func kernelArgName(fl *ast.FuncLit) string {
+	if fl.Type.Params == nil || len(fl.Type.Params.List) == 0 {
+		return ""
+	}
+	names := fl.Type.Params.List[0].Names
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0].Name
+}
+
+// collectBorrowed finds local variables aliasing a borrowed view, iterating
+// to a fixpoint so chains (row := args.Row(i); r2 := row[1:]) all count.
+func collectBorrowed(fl *ast.FuncLit, argName string) map[string]bool {
+	borrowed := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range v.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" || i >= len(v.Rhs) {
+						continue
+					}
+					if !borrowed[id.Name] && isBorrowedExpr(v.Rhs[i], argName, borrowed) {
+						borrowed[id.Name] = true
+						changed = true
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range v.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && !borrowed[name.Name] && isBorrowedExpr(vs.Values[i], argName, borrowed) {
+							borrowed[name.Name] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return borrowed
+}
+
+// isBorrowedExpr reports whether e evaluates to (a sub-slice of) a borrowed
+// row view: args.Data, args.Row(...), a tracked alias, or a slice/paren
+// wrapper of one. Indexing is NOT borrowed — row[j] is a scalar copy.
+func isBorrowedExpr(e ast.Expr, argName string, borrowed map[string]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return borrowed[v.Name]
+	case *ast.ParenExpr:
+		return isBorrowedExpr(v.X, argName, borrowed)
+	case *ast.SliceExpr:
+		return isBorrowedExpr(v.X, argName, borrowed)
+	case *ast.SelectorExpr:
+		id, ok := v.X.(*ast.Ident)
+		return ok && id.Name == argName && v.Sel.Name == "Data"
+	case *ast.CallExpr:
+		sel, ok := v.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Row" {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Name == argName
+	}
+	return false
+}
+
+// isFieldStore reports whether lhs writes a struct field (x.f, x.y.f, ...).
+func isFieldStore(lhs ast.Expr) bool {
+	for {
+		switch v := lhs.(type) {
+		case *ast.SelectorExpr:
+			return true
+		case *ast.ParenExpr:
+			lhs = v.X
+		case *ast.StarExpr:
+			lhs = v.X
+		case *ast.IndexExpr:
+			lhs = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// exprText renders a short source-ish form of simple expressions for
+// messages (identifier chains and calls; falls back to the root name).
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprText(v.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprText(v.X) + "[...]"
+	case *ast.SliceExpr:
+		return exprText(v.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprText(v.X)
+	case *ast.StarExpr:
+		return "*" + exprText(v.X)
+	}
+	if id := rootIdent(e); id != nil {
+		return id.Name
+	}
+	return "expression"
+}

@@ -1,0 +1,110 @@
+// Fixture for the rowalias analyzer. Parsed, never compiled.
+package kernels
+
+type Spec struct {
+	Reduction      func(args *Args) error
+	BlockReduction func(args *Args) error
+}
+
+type Args struct {
+	Data    []float64
+	NumRows int
+	Cols    int
+}
+
+func (a *Args) Row(i int) []float64           { return a.Data[i*a.Cols : (i+1)*a.Cols] }
+func (a *Args) Accumulate(g, e int, v float64) {}
+
+type holder struct{ view []float64 }
+
+var stash []float64
+var held holder
+var bag [][]float64
+
+func badWrites() Spec {
+	return Spec{
+		Reduction: func(args *Args) error {
+			for i := 0; i < args.NumRows; i++ {
+				row := args.Row(i)
+				row[0] = 1          //want:rowalias
+				args.Data[i] = 2    //want:rowalias
+				row[1]++            //want:rowalias
+				sub := row[1:]
+				sub[0] = 3 //want:rowalias
+			}
+			return nil
+		},
+	}
+}
+
+func badRetention() Spec {
+	return Spec{
+		Reduction: func(args *Args) error {
+			stash = args.Data //want:rowalias
+			for i := 0; i < args.NumRows; i++ {
+				row := args.Row(i)
+				held.view = row        //want:rowalias
+				bag = append(bag, row) //want:rowalias
+			}
+			return nil
+		},
+	}
+}
+
+func badAppend() {
+	var s Spec
+	s.BlockReduction = func(args *Args) error {
+		grown := append(args.Data, 1) //want:rowalias
+		_ = grown
+		return nil
+	}
+	_ = s
+}
+
+func badFieldStore() Spec {
+	return Spec{
+		Reduction: func(args *Args) error {
+			var h holder
+			h.view = args.Row(0) //want:rowalias
+			_ = h
+			return nil
+		},
+	}
+}
+
+func good() Spec {
+	return Spec{
+		Reduction: func(args *Args) error {
+			// Reads, scalar copies, element-wise append, and explicit row
+			// copies are all sanctioned.
+			total := 0.0
+			for i := 0; i < args.NumRows; i++ {
+				row := args.Row(i)
+				for _, v := range row {
+					total += v
+				}
+				first := row[0]
+				_ = first
+				scratch := make([]float64, len(row))
+				copy(scratch, row)
+				scratch[0] = 9 // writing the copy is fine
+				var flat []float64
+				flat = append(flat, row...) // element copy, not retention
+				_ = flat
+				args.Accumulate(0, 0, row[0])
+			}
+			_ = total
+			return nil
+		},
+	}
+}
+
+func suppressed() Spec {
+	return Spec{
+		Reduction: func(args *Args) error {
+			//frds:vet-ignore rowalias -- fixture exercises suppression
+			stash = args.Data
+			return nil
+		},
+	}
+}

@@ -1,7 +1,7 @@
 // Package vet is a small static-analysis framework for FREERIDE-specific
-// correctness rules, plus the five analyzers cmd/frds-vet runs over this
+// correctness rules, plus the six analyzers cmd/frds-vet runs over this
 // repository (and over user kernel code): kernelpure, ctxflow, obscount,
-// lockorder, and inspectorhoist.
+// lockorder, inspectorhoist, and rowalias.
 //
 // The framework is deliberately self-contained on the standard library's
 // go/ast and go/parser: the usual route — golang.org/x/tools/go/analysis
@@ -74,9 +74,9 @@ func (p *Pass) Report(node ast.Node, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the five FREERIDE analyzers in stable order.
+// Analyzers returns the six FREERIDE analyzers in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{KernelPure, CtxFlow, ObsCount, LockOrder, InspectorHoist}
+	return []*Analyzer{KernelPure, CtxFlow, ObsCount, LockOrder, InspectorHoist, RowAlias}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).

@@ -104,9 +104,14 @@ func TestLockOrderFixture(t *testing.T) { runFixture(t, "lockorder", LockOrder) 
 // frds:vet-ignore is not honored.
 func TestInspectorHoistFixture(t *testing.T) { runFixture(t, "inspectorhoist", InspectorHoist) }
 
+// TestRowAliasFixture also exercises suppression: the fixture's
+// suppressed() kernel stores a borrowed view with a frds:vet-ignore, so
+// runFixture fails if the suppression is not honored.
+func TestRowAliasFixture(t *testing.T) { runFixture(t, "rowalias", RowAlias) }
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
+	if err != nil || len(all) != 6 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("ctxflow, lockorder")
