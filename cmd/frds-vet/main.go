@@ -28,30 +28,49 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"chapelfreeride/internal/vet"
 )
 
+// Exit statuses. CI distinguishes "the repo is dirty" (findings, fix the
+// code) from "the analyzer run itself broke" (bad flags, unknown analyzer,
+// unparsable source — fix the invocation or the tree).
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitBroken   = 2
+)
+
 func main() {
-	analyzersFlag := flag.String("analyzers", "", "comma-separated analyzer list (default: all)")
-	list := flag.Bool("list", false, "list available analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the vet driver and returns its exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("frds-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	analyzersFlag := fs.String("analyzers", "", "comma-separated analyzer list (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return exitBroken
+	}
 
 	if *list {
 		for _, a := range vet.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return exitClean
 	}
 
 	analyzers, err := vet.ByName(*analyzersFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "frds-vet:", err)
+		return exitBroken
 	}
 
-	roots := flag.Args()
+	roots := fs.Args()
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
@@ -59,16 +78,17 @@ func main() {
 	for _, root := range roots {
 		pkgs, err := vet.Load(root)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "frds-vet:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "frds-vet:", err)
+			return exitBroken
 		}
 		findings = append(findings, vet.Check(pkgs, analyzers)...)
 	}
 	for _, f := range findings {
-		fmt.Println(f)
+		fmt.Fprintln(stdout, f)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "frds-vet: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "frds-vet: %d finding(s)\n", len(findings))
+		return exitFindings
 	}
+	return exitClean
 }

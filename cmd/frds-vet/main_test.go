@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExitClean: a tree with no findings exits 0.
+func TestExitClean(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "clean.go", "package clean\n\nfunc ok() int { return 1 }\n")
+	var out, errw bytes.Buffer
+	if got := run([]string{dir}, &out, &errw); got != exitClean {
+		t.Fatalf("exit = %d, want %d; stderr: %s", got, exitClean, errw.String())
+	}
+}
+
+// TestExitFindings: a dirty tree exits 1 and prints vet-style findings. The
+// rowalias fixture package is valid Go with known violations.
+func TestExitFindings(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "vet", "testdata", "rowalias")
+	var out, errw bytes.Buffer
+	if got := run([]string{"-analyzers", "rowalias", fixture}, &out, &errw); got != exitFindings {
+		t.Fatalf("exit = %d, want %d; stderr: %s", got, exitFindings, errw.String())
+	}
+	if !strings.Contains(out.String(), "rowalias:") {
+		t.Fatalf("no vet-style findings printed:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "finding(s)") {
+		t.Fatalf("no finding count on stderr: %s", errw.String())
+	}
+}
+
+// TestExitBrokenLoad: unparsable source is a load error, not a finding —
+// exit 2 so CI can tell "broken analyzer run" from "dirty repo".
+func TestExitBrokenLoad(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "broken.go", "package broken\n\nfunc {{{\n")
+	var out, errw bytes.Buffer
+	if got := run([]string{dir}, &out, &errw); got != exitBroken {
+		t.Fatalf("exit = %d, want %d", got, exitBroken)
+	}
+	if errw.Len() == 0 {
+		t.Fatal("load error not reported on stderr")
+	}
+}
+
+// TestExitBrokenFlags: unknown analyzers and bad flags are invocation
+// errors, also exit 2.
+func TestExitBrokenFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if got := run([]string{"-analyzers", "nope"}, &out, &errw); got != exitBroken {
+		t.Fatalf("unknown analyzer: exit = %d, want %d", got, exitBroken)
+	}
+	if got := run([]string{"-no-such-flag"}, &out, &errw); got != exitBroken {
+		t.Fatalf("bad flag: exit = %d, want %d", got, exitBroken)
+	}
+}
+
+func writeFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

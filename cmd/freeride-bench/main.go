@@ -76,6 +76,7 @@ func main() {
 
 		ingestDir   = flag.String("ingest-dir", "", "abl-ingest: directory for the on-disk CSV/binary dataset files, reused across runs (default: a temporary directory deleted afterwards)")
 		ingestCheck = flag.Bool("ingest-check", false, "after abl-ingest, verify the zero-copy engine path beats the boxed CSV baseline at every thread count; exit non-zero otherwise")
+		adviseCheck = flag.Bool("advise-check", false, "after abl-advise, verify the advised configuration is never worse than 2x the worst hand-picked pick per workload; exit non-zero otherwise")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve the observability endpoint (/metrics Prometheus text, /report, /trace JSON event log, /debug/vars, /debug/pprof) on this address")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the experiments finish")
@@ -155,7 +156,7 @@ func main() {
 			Threads: threads, Scale: *scaleFlag, Seed: *seedFlag, Reps: *repsFlag,
 			FaultRate: *faultRate, FaultSeed: *faultSeed, Retries: *retries, Timeout: *timeout,
 			SessionPasses: *sessionPasses, SessionJobs: jobSweep,
-			IngestDir:     *ingestDir,
+			IngestDir: *ingestDir,
 		}.WithDefaults(e.DefaultScale)
 		phasesBefore := bench.SnapshotPhases()
 		passHistBefore := bench.SnapshotPassHist()
@@ -178,6 +179,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintln(os.Stderr, "freeride-bench: ingest-check ok (zero-copy ≥ csv-boxed on the engine path at every thread count)")
+		}
+		if *adviseCheck && e.ID == "abl-advise" {
+			if err := checkAdvise(tbl.Metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "freeride-bench: advise-check:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "freeride-bench: advise-check ok (advised pick well clear of the worst hand-picked configuration on every workload)")
 		}
 		if diag, ok := bench.CheckCombineShare(phasesBefore, *maxCombine); !ok {
 			guardTripped = true
@@ -266,6 +274,51 @@ func checkIngest(metrics []bench.Metric) error {
 		if zc < csv {
 			return fmt.Errorf("zero-copy %.0f rows/s < csv-boxed %.0f rows/s at %d threads", zc, csv, threads)
 		}
+	}
+	return nil
+}
+
+// checkAdvise enforces the abl-advise acceptance shape: per workload, the
+// advised configuration must land well inside the hand-picked spread —
+// hard requirement: never worse than 2x the WORST hand-picked pick (a
+// violation means the advisor steered into pathological territory the
+// sweep itself avoids); it also reports how far the advised time sits from
+// the best pick, the "within a few percent" claim the bench notes carry.
+func checkAdvise(metrics []bench.Metric) error {
+	type span struct {
+		best, worst, advised int64
+	}
+	spans := map[string]*span{}
+	for _, m := range metrics {
+		s := spans[m.Workload]
+		if s == nil {
+			s = &span{}
+			spans[m.Workload] = s
+		}
+		switch m.Version {
+		case "hand-picked":
+			if s.best == 0 || m.NsPerOp < s.best {
+				s.best = m.NsPerOp
+			}
+			if m.NsPerOp > s.worst {
+				s.worst = m.NsPerOp
+			}
+		case "advised":
+			s.advised = m.NsPerOp
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no abl-advise metrics to check")
+	}
+	for name, s := range spans {
+		if s.advised == 0 || s.best == 0 {
+			return fmt.Errorf("%s: missing advised or hand-picked measurements", name)
+		}
+		if s.advised > 2*s.worst {
+			return fmt.Errorf("%s: advised %d ns/op is over 2x the worst hand-picked pick (%d ns/op)", name, s.advised, s.worst)
+		}
+		fmt.Fprintf(os.Stderr, "freeride-bench: advise-check: %s advised %.2fx best, %.2fx worst\n",
+			name, float64(s.advised)/float64(s.best), float64(s.advised)/float64(s.worst))
 	}
 	return nil
 }

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"chapelfreeride/internal/analyze"
+	"chapelfreeride/internal/apps"
+	"chapelfreeride/internal/chapel"
+	"chapelfreeride/internal/core"
+	"chapelfreeride/internal/verify"
+)
+
+// analysisTarget is one plan the -analyze pass inspects: the lowered
+// verifier IR plus the name it reports under.
+type analysisTarget struct {
+	name string
+	plan *verify.Plan
+}
+
+// analysisJSON is the -analyze-json element shape, one per analyzed plan.
+type analysisJSON struct {
+	Class       string               `json:"class"`
+	Opt         string               `json:"opt"`
+	Threads     int                  `json:"threads"`
+	Profile     *analyze.PlanProfile `json:"profile"`
+	Advice      analyze.Advice       `json:"advice"`
+	Diagnostics []string             `json:"diagnostics,omitempty"`
+}
+
+// analysisTargets lowers the requested class (or every built-in app for
+// "all") into verifier plans. Dense classes analyze at opt-2 — the level
+// whose affine constants the footprint math consumes; sparse classes run
+// the inspector over a small deterministic synthetic input (the table
+// proofs, and hence the conflict histogram, are data-dependent by nature).
+func analysisTargets(className string, k, dim, rows, nnz int) ([]analysisTarget, error) {
+	var out []analysisTarget
+	add := func(name string, plan *verify.Plan, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, analysisTarget{name: name, plan: plan})
+		return nil
+	}
+	want := func(name string) bool { return className == "all" || className == name }
+
+	if want("kmeans") {
+		cents := apps.BoxPoints(zeroMatrix(k, dim))
+		cls := apps.KMeansClass(k, dim, cents)
+		ty := pointArrayType(dim, rows)
+		if err := add("kmeans", core.PlanFor(cls, ty, core.Opt2), nil); err != nil {
+			return nil, err
+		}
+	}
+	if want("pca-mean") {
+		ty := realMatrixType(dim, rows)
+		if err := add("pca-mean", core.PlanFor(apps.PCAMeanClass(dim), ty, core.Opt2), nil); err != nil {
+			return nil, err
+		}
+	}
+	if want("pca-cov") {
+		ty := realMatrixType(dim, rows)
+		cls := apps.PCACovClass(dim, chapel.RealArray(make([]float64, dim)...))
+		if err := add("pca-cov", core.PlanFor(cls, ty, core.Opt2), nil); err != nil {
+			return nil, err
+		}
+	}
+	if want("em") {
+		means := apps.BoxPoints(zeroMatrix(k, dim))
+		vars := apps.BoxVector(make([]float64, k))
+		cls := apps.EMClass(k, dim, means, vars)
+		ty := pointArrayType(dim, rows)
+		if err := add("em", core.PlanFor(cls, ty, core.Opt2), nil); err != nil {
+			return nil, err
+		}
+	}
+	if want("spmv") {
+		coo := syntheticCOO(rows, rows, nnz, false)
+		plan, err := core.NewInspectorPlan(coo)
+		if err != nil {
+			return nil, fmt.Errorf("spmv: %w", err)
+		}
+		cls := apps.SpMVClass(apps.SpMVConfig{Rows: rows, Cols: rows, X: make([]float64, rows)})
+		if err := add("spmv", core.SparsePlanFor(cls, plan, core.Opt3), nil); err != nil {
+			return nil, err
+		}
+	}
+	if want("degree") {
+		// A hub-skewed edge list: real graphs are power-law, and the skew
+		// exercises the conflict-degree analysis the uniform spmv misses.
+		coo := syntheticCOO(rows, rows, nnz, true)
+		plan, err := core.NewInspectorPlan(coo)
+		if err != nil {
+			return nil, fmt.Errorf("degree: %w", err)
+		}
+		cls := apps.DegreeClass(apps.DegreeConfig{Nodes: rows})
+		if err := add("degree", core.SparsePlanFor(cls, plan, core.Opt3), nil); err != nil {
+			return nil, err
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("unknown class %q: want kmeans, pca-mean, pca-cov, em, spmv, degree, or all", className)
+	}
+	return out, nil
+}
+
+func pointArrayType(dim, rows int) *chapel.Type {
+	return chapel.ArrayType(chapel.RecordType("Point",
+		chapel.Field{Name: "coords", Type: chapel.ArrayType(chapel.RealType(), 1, dim)}), 1, rows)
+}
+
+func realMatrixType(dim, rows int) *chapel.Type {
+	return chapel.ArrayType(chapel.ArrayType(chapel.RealType(), 1, dim), 1, rows)
+}
+
+// syntheticCOO builds a deterministic nnz-entry COO matrix. hub skews ~a
+// third of the rows onto row 0 (a power-law-ish hot node); otherwise rows
+// are uniform. Values are 1.
+func syntheticCOO(rows, cols, nnz int, hub bool) *core.SparseCOO {
+	coo := &core.SparseCOO{
+		Rows: rows, Cols: cols,
+		R: make([]int32, nnz), C: make([]int32, nnz), V: make([]float64, nnz),
+	}
+	state := uint64(42)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for i := 0; i < nnz; i++ {
+		if hub && i%3 == 0 {
+			coo.R[i] = 0
+		} else {
+			coo.R[i] = int32(next(rows))
+		}
+		coo.C[i] = int32(next(cols))
+		coo.V[i] = 1
+	}
+	return coo
+}
+
+// runAnalysis verifies, profiles, and advises each target: diagnostics
+// (verifier FRV0xx + analysis FRV05x, in encounter order) go to errw
+// compiler-style; the report (or the JSON array) goes to w. Returns the
+// process exit code: 1 when any diagnostic is an error or a profile comes
+// back empty, 0 otherwise.
+func runAnalysis(targets []analysisTarget, threads int, asJSON bool, w, errw io.Writer) int {
+	opts := analyze.Options{}
+	failed := false
+	var payload []analysisJSON
+	for _, t := range targets {
+		ds := verify.CheckPlan(t.plan)
+		pr := analyze.Profile(t.plan, opts)
+		ds = append(ds, pr.Diags...)
+		adv := analyze.Advise(pr, threads)
+		for _, d := range ds {
+			fmt.Fprintln(errw, d)
+		}
+		if ds.HasErrors() {
+			failed = true
+		}
+		if pr.Domain <= 0 || pr.Writes.Cells <= 0 {
+			fmt.Fprintf(errw, "freeride-translate: %s: empty plan profile (domain %d, object cells %d)\n",
+				t.name, pr.Domain, pr.Writes.Cells)
+			failed = true
+		}
+		if asJSON {
+			payload = append(payload, analysisJSON{
+				Class:       t.name,
+				Opt:         pr.OptName,
+				Threads:     threads,
+				Profile:     pr,
+				Advice:      adv,
+				Diagnostics: diagStrings(ds),
+			})
+			continue
+		}
+		fmt.Fprint(w, pr.Report(adv, threads))
+		fmt.Fprintln(w)
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			fmt.Fprintln(errw, "freeride-translate:", err)
+			return 1
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func diagStrings(ds verify.Diagnostics) []string {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}

@@ -32,13 +32,18 @@ import (
 
 func main() {
 	var (
-		className = flag.String("class", "kmeans", "reduction class: kmeans | pca-mean | pca-cov")
+		className = flag.String("class", "kmeans", "reduction class: kmeans | pca-mean | pca-cov (with -analyze also em | spmv | degree | all)")
 		k         = flag.Int("k", 8, "k-means cluster count")
 		dim       = flag.Int("dim", 4, "feature dimensionality")
 		optName   = flag.String("opt", "", "single level (generated | opt-1 | opt-2); all when empty")
 		declFile  = flag.String("decl", "", "Chapel declaration file; with -var/-path, show its mapping metadata")
 		varName   = flag.String("var", "", "declared variable to analyze (with -decl)")
 		pathFlag  = flag.String("path", "", "comma-separated field path through the variable (with -decl)")
+		doAnalyze = flag.Bool("analyze", false, "run the translate-time cost/contention analysis and print the plan profile + advice")
+		doJSON    = flag.Bool("analyze-json", false, "like -analyze, but emit a JSON array for tooling")
+		threads   = flag.Int("threads", 8, "worker count the advisor plans for (with -analyze)")
+		rows      = flag.Int("rows", 1000, "dataset rows (dense) / matrix rows (sparse) the analysis assumes (with -analyze)")
+		nnz       = flag.Int("nnz", 4096, "synthetic nonzero count for sparse classes (with -analyze)")
 	)
 	flag.Parse()
 
@@ -48,6 +53,15 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *doAnalyze || *doJSON {
+		targets, err := analysisTargets(*className, *k, *dim, *rows, *nnz)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeride-translate:", err)
+			os.Exit(2)
+		}
+		os.Exit(runAnalysis(targets, *threads, *doJSON, os.Stdout, os.Stderr))
 	}
 
 	var (

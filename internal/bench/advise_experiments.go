@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"chapelfreeride/internal/analyze"
+	"chapelfreeride/internal/apps"
+	"chapelfreeride/internal/core"
+	"chapelfreeride/internal/dataset"
+	"chapelfreeride/internal/freeride"
+	"chapelfreeride/internal/robj"
+	"chapelfreeride/internal/sched"
+)
+
+// adviseWorkload is one app in the advisor ablation: its static plan
+// profile (what the advisor sees at translate time) and a runner that
+// executes it under an arbitrary engine configuration.
+type adviseWorkload struct {
+	name    string
+	domain  int
+	profile *analyze.PlanProfile
+	run     func(cfg freeride.Config) (time.Duration, error)
+}
+
+// ablAdvise measures the plan advisor against the hand-picked sweep: for
+// each of the five evaluation apps it runs every (strategy, scheduler)
+// pair at the largest thread count, then the advisor's pick, and reports
+// where the advised configuration lands between the best and worst
+// hand-picked times. The claim under test: advised stays within a few
+// percent of the best pick and never approaches the worst — i.e. the
+// static profile carries enough signal to choose execution before the
+// first row is read.
+func ablAdvise(p Params) (*Table, error) {
+	if p.Reps < 1 {
+		p.Reps = 1
+	}
+	threads := p.Threads[len(p.Threads)-1]
+	policies := []sched.Policy{sched.Dynamic, sched.WorkStealing}
+	strategies := robj.Strategies()
+
+	workloads, err := adviseWorkloads(p)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := &Table{
+		ID: "abl-advise",
+		Title: fmt.Sprintf("plan advisor vs hand-picked (strategy x scheduler) — %d apps @ %d threads",
+			len(workloads), threads),
+		Columns: []string{"workload", "pick", "strategy", "scheduler", "total(s)", "ns/op", "vs best"},
+	}
+
+	timeCfg := func(w adviseWorkload, cfg freeride.Config) (time.Duration, error) {
+		var best time.Duration
+		for rep := 0; rep < p.Reps; rep++ {
+			d, err := w.run(cfg)
+			if err != nil {
+				return 0, err
+			}
+			if rep == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	for _, w := range workloads {
+		type picked struct {
+			st  robj.Strategy
+			pol sched.Policy
+			d   time.Duration
+		}
+		var swept []picked
+		for _, pol := range policies {
+			for _, st := range strategies {
+				cfg := freeride.Config{
+					Threads: threads, SplitRows: splitRowsFor(w.domain, threads),
+					Strategy: st, Scheduler: pol,
+				}
+				d, err := timeCfg(w, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("abl-advise %s %v/%v: %w", w.name, st, pol, err)
+				}
+				swept = append(swept, picked{st, pol, d})
+			}
+		}
+		best, worst := swept[0], swept[0]
+		for _, s := range swept[1:] {
+			if s.d < best.d {
+				best = s
+			}
+			if s.d > worst.d {
+				worst = s
+			}
+		}
+
+		adv := analyze.Advise(w.profile, threads)
+		advised, err := timeCfg(w, adv.Apply(freeride.Config{Threads: threads}))
+		if err != nil {
+			return nil, fmt.Errorf("abl-advise %s advised: %w", w.name, err)
+		}
+
+		perOp := func(d time.Duration) int64 { return d.Nanoseconds() / int64(maxInt(1, w.domain)) }
+		for _, s := range swept {
+			tbl.Rows = append(tbl.Rows, []string{
+				w.name, "hand-picked", s.st.String(), s.pol.String(),
+				secs(s.d), fmt.Sprint(perOp(s.d)), ratio(s.d, best.d),
+			})
+			tbl.Metrics = append(tbl.Metrics, Metric{
+				Workload: w.name, Version: "hand-picked", Threads: threads,
+				Strategy: s.st.String(), Scheduler: s.pol.String(), NsPerOp: perOp(s.d),
+			})
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			w.name, "advised", adv.Strategy.String(), adv.Scheduler.String(),
+			secs(advised), fmt.Sprint(perOp(advised)), ratio(advised, best.d),
+		})
+		tbl.Metrics = append(tbl.Metrics, Metric{
+			Workload: w.name, Version: "advised", Threads: threads,
+			Strategy: adv.Strategy.String(), Scheduler: adv.Scheduler.String(), NsPerOp: perOp(advised),
+		})
+		tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+			"%s: advised %s/%s = %sx best (%s/%s), %sx worst (%s/%s)",
+			w.name, adv.Strategy, adv.Scheduler,
+			ratio(advised, best.d), best.st, best.pol,
+			ratio(advised, worst.d), worst.st, worst.pol))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"advised picks come from analyze.Advise over the static plan profile — no runtime feedback, no trial passes")
+	return tbl, nil
+}
+
+// adviseWorkloads builds the five evaluation apps with their static
+// profiles. The dense profiles mirror what serve's admission advisor sees
+// (shape-only); the sparse profiles run the real inspector so the exact
+// conflict histograms feed the advisor, as freeride-translate -analyze does.
+func adviseWorkloads(p Params) ([]adviseWorkload, error) {
+	points := kmeansData(24<<20, p.Scale, p.Seed, ablK+1)
+	init := firstK(points, ablK)
+	rows, dim := points.Rows, points.Cols
+	opts := analyze.Options{}
+
+	n := maxInt(256, int(16384*p.Scale*4))
+	nnz := maxInt(1, int(0.001*float64(n)*float64(n)))
+	triples := randomTriplesBench(nnz, n, n, p.Seed)
+	x := intVectorBench(n, p.Seed^0x7ead)
+	spmvProfile, err := sparseProfileFor(apps.SpMVClass(apps.SpMVConfig{Rows: n, Cols: n, X: x}), triples, n, n, opts)
+	if err != nil {
+		return nil, fmt.Errorf("abl-advise spmv profile: %w", err)
+	}
+	edges := randomTriplesBench(nnz, n, n, p.Seed^0xde6)
+	degreeProfile, err := sparseProfileFor(apps.DegreeClass(apps.DegreeConfig{Nodes: n}), edges, n, n, opts)
+	if err != nil {
+		return nil, fmt.Errorf("abl-advise degree profile: %w", err)
+	}
+	edgeMatrix := triplesToEdges(edges)
+
+	return []adviseWorkload{
+		{
+			name: "kmeans", domain: rows,
+			profile: analyze.DenseProfile("kmeans", rows, dim, ablK, dim+1, opts),
+			run: func(cfg freeride.Config) (time.Duration, error) {
+				res, err := apps.KMeansManualFR(points, init, apps.KMeansConfig{K: ablK, Iterations: ablIters, Engine: cfg})
+				if err != nil {
+					return 0, err
+				}
+				return res.Timing.Total(), nil
+			},
+		},
+		{
+			name: "pca", domain: rows,
+			profile: analyze.DenseProfile("pca", rows, dim, dim, dim, opts),
+			run: func(cfg freeride.Config) (time.Duration, error) {
+				res, err := apps.PCAManualFR(points, apps.PCAConfig{Engine: cfg})
+				if err != nil {
+					return 0, err
+				}
+				return res.Timing.Total(), nil
+			},
+		},
+		{
+			name: "em", domain: rows,
+			profile: analyze.DenseProfile("em", rows, dim, ablK, dim+2, opts),
+			run: func(cfg freeride.Config) (time.Duration, error) {
+				res, err := apps.EMManualFR(points, init, apps.EMConfig{K: ablK, Iterations: ablIters, Engine: cfg})
+				if err != nil {
+					return 0, err
+				}
+				return res.Timing.Total(), nil
+			},
+		},
+		{
+			name: "spmv", domain: nnz,
+			profile: spmvProfile,
+			run: func(cfg freeride.Config) (time.Duration, error) {
+				res, err := apps.SpMV(apps.Opt3, triples, apps.SpMVConfig{Rows: n, Cols: n, X: x, Engine: cfg})
+				if err != nil {
+					return 0, err
+				}
+				return res.Timing.Total(), nil
+			},
+		},
+		{
+			name: "degree", domain: nnz,
+			profile: degreeProfile,
+			run: func(cfg freeride.Config) (time.Duration, error) {
+				res, err := apps.Degree(apps.Opt3, edgeMatrix, apps.DegreeConfig{Nodes: n, Engine: cfg})
+				if err != nil {
+					return 0, err
+				}
+				return res.Timing.Total(), nil
+			},
+		},
+	}, nil
+}
+
+// sparseProfileFor runs the inspector over the triples and profiles the
+// resulting plan — the exact-histogram path.
+func sparseProfileFor(cls *core.SparseClass, triples *dataset.Matrix, rows, cols int, opts analyze.Options) (*analyze.PlanProfile, error) {
+	coo, err := core.LinearizeCOO(apps.BoxTriples(triples), rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.NewInspectorPlan(coo)
+	if err != nil {
+		return nil, err
+	}
+	return analyze.Profile(core.SparsePlanFor(cls, plan, core.Opt3), opts), nil
+}
+
+// triplesToEdges reinterprets COO triples as an edge list (src, dst).
+func triplesToEdges(triples *dataset.Matrix) *dataset.Matrix {
+	edges := dataset.NewMatrix(triples.Rows, 2)
+	for i := 0; i < triples.Rows; i++ {
+		edges.Data[2*i] = triples.Data[3*i]
+		edges.Data[2*i+1] = triples.Data[3*i+1]
+	}
+	return edges
+}
+
+func init() {
+	register(Experiment{
+		ID:           "abl-advise",
+		Title:        "plan advisor vs hand-picked strategy/scheduler across the evaluation apps",
+		DefaultScale: 0.05,
+		Run:          ablAdvise,
+	})
+}

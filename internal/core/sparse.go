@@ -72,6 +72,14 @@ type SparseTranslation struct {
 // materialized entries, not a closed form, so verification necessarily runs
 // after the inspector.
 func VerifySparse(class *SparseClass, plan *InspectorPlan, opt OptLevel) verify.Diagnostics {
+	return verify.CheckPlan(SparsePlanFor(class, plan, opt))
+}
+
+// SparsePlanFor lowers a sparse class bound to an inspector plan into the
+// verifier IR — the sparse analog of PlanFor. VerifySparse checks the
+// result; internal/analyze profiles it (the materialized tables carry the
+// exact scatter histogram the cost analysis folds).
+func SparsePlanFor(class *SparseClass, plan *InspectorPlan, opt OptLevel) *verify.Plan {
 	p := &verify.Plan{Opt: int(opt), OptName: opt.String()}
 	if class == nil {
 		p.Class = "class"
@@ -81,7 +89,7 @@ func VerifySparse(class *SparseClass, plan *InspectorPlan, opt OptLevel) verify.
 			Pos: "class", Severity: verify.SeverityError, Code: verify.CodeNoKernel,
 			Msg: "core: sparse translation needs a class with a kernel",
 		}}
-		return verify.CheckPlan(p)
+		return p
 	}
 	p.Class = class.Name
 	if p.Class == "" {
@@ -127,7 +135,7 @@ func VerifySparse(class *SparseClass, plan *InspectorPlan, opt OptLevel) verify.
 		// entry per nonzero.
 		plan.Verify(p)
 	}
-	return verify.CheckPlan(p)
+	return p
 }
 
 // TranslateSparse compiles a SparseClass over a COO source into a FREERIDE

@@ -161,6 +161,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// SparseAccEngaged reports whether a fused pass over an object with the
+// given cell count runs on the hashed touched-cell accumulator instead of
+// the dense mirror: the kernel opted in (ScatterBlock) and the cell count
+// crossed SparseAccCells. Exported so translate-time analysis
+// (internal/analyze's fused-flush cost model) and the engine's run path
+// share one engagement rule; callers must pass a defaults-resolved config
+// (Engine.Config(), or after setting SparseAccCells explicitly).
+func (c Config) SparseAccEngaged(cells int, scatter bool) bool {
+	return scatter && c.SparseAccCells > 0 && cells >= c.SparseAccCells
+}
+
 // ReductionArgs mirrors FREERIDE's reduction_args_t: one split of the input
 // dataset plus the worker's handle for updating the reduction object.
 type ReductionArgs struct {

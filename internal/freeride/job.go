@@ -506,10 +506,10 @@ func (e *Engine) run(ctx context.Context, spec Spec, src dataset.Source, obj *ro
 // Dense fused kernels that walk Acc() directly never set ScatterBlock and
 // always keep the dense mirror, whatever their object size.
 func sparseAccFor(cfg Config, spec Spec, obj *robj.Object) bool {
-	if spec.BlockReduction == nil || !spec.ScatterBlock || obj == nil || cfg.SparseAccCells <= 0 {
+	if spec.BlockReduction == nil || obj == nil {
 		return false
 	}
-	return obj.Groups()*obj.ElemsPerGroup() >= cfg.SparseAccCells
+	return cfg.SparseAccEngaged(obj.Groups()*obj.ElemsPerGroup(), spec.ScatterBlock)
 }
 
 // enqueue sends the job's tickets to the pool. Tickets not sent — because

@@ -162,6 +162,17 @@ func Strategies() []Strategy {
 	return []Strategy{FullReplication, FullLocking, OptimizedFullLocking, FixedLocking, AtomicCAS}
 }
 
+// ParseStrategy resolves a display name ("replication", "atomic", ...) back
+// to its Strategy — the inverse of String, for config files and job params.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range Strategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return FullReplication, fmt.Errorf("robj: unknown strategy %q (want replication, full-locking, opt-locking, fixed-locking, or atomic)", name)
+}
+
 // fixedLockPool is the lock-pool size for FixedLocking.
 const fixedLockPool = 64
 

@@ -113,6 +113,17 @@ func (p Policy) String() string {
 // Policies lists every available policy, for sweeps and tests.
 func Policies() []Policy { return []Policy{Static, Dynamic, Guided, WorkStealing} }
 
+// ParsePolicy resolves a display name ("static", "worksteal", ...) back to
+// its Policy — the inverse of String, for config files and job params.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return Dynamic, fmt.Errorf("sched: unknown policy %q (want static, dynamic, guided, or worksteal)", name)
+}
+
 // New builds a scheduler over the index space [0, n) for the given number of
 // workers. chunkSize is the grain for Dynamic and WorkStealing and the floor
 // for Guided; it is ignored by Static. A non-positive n yields a scheduler

@@ -41,8 +41,17 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	engineJob obs.JobID
+	exec      Execution
 	result    any
 	errMsg    string
+}
+
+// setExecution records the resolved engine configuration (and whether the
+// advisor picked it) before the kernel starts.
+func (j *job) setExecution(e Execution) {
+	j.mu.Lock()
+	j.exec = e
+	j.mu.Unlock()
 }
 
 // setRunning marks the queued→running transition.
@@ -82,8 +91,15 @@ type Status struct {
 	// EngineJob is the obs.JobID of the last engine pass the kernel ran, the
 	// key into /trace for this job's span timeline.
 	EngineJob uint64 `json:"engine_job,omitempty"`
-	Result    any    `json:"result,omitempty"`
-	Error     string `json:"error,omitempty"`
+	// Strategy and Scheduler echo the execution configuration the job ran
+	// with; Advised marks them as the plan advisor's pick (vs request pins)
+	// and AdviceTrace carries the advisor's explanation.
+	Strategy    string   `json:"strategy,omitempty"`
+	Scheduler   string   `json:"scheduler,omitempty"`
+	Advised     bool     `json:"advised,omitempty"`
+	AdviceTrace []string `json:"advice_trace,omitempty"`
+	Result      any      `json:"result,omitempty"`
+	Error       string   `json:"error,omitempty"`
 }
 
 // status snapshots the job's current view.
@@ -91,13 +107,17 @@ func (j *job) status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := Status{
-		ID:      j.ID,
-		Tenant:  j.Tenant,
-		Kernel:  j.Kernel,
-		Dataset: j.Dataset,
-		State:   j.state,
-		Error:   j.errMsg,
-		Result:  j.result,
+		ID:          j.ID,
+		Tenant:      j.Tenant,
+		Kernel:      j.Kernel,
+		Dataset:     j.Dataset,
+		State:       j.state,
+		Strategy:    j.exec.Strategy,
+		Scheduler:   j.exec.Scheduler,
+		Advised:     j.exec.Advised,
+		AdviceTrace: j.exec.Trace,
+		Error:       j.errMsg,
+		Result:      j.result,
 	}
 	s.EngineJob = uint64(j.engineJob)
 	switch j.state {

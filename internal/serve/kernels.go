@@ -21,6 +21,13 @@ type Params struct {
 	// When omitted the kernel infers the tightest shape fitting the triples.
 	Rows int `json:"rows,omitempty"`
 	Cols int `json:"cols,omitempty"`
+	// Strategy pins the reduction-object sharing strategy ("replication",
+	// "full-locking", "opt-locking", "fixed-locking", "atomic"). Empty lets
+	// the plan advisor pick one from the job's static profile.
+	Strategy string `json:"strategy,omitempty"`
+	// Scheduler pins the split scheduling policy ("static", "dynamic",
+	// "guided", "worksteal"). Empty lets the plan advisor pick.
+	Scheduler string `json:"scheduler,omitempty"`
 }
 
 func (p Params) withDefaults() Params {

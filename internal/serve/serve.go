@@ -98,6 +98,13 @@ type Server struct {
 	engines []*freeride.Engine
 	nextEng atomic.Uint64
 
+	// altEngines caches sessions for advisor- or pin-derived configurations
+	// that differ from the base pool's (engine configs are session-fixed, so
+	// a different strategy/scheduler needs its own session). Bounded key
+	// space; see engineFor.
+	altMu      sync.Mutex
+	altEngines map[string]*freeride.Engine
+
 	queue *admitQueue
 	jobs  *jobTable
 	data  *datasetCache
@@ -117,11 +124,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		queue:   newAdmitQueue(cfg.QueueDepth, cfg.TenantQuota),
-		jobs:    newJobTable(cfg.RetainJobs),
-		data:    newDatasetCache(cfg.CacheBytes),
-		kernels: builtinKernels(),
+		cfg:        cfg,
+		altEngines: map[string]*freeride.Engine{},
+		queue:      newAdmitQueue(cfg.QueueDepth, cfg.TenantQuota),
+		jobs:       newJobTable(cfg.RetainJobs),
+		data:       newDatasetCache(cfg.CacheBytes),
+		kernels:    builtinKernels(),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Engines; i++ {
@@ -217,6 +225,9 @@ func (s *Server) Submit(tenant, kernelName, datasetName string, p Params) (*job,
 	if !s.data.known(datasetName) {
 		return nil, fmt.Errorf("serve: unknown dataset %q", datasetName)
 	}
+	if err := validatePins(p); err != nil {
+		return nil, err
+	}
 	if tenant == "" {
 		tenant = "default"
 	}
@@ -278,7 +289,12 @@ func (s *Server) runJob(j *job) {
 	var out any
 	src, err := s.data.source(j.Dataset)
 	if err == nil {
-		eng := s.engines[s.nextEng.Add(1)%uint64(len(s.engines))]
+		// Resolve the execution configuration before the first row is
+		// read: request pins win, unpinned knobs come from the plan
+		// advisor's static profile of this kernel/dataset pair.
+		cfg, exec := s.planConfig(j, src)
+		j.setExecution(exec)
+		eng := s.engineFor(cfg)
 		t0 := time.Now()
 		out, err = j.kernel(s.ctx, eng, src, j.Params)
 		hService.ObserveDuration(time.Since(t0))
@@ -330,5 +346,13 @@ func (s *Server) Close() error {
 			first = err
 		}
 	}
+	s.altMu.Lock()
+	for _, eng := range s.altEngines {
+		if err := eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.altEngines = map[string]*freeride.Engine{}
+	s.altMu.Unlock()
 	return first
 }

@@ -101,6 +101,29 @@ const (
 	CodeOpt3NoBlockKernel Code = "FRV030"
 )
 
+// Analysis codes (internal/analyze): statically-provable cost/contention
+// pathologies found by the translate-time plan analysis. None reject the
+// plan — they document execution shapes the advisor steers around.
+const (
+	// CodeWriteHotspot (warning): every split's writes land on one object
+	// cell (a 1-cell object, or an inspector scatter table whose hottest
+	// cell absorbs most entries). Per-cell locks and CAS serialize on that
+	// cell; full replication is the only strategy with no per-update
+	// synchronization to contend on.
+	CodeWriteHotspot Code = "FRV050"
+	// CodeFootprintBudget (warning): the per-worker write-set footprint
+	// (replication mirror / dense fused-flush buffer) exceeds the
+	// configured cache budget, so replicated copies thrash and every
+	// dense flush sweeps more state than the cache holds.
+	CodeFootprintBudget Code = "FRV051"
+	// CodeDegenerateSkew (info): an inspector scatter table shows
+	// degenerate alias skew — a few cells absorb most writes while the
+	// touched set stays far smaller than the object. The hashed scatter
+	// accumulator (Config.SparseAccCells) keeps per-split flushes
+	// proportional to the touched set instead of the object size.
+	CodeDegenerateSkew Code = "FRV052"
+)
+
 // Spec-level codes (FREERIDE specs submitted to the engine).
 const (
 	// CodeNoReduction: the spec has neither Reduction nor BlockReduction.

@@ -24,9 +24,19 @@ import (
 // package variables, or struct fields. Calls are assumed non-retaining
 // (copy(dst, row) and math on row elements are the idiomatic reads);
 // justified exceptions use //frds:vet-ignore rowalias.
+//
+// Block kernels get a second, looser contract for args.Acc(): the
+// worker-local accumulation buffer is pooled across splits (and swapped
+// for a hashed map on ScatterBlock jobs whose object crosses
+// Config.SparseAccCells), so element writes are the buffer's whole
+// purpose, but the slice itself must not outlive the call or be resized.
+// Flagged shapes for Acc() views: append with the view as destination
+// (resizing detaches the kernel from the pooled buffer), append retaining
+// the view as an element, and stores to captured variables, package
+// variables, or struct fields.
 var RowAlias = &Analyzer{
 	Name: "rowalias",
-	Doc:  "kernels must not retain or mutate borrowed row views (args.Data, args.Row)",
+	Doc:  "kernels must not retain or mutate borrowed row views (args.Data, args.Row), nor retain or resize the pooled accumulator view (args.Acc)",
 	Run:  runRowAlias,
 }
 
@@ -70,15 +80,23 @@ func checkRowAlias(pass *Pass, field string, fl *ast.FuncLit) {
 	if argName == "" || argName == "_" {
 		return
 	}
-	borrowed := collectBorrowed(fl, argName)
+	borrowed := collectViews(fl, func(e ast.Expr, aliases map[string]bool) bool {
+		return isBorrowedExpr(e, argName, aliases)
+	})
+	pooled := collectViews(fl, func(e ast.Expr, aliases map[string]bool) bool {
+		return isPooledExpr(e, argName, aliases)
+	})
 	declared := declaredIdents(fl)
 	isB := func(e ast.Expr) bool { return isBorrowedExpr(e, argName, borrowed) }
+	isP := func(e ast.Expr) bool { return isPooledExpr(e, argName, pooled) }
 
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.AssignStmt:
 			for i, lhs := range v.Lhs {
 				// Writes through a borrowed view: row[j] = x, args.Data[k] = x.
+				// (Element writes through the pooled Acc() view are sanctioned —
+				// that buffer exists to be written.)
 				if ix, ok := lhs.(*ast.IndexExpr); ok && isB(ix.X) {
 					pass.Report(lhs, "%s kernel writes through borrowed row view %q; row views alias the data source (read-only, see freeride.BlockArgs.Data)", field, exprText(ix.X))
 					continue
@@ -86,16 +104,23 @@ func checkRowAlias(pass *Pass, field string, fl *ast.FuncLit) {
 				if v.Tok == token.DEFINE || i >= len(v.Rhs) {
 					continue
 				}
-				if !isB(v.Rhs[i]) {
+				// Retention: borrowed or pooled view stored outside the
+				// kernel's frame.
+				kind := ""
+				switch {
+				case isB(v.Rhs[i]):
+					kind = "borrowed row"
+				case isP(v.Rhs[i]):
+					kind = "pooled accumulator"
+				default:
 					continue
 				}
-				// Retention: borrowed view stored outside the kernel's frame.
 				root := rootIdent(lhs)
 				switch {
 				case root == nil || !declared[root.Name]:
-					pass.Report(lhs, "%s kernel stores borrowed row view into captured state %q; views must not outlive the kernel call (copy the row instead)", field, exprText(lhs))
+					pass.Report(lhs, "%s kernel stores %s view into captured state %q; views must not outlive the kernel call (copy instead)", field, kind, exprText(lhs))
 				case isFieldStore(lhs):
-					pass.Report(lhs, "%s kernel stores borrowed row view into struct field %q; the struct can escape the call — copy the row instead", field, exprText(lhs))
+					pass.Report(lhs, "%s kernel stores %s view into struct field %q; the struct can escape the call — copy instead", field, kind, exprText(lhs))
 				}
 			}
 		case *ast.IncDecStmt:
@@ -109,11 +134,15 @@ func checkRowAlias(pass *Pass, field string, fl *ast.FuncLit) {
 			}
 			if isB(v.Args[0]) {
 				pass.Report(v, "%s kernel appends to borrowed row view %q; growth writes into (or re-uses) the source's backing array", field, exprText(v.Args[0]))
+			} else if isP(v.Args[0]) {
+				pass.Report(v, "%s kernel appends to pooled accumulator view %q; the engine recycles Acc() buffers across splits — resizing detaches the kernel from the pooled cells", field, exprText(v.Args[0]))
 			}
 			if v.Ellipsis == token.NoPos {
 				for _, arg := range v.Args[1:] {
 					if isB(arg) {
 						pass.Report(v, "%s kernel retains borrowed row view %q by appending it; append the row's copy (or its elements with ...) instead", field, exprText(arg))
+					} else if isP(arg) {
+						pass.Report(v, "%s kernel retains pooled accumulator view %q by appending it; the buffer is reused after the call — append a copy instead", field, exprText(arg))
 					}
 				}
 			}
@@ -135,10 +164,12 @@ func kernelArgName(fl *ast.FuncLit) string {
 	return names[0].Name
 }
 
-// collectBorrowed finds local variables aliasing a borrowed view, iterating
-// to a fixpoint so chains (row := args.Row(i); r2 := row[1:]) all count.
-func collectBorrowed(fl *ast.FuncLit, argName string) map[string]bool {
-	borrowed := map[string]bool{}
+// collectViews finds local variables aliasing a tracked view, iterating to
+// a fixpoint so chains (row := args.Row(i); r2 := row[1:]) all count. The
+// predicate decides whether an expression is a view, given the aliases
+// found so far.
+func collectViews(fl *ast.FuncLit, isView func(e ast.Expr, aliases map[string]bool) bool) map[string]bool {
+	aliases := map[string]bool{}
 	for changed := true; changed; {
 		changed = false
 		ast.Inspect(fl.Body, func(n ast.Node) bool {
@@ -149,8 +180,8 @@ func collectBorrowed(fl *ast.FuncLit, argName string) map[string]bool {
 					if !ok || id.Name == "_" || i >= len(v.Rhs) {
 						continue
 					}
-					if !borrowed[id.Name] && isBorrowedExpr(v.Rhs[i], argName, borrowed) {
-						borrowed[id.Name] = true
+					if !aliases[id.Name] && isView(v.Rhs[i], aliases) {
+						aliases[id.Name] = true
 						changed = true
 					}
 				}
@@ -161,8 +192,8 @@ func collectBorrowed(fl *ast.FuncLit, argName string) map[string]bool {
 						continue
 					}
 					for i, name := range vs.Names {
-						if i < len(vs.Values) && !borrowed[name.Name] && isBorrowedExpr(vs.Values[i], argName, borrowed) {
-							borrowed[name.Name] = true
+						if i < len(vs.Values) && !aliases[name.Name] && isView(vs.Values[i], aliases) {
+							aliases[name.Name] = true
 							changed = true
 						}
 					}
@@ -171,7 +202,7 @@ func collectBorrowed(fl *ast.FuncLit, argName string) map[string]bool {
 			return true
 		})
 	}
-	return borrowed
+	return aliases
 }
 
 // isBorrowedExpr reports whether e evaluates to (a sub-slice of) a borrowed
@@ -191,6 +222,28 @@ func isBorrowedExpr(e ast.Expr, argName string, borrowed map[string]bool) bool {
 	case *ast.CallExpr:
 		sel, ok := v.Fun.(*ast.SelectorExpr)
 		if !ok || sel.Sel.Name != "Row" {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Name == argName
+	}
+	return false
+}
+
+// isPooledExpr reports whether e evaluates to (a sub-slice of) the pooled
+// accumulator view: args.Acc(), a tracked alias, or a slice/paren wrapper of
+// one. Indexing is NOT pooled — acc[k] is a scalar cell.
+func isPooledExpr(e ast.Expr, argName string, pooled map[string]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return pooled[v.Name]
+	case *ast.ParenExpr:
+		return isPooledExpr(v.X, argName, pooled)
+	case *ast.SliceExpr:
+		return isPooledExpr(v.X, argName, pooled)
+	case *ast.CallExpr:
+		sel, ok := v.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Acc" {
 			return false
 		}
 		id, ok := sel.X.(*ast.Ident)

@@ -12,7 +12,8 @@ type Args struct {
 	Cols    int
 }
 
-func (a *Args) Row(i int) []float64           { return a.Data[i*a.Cols : (i+1)*a.Cols] }
+func (a *Args) Row(i int) []float64            { return a.Data[i*a.Cols : (i+1)*a.Cols] }
+func (a *Args) Acc() []float64                 { return nil }
 func (a *Args) Accumulate(g, e int, v float64) {}
 
 type holder struct{ view []float64 }
@@ -26,9 +27,9 @@ func badWrites() Spec {
 		Reduction: func(args *Args) error {
 			for i := 0; i < args.NumRows; i++ {
 				row := args.Row(i)
-				row[0] = 1          //want:rowalias
-				args.Data[i] = 2    //want:rowalias
-				row[1]++            //want:rowalias
+				row[0] = 1       //want:rowalias
+				args.Data[i] = 2 //want:rowalias
+				row[1]++         //want:rowalias
 				sub := row[1:]
 				sub[0] = 3 //want:rowalias
 			}
@@ -97,6 +98,45 @@ func good() Spec {
 			return nil
 		},
 	}
+}
+
+func badAccRetention() {
+	var s Spec
+	s.BlockReduction = func(args *Args) error {
+		stash = args.Acc() //want:rowalias
+		acc := args.Acc()
+		held.view = acc         //want:rowalias
+		bag = append(bag, acc)  //want:rowalias
+		grown := append(acc, 1) //want:rowalias
+		_ = grown
+		tail := acc[2:]
+		held.view = tail //want:rowalias
+		return nil
+	}
+	_ = s
+}
+
+func goodAcc() {
+	var s Spec
+	s.BlockReduction = func(args *Args) error {
+		// Element writes into the pooled buffer are its whole purpose; so
+		// are reads, scalar copies, and explicit buffer copies.
+		acc := args.Acc()
+		for i := 0; i < args.NumRows; i++ {
+			row := args.Row(i)
+			acc[0] += row[0]
+		}
+		sub := acc[1:]
+		sub[0]++
+		snapshot := make([]float64, len(acc))
+		copy(snapshot, acc)
+		stash = snapshot // the copy may escape, the view may not
+		var flat []float64
+		flat = append(flat, acc...) // element copy, not retention
+		_ = flat
+		return nil
+	}
+	_ = s
 }
 
 func suppressed() Spec {
